@@ -1,0 +1,119 @@
+//! ATM cells and virtual circuit identifiers.
+//!
+//! Pandora's boxes communicate over a dedicated ATM network (§1.0, §1.1);
+//! "incoming streams from the network carry the stream number allocated by
+//! the destination box in their VCIs" (§3.4). Cells are the classic
+//! 53-byte format: a 5-byte header and 48 bytes of payload.
+
+use pandora_segment::StreamId;
+
+/// Bytes per ATM cell on the wire.
+pub const CELL_BYTES: usize = 53;
+/// Payload bytes per cell.
+pub const CELL_PAYLOAD: usize = 48;
+
+/// A virtual circuit identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vci(pub u32);
+
+impl Vci {
+    /// Pandora's convention: the VCI carries the destination's stream
+    /// number.
+    pub fn from_stream(stream: StreamId) -> Vci {
+        Vci(stream.0)
+    }
+
+    /// The stream number this VCI denotes at the destination box.
+    pub fn stream(self) -> StreamId {
+        StreamId(self.0)
+    }
+}
+
+impl std::fmt::Display for Vci {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vci{}", self.0)
+    }
+}
+
+/// One ATM cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// The circuit this cell belongs to.
+    pub vci: Vci,
+    /// Per-VCI cell counter, used by reassembly to detect loss.
+    pub seq: u32,
+    /// Marks the final cell of a higher-level frame (AAL5-style).
+    pub last: bool,
+    /// Payload bytes (only the first `payload_len` are meaningful).
+    pub payload: [u8; CELL_PAYLOAD],
+    /// Number of meaningful payload bytes.
+    pub payload_len: u8,
+}
+
+impl Cell {
+    /// Builds a cell from up to 48 payload bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` exceeds the cell payload size.
+    pub fn new(vci: Vci, seq: u32, last: bool, data: &[u8]) -> Cell {
+        assert!(
+            data.len() <= CELL_PAYLOAD,
+            "cell payload too large: {}",
+            data.len()
+        );
+        let mut payload = [0u8; CELL_PAYLOAD];
+        payload[..data.len()].copy_from_slice(data);
+        Cell {
+            vci,
+            seq,
+            last,
+            payload,
+            payload_len: data.len() as u8,
+        }
+    }
+
+    /// The meaningful payload bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.payload[..self.payload_len as usize]
+    }
+}
+
+impl pandora_sim::WireSize for Cell {
+    fn wire_bytes(&self) -> usize {
+        CELL_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pandora_sim::WireSize;
+
+    #[test]
+    fn vci_stream_round_trip() {
+        let v = Vci::from_stream(StreamId(17));
+        assert_eq!(v.stream(), StreamId(17));
+        assert_eq!(v.to_string(), "vci17");
+    }
+
+    #[test]
+    fn cell_holds_payload() {
+        let c = Cell::new(Vci(1), 5, true, &[1, 2, 3]);
+        assert_eq!(c.data(), &[1, 2, 3]);
+        assert!(c.last);
+        assert_eq!(c.wire_bytes(), 53);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_payload_panics() {
+        let _ = Cell::new(Vci(1), 0, false, &[0u8; 49]);
+    }
+
+    #[test]
+    fn full_payload_accepted() {
+        let c = Cell::new(Vci(1), 0, false, &[7u8; 48]);
+        assert_eq!(c.data().len(), 48);
+    }
+}

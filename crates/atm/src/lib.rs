@@ -1,0 +1,25 @@
+//! # pandora-atm — the simulated ATM network
+//!
+//! The substrate substitution for Pandora's dedicated ATM ring network
+//! (§1.0; \[Hopper88\], \[McAuley90\] — see DESIGN.md §2):
+//!
+//! * [`Cell`] / [`Vci`] — 53-byte cells on virtual circuits; Pandora
+//!   carries the destination's stream number in the VCI;
+//! * [`segment_to_cells`] / [`Reassembler`] — frame segmentation and
+//!   reassembly with whole-frame discard on cell loss;
+//! * [`build_path`] / [`HopConfig`] — multi-hop paths with bandwidth,
+//!   latency, seeded [`JitterModel`]s (including the paper's
+//!   "2 ms usually, 20 ms under video load" bursty shape) and Bernoulli
+//!   loss;
+//! * [`Switch`] — a VCI-routed switch whose full output ports drop rather
+//!   than stall other ports (Principle 5 at the fabric level).
+
+mod aal;
+mod cell;
+mod network;
+
+pub use aal::{segment_to_cells, Reassembler};
+pub use cell::{Cell, Vci, CELL_BYTES, CELL_PAYLOAD};
+pub use network::{
+    build_path, cell_time, jitter_stage, loss_stage, HopConfig, JitterModel, StageStats, Switch,
+};

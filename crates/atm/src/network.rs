@@ -1,0 +1,593 @@
+//! The simulated ATM fabric: links, jitter/loss stages, switches.
+//!
+//! The clawback experiments need realistic network disturbance processes.
+//! The models here reproduce the conditions the paper reports: "with our
+//! network, the jitter is usually around 2ms, sometimes rising to 20ms if
+//! there are large blocks of video being transmitted through the same
+//! network interface" (§3.7.2), and the SuperJanet trial's multi-hop
+//! "several networks and protocol conversions" path.
+
+use std::cell::Cell as StdCell;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use pandora_sim::{
+    buffered, channel, link, LinkConfig, LinkSender, Receiver, Sender, SimDuration, Spawner,
+};
+
+use crate::cell::{Cell, Vci, CELL_BYTES};
+
+/// A random extra-delay process applied to a FIFO stream.
+#[derive(Debug, Clone, Copy)]
+pub enum JitterModel {
+    /// No jitter.
+    None,
+    /// Uniform extra delay in `[0, max]`.
+    Uniform {
+        /// Largest extra delay.
+        max: SimDuration,
+    },
+    /// Mostly `base`-bounded uniform jitter with occasional bursts up to
+    /// `burst` (probability `burst_prob` per item) — the "2ms usually,
+    /// sometimes 20ms" shape of §3.7.2.
+    Bursty {
+        /// Usual jitter bound.
+        base: SimDuration,
+        /// Burst jitter bound.
+        burst: SimDuration,
+        /// Probability of a burst per item, in 0..=1.
+        burst_prob: f64,
+    },
+}
+
+impl JitterModel {
+    fn sample(&self, rng: &mut SmallRng) -> SimDuration {
+        match *self {
+            JitterModel::None => SimDuration::ZERO,
+            JitterModel::Uniform { max } => SimDuration(rng.gen_range(0..=max.as_nanos())),
+            JitterModel::Bursty {
+                base,
+                burst,
+                burst_prob,
+            } => {
+                if rng.gen_bool(burst_prob) {
+                    SimDuration(
+                        rng.gen_range(base.as_nanos()..=burst.as_nanos().max(base.as_nanos() + 1)),
+                    )
+                } else {
+                    SimDuration(rng.gen_range(0..=base.as_nanos()))
+                }
+            }
+        }
+    }
+}
+
+/// Statistics of a network stage.
+#[derive(Clone, Default)]
+pub struct StageStats {
+    forwarded: Rc<StdCell<u64>>,
+    dropped: Rc<StdCell<u64>>,
+}
+
+impl StageStats {
+    /// Items passed through.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded.get()
+    }
+
+    /// Items deliberately dropped (loss model).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+}
+
+/// Spawns a FIFO-preserving jitter stage: each item is delayed by a fresh
+/// sample, but never reordered (delivery time is clamped to be monotonic,
+/// like queueing behind cross-traffic).
+pub fn jitter_stage<T: 'static>(
+    spawner: &Spawner,
+    name: &str,
+    model: JitterModel,
+    seed: u64,
+    input: Receiver<T>,
+) -> Receiver<T> {
+    let (tx, rx) = channel::<T>();
+    // Two subprocesses: a stamper that records every item's true arrival
+    // time immediately (so jitter is measured from arrival, not from when
+    // the delayer got around to it — otherwise jitter would accumulate
+    // into unbounded delay), and a delayer that releases items at
+    // max(arrival + sample, previous release) to stay FIFO.
+    let (stamped_tx, stamped_rx) = pandora_sim::unbounded::<(pandora_sim::SimTime, T)>();
+    spawner.spawn(&format!("jitter:{name}:stamp"), async move {
+        while let Ok(item) = input.recv().await {
+            if stamped_tx.send((pandora_sim::now(), item)).await.is_err() {
+                return;
+            }
+        }
+    });
+    spawner.spawn(&format!("jitter:{name}"), async move {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut last_delivery = pandora_sim::SimTime::ZERO;
+        while let Ok((arrival, item)) = stamped_rx.recv().await {
+            let due = (arrival + model.sample(&mut rng)).max(last_delivery);
+            pandora_sim::delay_until(due).await;
+            last_delivery = due;
+            if tx.send(item).await.is_err() {
+                return;
+            }
+        }
+    });
+    rx
+}
+
+/// Spawns a Bernoulli loss stage dropping each item with probability `p`.
+pub fn loss_stage<T: 'static>(
+    spawner: &Spawner,
+    name: &str,
+    p: f64,
+    seed: u64,
+    input: Receiver<T>,
+) -> (Receiver<T>, StageStats) {
+    assert!((0.0..=1.0).contains(&p), "loss probability out of range");
+    let (tx, rx) = channel::<T>();
+    let stats = StageStats::default();
+    let s = stats.clone();
+    let name = format!("loss:{name}");
+    spawner.spawn(&name, async move {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        while let Ok(item) = input.recv().await {
+            if rng.gen_bool(p) {
+                s.dropped.set(s.dropped.get() + 1);
+                continue;
+            }
+            s.forwarded.set(s.forwarded.get() + 1);
+            if tx.send(item).await.is_err() {
+                return;
+            }
+        }
+    });
+    (rx, stats)
+}
+
+/// One hop of an ATM path: a bandwidth-limited cell link followed by
+/// optional jitter and loss.
+#[derive(Debug, Clone, Copy)]
+pub struct HopConfig {
+    /// Link rate in bits per second.
+    pub bits_per_sec: u64,
+    /// Propagation/processing latency of the hop.
+    pub latency: SimDuration,
+    /// Jitter process of the hop.
+    pub jitter: JitterModel,
+    /// Per-cell loss probability.
+    pub loss: f64,
+}
+
+impl HopConfig {
+    /// A clean hop at `bits_per_sec` with no latency, jitter or loss.
+    pub fn clean(bits_per_sec: u64) -> Self {
+        HopConfig {
+            bits_per_sec,
+            latency: SimDuration::ZERO,
+            jitter: JitterModel::None,
+            loss: 0.0,
+        }
+    }
+}
+
+/// Builds a multi-hop ATM path; returns the ingress sender, the egress
+/// receiver and per-hop loss stats.
+///
+/// This is the E15 "SuperJanet" substrate: chain several hops with bursty
+/// jitter to model a Cambridge-to-London path crossing "several networks
+/// and protocol conversions".
+pub fn build_path(
+    spawner: &Spawner,
+    name: &str,
+    hops: &[HopConfig],
+    seed: u64,
+) -> (LinkSender<Cell>, Receiver<Cell>, Vec<StageStats>) {
+    assert!(!hops.is_empty(), "a path needs at least one hop");
+    let mut stats = Vec::new();
+    let first = LinkConfig::new(leak_name(format!("{name}.0")), hops[0].bits_per_sec)
+        .with_latency(hops[0].latency);
+    let (ingress, mut rx) = link::<Cell>(spawner, first);
+    rx = apply_disturbance(spawner, name, 0, &hops[0], seed, rx, &mut stats);
+    for (i, hop) in hops.iter().enumerate().skip(1) {
+        let cfg = LinkConfig::new(leak_name(format!("{name}.{i}")), hop.bits_per_sec)
+            .with_latency(hop.latency);
+        let (tx, next_rx) = link::<Cell>(spawner, cfg);
+        // Pump between hops.
+        let pump_in = rx;
+        spawner.spawn(&format!("hop:{name}.{i}"), async move {
+            while let Ok(cell) = pump_in.recv().await {
+                if tx.send(cell).await.is_err() {
+                    return;
+                }
+            }
+        });
+        rx = apply_disturbance(
+            spawner,
+            name,
+            i,
+            hop,
+            seed.wrapping_add(i as u64),
+            next_rx,
+            &mut stats,
+        );
+    }
+    (ingress, rx, stats)
+}
+
+fn apply_disturbance(
+    spawner: &Spawner,
+    name: &str,
+    index: usize,
+    hop: &HopConfig,
+    seed: u64,
+    mut rx: Receiver<Cell>,
+    stats: &mut Vec<StageStats>,
+) -> Receiver<Cell> {
+    if !matches!(hop.jitter, JitterModel::None) {
+        rx = jitter_stage(
+            spawner,
+            &format!("{name}.{index}"),
+            hop.jitter,
+            seed ^ 0xA5A5,
+            rx,
+        );
+    }
+    if hop.loss > 0.0 {
+        let (lrx, s) = loss_stage(
+            spawner,
+            &format!("{name}.{index}"),
+            hop.loss,
+            seed ^ 0x5A5A,
+            rx,
+        );
+        stats.push(s);
+        lrx
+    } else {
+        stats.push(StageStats::default());
+        rx
+    }
+}
+
+// LinkConfig wants a &'static str name; paths are built once per
+// simulation, so leaking the handful of hop names is fine.
+fn leak_name(s: String) -> &'static str {
+    Box::leak(s.into_boxed_str())
+}
+
+/// A VCI-routed cell switch (the ATM ring / switch fabric stand-in).
+///
+/// Cells arriving on any input port are forwarded to the port given by the
+/// routing table, optionally rewriting the VCI. Unroutable cells are
+/// dropped and counted. Output ports have bounded queues: a full port
+/// drops cells (counting them) rather than stalling other ports —
+/// Principle 5 at the fabric level.
+pub struct Switch {
+    table: Rc<RefCell<std::collections::HashMap<Vci, (usize, Vci)>>>,
+    unroutable: Rc<StdCell<u64>>,
+    overflow: Rc<StdCell<u64>>,
+    forwarded: Rc<StdCell<u64>>,
+}
+
+impl Switch {
+    /// Spawns a switch over the given input ports; returns the handle and
+    /// one receiver per output port.
+    ///
+    /// `port_queue` bounds each output port's queue in cells.
+    pub fn spawn(
+        spawner: &Spawner,
+        name: &str,
+        inputs: Vec<Receiver<Cell>>,
+        output_ports: usize,
+        port_queue: usize,
+    ) -> (Switch, Vec<Receiver<Cell>>) {
+        let table = Rc::new(RefCell::new(std::collections::HashMap::new()));
+        let unroutable = Rc::new(StdCell::new(0u64));
+        let overflow = Rc::new(StdCell::new(0u64));
+        let forwarded = Rc::new(StdCell::new(0u64));
+        let mut port_txs: Vec<Sender<Cell>> = Vec::with_capacity(output_ports);
+        let mut port_rxs = Vec::with_capacity(output_ports);
+        for _ in 0..output_ports {
+            let (tx, rx) = buffered::<Cell>(port_queue.max(1));
+            port_txs.push(tx);
+            port_rxs.push(rx);
+        }
+        let sw = Switch {
+            table: table.clone(),
+            unroutable: unroutable.clone(),
+            overflow: overflow.clone(),
+            forwarded: forwarded.clone(),
+        };
+        spawner.spawn(&format!("switch:{name}"), async move {
+            loop {
+                let guards: Vec<&Receiver<Cell>> = inputs.iter().collect();
+                let Some(Ok((_port, cell))) = pandora_sim::alt_many(&guards).await else {
+                    return;
+                };
+                let route = table.borrow().get(&cell.vci).copied();
+                match route {
+                    Some((out, new_vci)) if out < port_txs.len() => {
+                        let mut cell = cell;
+                        cell.vci = new_vci;
+                        match port_txs[out].try_send(cell) {
+                            Ok(()) => forwarded.set(forwarded.get() + 1),
+                            Err(_) => overflow.set(overflow.get() + 1),
+                        }
+                    }
+                    _ => unroutable.set(unroutable.get() + 1),
+                }
+            }
+        });
+        (sw, port_rxs)
+    }
+
+    /// Installs (or replaces) a route: cells on `vci` go to `port` with
+    /// their VCI rewritten to `out_vci`.
+    pub fn route(&self, vci: Vci, port: usize, out_vci: Vci) {
+        self.table.borrow_mut().insert(vci, (port, out_vci));
+    }
+
+    /// Removes a route.
+    pub fn unroute(&self, vci: Vci) {
+        self.table.borrow_mut().remove(&vci);
+    }
+
+    /// Cells forwarded.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded.get()
+    }
+
+    /// Cells dropped for lack of a route.
+    pub fn unroutable(&self) -> u64 {
+        self.unroutable.get()
+    }
+
+    /// Cells dropped on full output ports.
+    pub fn overflow(&self) -> u64 {
+        self.overflow.get()
+    }
+}
+
+/// Time to transmit one cell at `bits_per_sec`.
+pub fn cell_time(bits_per_sec: u64) -> SimDuration {
+    SimDuration(((CELL_BYTES as u128 * 8 * 1_000_000_000) / bits_per_sec as u128) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pandora_sim::{SimTime, Simulation};
+    use std::cell::RefCell as StdRefCell;
+
+    #[test]
+    fn cell_time_math() {
+        // 53 bytes at 100Mbit/s = 4.24us.
+        assert_eq!(cell_time(100_000_000), SimDuration::from_nanos(4_240));
+    }
+
+    #[test]
+    fn clean_path_delivers_in_order() {
+        let mut sim = Simulation::new();
+        let (tx, rx, _stats) = build_path(&sim.spawner(), "p", &[HopConfig::clean(100_000_000)], 1);
+        sim.spawn("send", async move {
+            for i in 0..10 {
+                tx.send(Cell::new(Vci(1), i, false, &[i as u8]))
+                    .await
+                    .unwrap();
+            }
+        });
+        let got = Rc::new(StdRefCell::new(Vec::new()));
+        let g = got.clone();
+        sim.spawn("recv", async move {
+            for _ in 0..10 {
+                g.borrow_mut().push(rx.recv().await.unwrap().seq);
+            }
+        });
+        sim.run_until_idle();
+        assert_eq!(*got.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jitter_delays_but_preserves_order() {
+        let mut sim = Simulation::new();
+        let (tx, rx0, _stats) = build_path(
+            &sim.spawner(),
+            "p",
+            &[HopConfig {
+                bits_per_sec: 100_000_000,
+                latency: SimDuration::ZERO,
+                jitter: JitterModel::Uniform {
+                    max: SimDuration::from_millis(5),
+                },
+                loss: 0.0,
+            }],
+            42,
+        );
+        sim.spawn("send", async move {
+            for i in 0..50 {
+                tx.send(Cell::new(Vci(1), i, false, &[])).await.unwrap();
+                pandora_sim::delay(SimDuration::from_millis(2)).await;
+            }
+        });
+        let seqs = Rc::new(StdRefCell::new(Vec::new()));
+        let times = Rc::new(StdRefCell::new(Vec::new()));
+        let (s, t) = (seqs.clone(), times.clone());
+        sim.spawn("recv", async move {
+            while let Ok(c) = rx0.recv().await {
+                s.borrow_mut().push(c.seq);
+                t.borrow_mut().push(pandora_sim::now());
+            }
+        });
+        sim.run_until_idle();
+        let seqs = seqs.borrow();
+        assert_eq!(seqs.len(), 50);
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "order violated");
+        // Some jitter must actually have occurred.
+        let times = times.borrow();
+        let deviations: Vec<i64> = times
+            .iter()
+            .enumerate()
+            .map(|(i, t)| t.as_nanos() as i64 - (i as i64) * 2_000_000)
+            .collect();
+        let min = deviations.iter().min().unwrap();
+        let max = deviations.iter().max().unwrap();
+        assert!(max - min > 1_000_000, "jitter spread {}ns", max - min);
+    }
+
+    #[test]
+    fn loss_stage_drops_expected_fraction() {
+        let mut sim = Simulation::new();
+        let (tx, rx0, stats) = build_path(
+            &sim.spawner(),
+            "p",
+            &[HopConfig {
+                bits_per_sec: 1_000_000_000,
+                latency: SimDuration::ZERO,
+                jitter: JitterModel::None,
+                loss: 0.1,
+            }],
+            7,
+        );
+        sim.spawn("send", async move {
+            for i in 0..2_000 {
+                tx.send(Cell::new(Vci(1), i, false, &[])).await.unwrap();
+            }
+        });
+        let n = Rc::new(StdCell::new(0u64));
+        let nn = n.clone();
+        sim.spawn("recv", async move {
+            while rx0.recv().await.is_ok() {
+                nn.set(nn.get() + 1);
+            }
+        });
+        sim.run_until_idle();
+        let delivered = n.get();
+        assert!(
+            (1_700..=1_900).contains(&delivered),
+            "delivered {delivered}"
+        );
+        assert_eq!(stats[0].dropped() + stats[0].forwarded(), 2_000);
+    }
+
+    #[test]
+    fn switch_routes_by_vci() {
+        let mut sim = Simulation::new();
+        let (in_tx, in_rx) = channel::<Cell>();
+        let (sw, mut outs) = Switch::spawn(&sim.spawner(), "s", vec![in_rx], 2, 64);
+        sw.route(Vci(1), 0, Vci(101));
+        sw.route(Vci(2), 1, Vci(102));
+        sim.spawn("send", async move {
+            in_tx.send(Cell::new(Vci(1), 0, true, &[1])).await.unwrap();
+            in_tx.send(Cell::new(Vci(2), 0, true, &[2])).await.unwrap();
+            in_tx.send(Cell::new(Vci(3), 0, true, &[3])).await.unwrap(); // No route.
+        });
+        sim.run_until_idle();
+        let p1 = outs.remove(1);
+        let p0 = outs.remove(0);
+        let c0 = p0.try_recv().unwrap();
+        assert_eq!(c0.vci, Vci(101));
+        assert_eq!(c0.data(), &[1]);
+        let c1 = p1.try_recv().unwrap();
+        assert_eq!(c1.vci, Vci(102));
+        assert_eq!(sw.unroutable(), 1);
+        assert_eq!(sw.forwarded(), 2);
+    }
+
+    #[test]
+    fn switch_full_port_drops_without_stalling_others() {
+        let mut sim = Simulation::new();
+        let (in_tx, in_rx) = channel::<Cell>();
+        let (sw, mut outs) = Switch::spawn(&sim.spawner(), "s", vec![in_rx], 2, 2);
+        sw.route(Vci(1), 0, Vci(1)); // Nobody drains port 0.
+        sw.route(Vci(2), 1, Vci(2));
+        sim.spawn("send", async move {
+            for i in 0..10 {
+                in_tx.send(Cell::new(Vci(1), i, false, &[])).await.unwrap();
+                in_tx.send(Cell::new(Vci(2), i, false, &[])).await.unwrap();
+            }
+        });
+        let delivered = Rc::new(StdCell::new(0u32));
+        let d = delivered.clone();
+        let p1 = outs.remove(1);
+        sim.spawn("drain1", async move {
+            while p1.recv().await.is_ok() {
+                d.set(d.get() + 1);
+            }
+        });
+        sim.run_until_idle();
+        // Port 1 saw all its cells despite port 0 being wedged.
+        assert_eq!(delivered.get(), 10);
+        assert_eq!(sw.overflow(), 10 - 2, "port 0 kept 2, dropped 8");
+    }
+
+    #[test]
+    fn unroute_stops_forwarding() {
+        let mut sim = Simulation::new();
+        let (in_tx, in_rx) = channel::<Cell>();
+        let (sw, _outs) = Switch::spawn(&sim.spawner(), "s", vec![in_rx], 1, 8);
+        sw.route(Vci(1), 0, Vci(1));
+        sw.unroute(Vci(1));
+        sim.spawn("send", async move {
+            in_tx.send(Cell::new(Vci(1), 0, true, &[])).await.unwrap();
+        });
+        sim.run_until_idle();
+        assert_eq!(sw.unroutable(), 1);
+    }
+
+    #[test]
+    fn bursty_jitter_mostly_small_sometimes_large() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let model = JitterModel::Bursty {
+            base: SimDuration::from_millis(2),
+            burst: SimDuration::from_millis(20),
+            burst_prob: 0.05,
+        };
+        let samples: Vec<u64> = (0..10_000)
+            .map(|_| model.sample(&mut rng).as_nanos())
+            .collect();
+        let big = samples.iter().filter(|&&s| s > 2_000_000).count();
+        assert!((300..=800).contains(&big), "bursts: {big}");
+        assert!(samples.iter().any(|&s| s > 15_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hop")]
+    fn empty_path_panics() {
+        let sim = Simulation::new();
+        let _ = build_path(&sim.spawner(), "p", &[], 0);
+    }
+
+    #[test]
+    fn multihop_latency_accumulates() {
+        let mut sim = Simulation::new();
+        let hop = HopConfig {
+            bits_per_sec: 1_000_000_000,
+            latency: SimDuration::from_millis(1),
+            jitter: JitterModel::None,
+            loss: 0.0,
+        };
+        let (tx, rx, _) = build_path(&sim.spawner(), "p", &[hop, hop, hop, hop], 1);
+        sim.spawn("send", async move {
+            tx.send(Cell::new(Vci(1), 0, true, &[])).await.unwrap();
+        });
+        let at = Rc::new(StdCell::new(SimTime::ZERO));
+        let a = at.clone();
+        sim.spawn("recv", async move {
+            rx.recv().await.unwrap();
+            a.set(pandora_sim::now());
+        });
+        sim.run_until_idle();
+        assert!(
+            at.get() >= SimTime::from_millis(4),
+            "arrived at {}",
+            at.get()
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! G.711 µ-law companding — the software equivalent of Pandora's
+//! "standard 8-bit µ-law codec" sampling at 125 µs intervals (§3.2).
+
+/// Largest linear magnitude representable before clipping.
+pub const CLIP: i32 = 32_635;
+const BIAS: i32 = 0x84;
+
+/// Encodes one 16-bit linear PCM sample to 8-bit µ-law.
+///
+/// # Examples
+///
+/// ```
+/// use pandora_audio::mulaw::{encode, decode};
+/// let byte = encode(1000);
+/// let back = decode(byte);
+/// assert!((back - 1000).abs() < 64);
+/// ```
+pub fn encode(pcm: i16) -> u8 {
+    let mut x = pcm as i32;
+    let sign: u8 = if x < 0 {
+        x = -x;
+        0x80
+    } else {
+        0
+    };
+    if x > CLIP {
+        x = CLIP;
+    }
+    x += BIAS;
+    // Exponent = index of the segment containing x (7 segments above 0xFF).
+    let mut exponent: u8 = 7;
+    let mut mask = 0x4000;
+    while exponent > 0 && (x & mask) == 0 {
+        exponent -= 1;
+        mask >>= 1;
+    }
+    let mantissa = ((x >> (exponent as i32 + 3)) & 0x0F) as u8;
+    !(sign | (exponent << 4) | mantissa)
+}
+
+/// Decodes one 8-bit µ-law byte to 16-bit linear PCM.
+pub fn decode(byte: u8) -> i32 {
+    let y = !byte;
+    let sign = y & 0x80;
+    let exponent = (y >> 4) & 0x07;
+    let mantissa = (y & 0x0F) as i32;
+    let magnitude = (((mantissa << 3) + BIAS) << exponent) - BIAS;
+    if sign != 0 {
+        -magnitude
+    } else {
+        magnitude
+    }
+}
+
+/// µ-law silence: the encoding of linear zero.
+pub const SILENCE: u8 = 0xFF;
+
+/// A 256-entry decode table for fast per-sample paths (the hardware codec
+/// and the muting lookup tables of §4.3 work in the µ-law domain).
+pub fn decode_table() -> [i32; 256] {
+    let mut t = [0i32; 256];
+    for (b, slot) in t.iter_mut().enumerate() {
+        *slot = decode(b as u8);
+    }
+    t
+}
+
+/// Builds a µ-law → µ-law table that scales samples by `factor` in the
+/// linear domain — exactly the paper's muting implementation: "the muting
+/// is performed by lookup tables that directly scale the 8-bit µ-law
+/// samples" (§4.3).
+pub fn scaling_table(factor: f64) -> [u8; 256] {
+    let mut t = [0u8; 256];
+    for (b, slot) in t.iter_mut().enumerate() {
+        let linear = decode(b as u8) as f64 * factor;
+        *slot = encode(linear.round().clamp(i16::MIN as f64, i16::MAX as f64) as i16);
+    }
+    t
+}
+
+/// Encodes a slice of linear samples.
+pub fn encode_slice(pcm: &[i16]) -> Vec<u8> {
+    pcm.iter().map(|&s| encode(s)).collect()
+}
+
+/// Decodes a slice of µ-law bytes.
+pub fn decode_slice(bytes: &[u8]) -> Vec<i32> {
+    bytes.iter().map(|&b| decode(b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_silence() {
+        assert_eq!(encode(0), SILENCE);
+        assert_eq!(decode(SILENCE), 0);
+    }
+
+    #[test]
+    fn decode_encode_is_identity_on_codewords() {
+        // Every µ-law codeword decodes to a value that re-encodes to itself
+        // (up to the +0/-0 pair).
+        for b in 0u16..=255 {
+            let b = b as u8;
+            let lin = decode(b);
+            let lin16 = lin.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+            let b2 = encode(lin16);
+            assert_eq!(decode(b2), decode(b), "codeword {b:#x}");
+        }
+    }
+
+    #[test]
+    fn round_trip_error_bounded() {
+        // µ-law quantisation error grows with magnitude; the relative error
+        // is bounded by the segment step (~3%).
+        for pcm in (-32000i32..32000).step_by(37) {
+            let pcm = pcm as i16;
+            let out = decode(encode(pcm));
+            let err = (out - pcm as i32).abs();
+            let allowed = 16 + (pcm as i32).abs() / 16;
+            assert!(err <= allowed, "pcm={pcm} out={out} err={err}");
+        }
+    }
+
+    #[test]
+    fn sign_symmetry() {
+        for pcm in [1i16, 100, 1000, 10000, 32000] {
+            assert_eq!(decode(encode(pcm)), -decode(encode(-pcm)));
+        }
+    }
+
+    #[test]
+    fn clipping_saturates() {
+        assert_eq!(decode(encode(i16::MAX)), decode(encode(CLIP as i16)));
+        assert_eq!(decode(encode(i16::MIN)), -decode(encode(CLIP as i16)));
+    }
+
+    #[test]
+    fn monotonic_on_positives() {
+        let mut last = -1;
+        for pcm in (0..32767i32).step_by(11) {
+            let out = decode(encode(pcm as i16));
+            assert!(out >= last, "non-monotonic at {pcm}");
+            last = out;
+        }
+    }
+
+    #[test]
+    fn scaling_table_halves_amplitude() {
+        let t = scaling_table(0.5);
+        for b in 0u16..=255 {
+            let b = b as u8;
+            let orig = decode(b);
+            let scaled = decode(t[b as usize]);
+            // Within one quantisation step of half amplitude.
+            let target = orig / 2;
+            let tol = 16 + orig.abs() / 12;
+            assert!(
+                (scaled - target).abs() <= tol,
+                "b={b} orig={orig} scaled={scaled}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_table_zero_mutes_fully() {
+        let t = scaling_table(0.0);
+        for b in 0u16..=255 {
+            assert_eq!(decode(t[b as usize]), 0);
+        }
+    }
+
+    #[test]
+    fn unity_table_preserves_values() {
+        let t = scaling_table(1.0);
+        for b in 0u16..=255 {
+            assert_eq!(decode(t[b as usize]), decode(b as u8));
+        }
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let pcm: Vec<i16> = vec![0, 1000, -1000, 20000];
+        let enc = encode_slice(&pcm);
+        let dec = decode_slice(&enc);
+        assert_eq!(dec.len(), 4);
+        assert_eq!(dec[0], 0);
+        assert!(dec[3] > 18_000);
+    }
+
+    #[test]
+    fn decode_table_matches_decode() {
+        let t = decode_table();
+        for b in 0u16..=255 {
+            assert_eq!(t[b as usize], decode(b as u8));
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! End-to-end cost of regenerating each paper table (reduced parameters
+//! where the full experiment runs many virtual minutes). The *results*
+//! live in the repro binary and EXPERIMENTS.md; these benches track how
+//! expensive the reproductions are to run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pandora_bench::{clawback_exps, media_exps, policy_exps};
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("t6_multirate_clawback", |b| {
+        b.iter(|| black_box(clawback_exps::multirate_clawback().interval_10ms))
+    });
+    group.bench_function("t8_muting_function", |b| {
+        b.iter(|| black_box(media_exps::muting_function().deep_blocks))
+    });
+    group.bench_function("t9_loss_concealment", |b| {
+        b.iter(|| black_box(media_exps::loss_concealment().rows.len()))
+    });
+    group.bench_function("t14_resegmentation", |b| {
+        b.iter(|| black_box(media_exps::resegmentation().saving))
+    });
+    group.bench_function("t16_decoupling_mechanics", |b| {
+        b.iter(|| black_box(media_exps::decoupling_mechanics().sent))
+    });
+    group.bench_function("t12_split_independence", |b| {
+        b.iter(|| black_box(policy_exps::split_independence().healthy_delivered))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Host-side microbenchmarks of the hot data-path primitives.
+//!
+//! The paper's numbers are regenerated in virtual time by the `repro`
+//! binary; these benches measure what the *simulator substrate* costs on
+//! the host, per operation, which bounds how much virtual time can be
+//! simulated per wall-clock second.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use pandora_audio::gen::{Signal, Tone};
+use pandora_audio::{mix_blocks, mulaw, Block, Muting, MutingConfig};
+use pandora_buffers::{Clawback, ClawbackConfig};
+use pandora_segment::{wire, AudioSegment, Segment, SequenceNumber, Timestamp};
+use pandora_video::dpcm::{compress_line, decompress_line, LineMode};
+
+fn bench_mulaw(c: &mut Criterion) {
+    c.bench_function("mulaw/encode_block_of_16", |b| {
+        let pcm: Vec<i16> = (0..16).map(|i| (i * 1000) as i16).collect();
+        b.iter(|| {
+            for &s in &pcm {
+                black_box(mulaw::encode(black_box(s)));
+            }
+        })
+    });
+    c.bench_function("mulaw/decode_block_of_16", |b| {
+        let bytes: Vec<u8> = (0..16u8).map(|i| i * 13).collect();
+        b.iter(|| {
+            for &s in &bytes {
+                black_box(mulaw::decode(black_box(s)));
+            }
+        })
+    });
+    c.bench_function("mulaw/scaling_table", |b| {
+        b.iter(|| black_box(mulaw::scaling_table(black_box(0.2))))
+    });
+}
+
+fn bench_mixing(c: &mut Criterion) {
+    let mut tone = Tone::new(440.0, 8_000.0);
+    let blocks: Vec<Block> = (0..5).map(|_| tone.next_block()).collect();
+    c.bench_function("mix/5_streams_one_block", |b| {
+        b.iter(|| black_box(mix_blocks(black_box(&blocks))))
+    });
+    let one = [blocks[0]];
+    c.bench_function("mix/1_stream_one_block", |b| {
+        b.iter(|| black_box(mix_blocks(black_box(&one))))
+    });
+}
+
+fn bench_muting(c: &mut Criterion) {
+    let mut m = Muting::new(MutingConfig::default());
+    let mut tone = Tone::new(300.0, 20_000.0);
+    let loud = tone.next_block();
+    c.bench_function("muting/observe_plus_apply", |b| {
+        b.iter(|| {
+            m.observe_speaker(black_box(&loud));
+            black_box(m.apply_mic(black_box(&loud)))
+        })
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let seg = Segment::Audio(AudioSegment::from_blocks(
+        SequenceNumber(7),
+        Timestamp(1234),
+        vec![0x55; 32],
+    ));
+    let bytes = wire::encode(&seg);
+    c.bench_function("wire/encode_audio_segment", |b| {
+        b.iter(|| black_box(wire::encode(black_box(&seg))))
+    });
+    c.bench_function("wire/decode_audio_segment", |b| {
+        b.iter(|| black_box(wire::decode(black_box(&bytes)).unwrap()))
+    });
+}
+
+fn bench_dpcm(c: &mut Criterion) {
+    let line: Vec<u8> = (0..768)
+        .map(|i| (128.0 + 60.0 * (i as f64 * 0.05).sin()) as u8)
+        .collect();
+    let compressed = compress_line(&line, LineMode::Dpcm);
+    c.bench_function("dpcm/compress_768px_line", |b| {
+        b.iter(|| black_box(compress_line(black_box(&line), LineMode::Dpcm)))
+    });
+    c.bench_function("dpcm/decompress_768px_line", |b| {
+        b.iter(|| black_box(decompress_line(black_box(&compressed), 768).unwrap()))
+    });
+}
+
+fn bench_clawback(c: &mut Criterion) {
+    c.bench_function("clawback/arrival_plus_tick", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut buf = Clawback::new(ClawbackConfig::default());
+                for _ in 0..5 {
+                    buf.arrival(0u64);
+                }
+                buf
+            },
+            |buf| {
+                buf.arrival(black_box(1));
+                black_box(buf.tick());
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mulaw,
+    bench_mixing,
+    bench_muting,
+    bench_wire,
+    bench_dpcm,
+    bench_clawback
+);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Host-side cost of the simulation substrate itself: how fast can the
+//! virtual-time world run? Each bench simulates a fixed amount of virtual
+//! activity, so throughput here translates directly into how cheap the
+//! paper-table regeneration is.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pandora_sim::{channel, Cpu, SimDuration, SimTime, Simulation};
+
+fn bench_channel_round_trips(c: &mut Criterion) {
+    c.bench_function("sim/10k_rendezvous_round_trips", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let (tx, rx) = channel::<u64>();
+            let (ack_tx, ack_rx) = channel::<u64>();
+            sim.spawn("ping", async move {
+                for i in 0..10_000u64 {
+                    tx.send(i).await.unwrap();
+                    ack_rx.recv().await.unwrap();
+                }
+            });
+            sim.spawn("pong", async move {
+                while let Ok(v) = rx.recv().await {
+                    if ack_tx.send(v).await.is_err() {
+                        return;
+                    }
+                }
+            });
+            sim.run_until_idle();
+            black_box(sim.context_switches())
+        })
+    });
+}
+
+fn bench_cpu_claims(c: &mut Criterion) {
+    c.bench_function("sim/10k_cpu_claims", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let cpu = Cpu::new("t", SimDuration::from_nanos(700));
+            let cc = cpu.clone();
+            sim.spawn("worker", async move {
+                for _ in 0..10_000 {
+                    cc.claim(SimDuration::from_micros(10)).await;
+                }
+            });
+            sim.run_until_idle();
+            black_box(cpu.claims())
+        })
+    });
+}
+
+fn bench_timers(c: &mut Criterion) {
+    c.bench_function("sim/10k_timer_fires", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            sim.spawn("sleeper", async move {
+                for _ in 0..10_000 {
+                    pandora_sim::delay(SimDuration::from_micros(100)).await;
+                }
+            });
+            sim.run_until_idle();
+            black_box(sim.now())
+        })
+    });
+}
+
+fn bench_full_box_second(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system");
+    group.sample_size(10);
+    group.bench_function("one_virtual_second_of_duplex_audio_call", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let pair = pandora::connect_pair(
+                &sim.spawner(),
+                pandora::BoxConfig::standard("a"),
+                pandora::BoxConfig::standard("b"),
+                &[pandora_atm::HopConfig::clean(50_000_000)],
+                7,
+            );
+            pandora::open_audio_shout(
+                &pair.a,
+                &pair.b,
+                Box::new(pandora_audio::gen::Tone::new(440.0, 8_000.0)),
+            );
+            pandora::open_audio_shout(
+                &pair.b,
+                &pair.a,
+                Box::new(pandora_audio::gen::Tone::new(300.0, 8_000.0)),
+            );
+            sim.run_until(SimTime::from_secs(1));
+            black_box(pair.b.speaker.segments_received())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_channel_round_trips,
+    bench_cpu_claims,
+    bench_timers,
+    bench_full_box_second
+);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! # pandora-buffers — decoupling buffers, clawback buffers, allocator
+//!
+//! The buffering machinery at the heart of the paper (§3.4, §3.7):
+//!
+//! * [`spawn_decoupling`] / [`spawn_decoupling_ready`] — circular-buffer
+//!   processes "inserted to allow some concurrency between processes or
+//!   independent hardware units", with the figure 3.6 ready-channel
+//!   protocol ([`ReadyGate`]) so upstream can drop instead of block
+//!   (Principle 5), dynamic no-loss resizing, and status reports;
+//! * [`Clawback`] / [`ClawbackBank`] — per-stream destination jitter
+//!   buffers with silence insertion on underrun, a slow fixed clawback
+//!   rate (2 ms per 8 s) that also covers 1e-5 clock drift, the 120 ms
+//!   per-stream cap inside a shared 4 s [`ClawbackPool`], and automatic
+//!   stream activation/deactivation;
+//! * [`MultiRateClawback`] — the paper's proposed extension for
+//!   high-jitter paths: removal frequency proportional to the running
+//!   minimum contents (level in block·seconds, default 20);
+//! * [`Pool`] — the reference-counting buffer allocator of §3.4, whose
+//!   descriptors are what actually flow through the server switch;
+//! * [`Report`] — the report messages all of these emit.
+
+mod clawback;
+mod decoupling;
+mod pool;
+mod report;
+
+pub use clawback::{
+    Arrival, Clawback, ClawbackBank, ClawbackConfig, ClawbackPool, ClawbackStats,
+    MultiRateClawback, MultiRateConfig,
+};
+pub use decoupling::{
+    spawn_decoupling, spawn_decoupling_ready, BufferCommand, DecouplingHandle, ReadyGate,
+};
+pub use pool::{Alloc, Descriptor, Pool};
+pub use report::{Report, ReportClass};

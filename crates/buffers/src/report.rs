@@ -1,0 +1,100 @@
+//! Reports — the observability channel of every Pandora process.
+//!
+//! "Reports are collected from all main processes, and multiplexed
+//! together. They are usually in the form of text messages generated when
+//! Pandora is overloaded, when some error has been detected, when a
+//! command has requested some information, or on occasion just to say that
+//! everything is all right" (§1.1). §3.8 adds rate limiting: "a minimum
+//! period between reports for any particular sort of error".
+
+use pandora_sim::SimTime;
+
+/// Severity/kind of a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportClass {
+    /// Routine information (e.g. a reply to a query command).
+    Info,
+    /// Degradation under overload (drops, full buffers).
+    Overload,
+    /// Detected error (corruption, sequence gaps).
+    Error,
+    /// Serious fault (allocator exhaustion, clawback limit hit).
+    Fault,
+}
+
+impl std::fmt::Display for ReportClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ReportClass::Info => "info",
+            ReportClass::Overload => "overload",
+            ReportClass::Error => "error",
+            ReportClass::Fault => "fault",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A report message from a Pandora process.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Virtual time the report was generated.
+    pub time: SimTime,
+    /// Name of the originating process.
+    pub source: String,
+    /// Report class.
+    pub class: ReportClass,
+    /// Human-readable message, as on the paper's host log.
+    pub message: String,
+}
+
+impl Report {
+    /// Creates a report stamped `time`.
+    pub fn new(
+        time: SimTime,
+        source: &str,
+        class: ReportClass,
+        message: impl Into<String>,
+    ) -> Self {
+        Report {
+            time,
+            source: source.to_string(),
+            class,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{} {} {}] {}",
+            self.time, self.source, self.class, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_fields() {
+        let r = Report::new(
+            SimTime::from_millis(5),
+            "switch",
+            ReportClass::Overload,
+            "dropped 3",
+        );
+        let s = r.to_string();
+        assert!(s.contains("switch"));
+        assert!(s.contains("overload"));
+        assert!(s.contains("dropped 3"));
+    }
+
+    #[test]
+    fn class_names() {
+        assert_eq!(ReportClass::Info.to_string(), "info");
+        assert_eq!(ReportClass::Fault.to_string(), "fault");
+    }
+}

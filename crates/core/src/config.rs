@@ -1,0 +1,131 @@
+//! Box-wide configuration and the calibrated cost model.
+//!
+//! Absolute CPU costs on the authors' T425s are unpublished; DESIGN.md §2
+//! explains the calibration: we pin the capacities the paper states
+//! (5 plain / 3 full audio streams per audio transputer, §4.2) via
+//! [`pandora_audio::CpuProfile`], pick link rates straight from figure 1.2
+//! (20 Mbit/s links, 100 Mbit/s FIFOs), and let every other behaviour
+//! emerge.
+
+use pandora_audio::{CpuProfile, MutingConfig};
+use pandora_buffers::ClawbackConfig;
+use pandora_sim::SimDuration;
+
+/// How the network output process schedules cells from different segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxMode {
+    /// The paper's implementation: one segment's cells go out back-to-back;
+    /// "video segments can hold up following audio segments, introducing
+    /// up to 20ms of jitter in a stream" (§4.2).
+    NonInterleaved,
+    /// Cell-level round-robin between pending segments — the fix the paper
+    /// implies; reproduced as an ablation (E4).
+    Interleaved,
+}
+
+/// Per-board CPU costs beyond the audio profile.
+#[derive(Debug, Clone, Copy)]
+pub struct VideoCosts {
+    /// Capture-side cost per video line (read + compress + slice).
+    pub capture_per_line_ns: u64,
+    /// Mixer-side cost per video line (decompress + interpolate + copy).
+    pub display_per_line_ns: u64,
+    /// Server-side cost per segment switched (one copy in, one per copy out).
+    pub switch_per_segment_ns: u64,
+}
+
+impl Default for VideoCosts {
+    fn default() -> Self {
+        VideoCosts {
+            capture_per_line_ns: 12_000,
+            display_per_line_ns: 10_000,
+            switch_per_segment_ns: 20_000,
+        }
+    }
+}
+
+/// Complete configuration of one Pandora's Box.
+#[derive(Debug, Clone)]
+pub struct BoxConfig {
+    /// Box name (used in process and report names).
+    pub name: &'static str,
+    /// Audio-board cost calibration.
+    pub audio_costs: CpuProfile,
+    /// Video/server cost calibration.
+    pub video_costs: VideoCosts,
+    /// Context-switch cost charged per CPU claim (§3.1: "less than 1µs").
+    pub switch_cost: SimDuration,
+    /// Blocks per outgoing audio segment (2 by default, §3.2).
+    pub blocks_per_segment: usize,
+    /// Clawback configuration (targets, rate, caps).
+    pub clawback: ClawbackConfig,
+    /// Shared clawback pool size in blocks (2000 = 4 s, §3.7.2).
+    pub clawback_pool_blocks: usize,
+    /// Muting parameters (figure 4.1).
+    pub muting: MutingConfig,
+    /// Whether hands-free muting is enabled on this box.
+    pub muting_enabled: bool,
+    /// Audio-board link rate to the server (20 Mbit/s, figure 1.2).
+    pub audio_link_bps: u64,
+    /// Video FIFO rate to/from the server (100 Mbit/s, figure 1.2).
+    pub video_fifo_bps: u64,
+    /// Capacity of each output decoupling buffer, in segments.
+    pub decoupling_capacity: usize,
+    /// Capacity of the audio-specific network decoupling buffer
+    /// (kept small so "video delays do not become aggravating", fig 3.7).
+    pub audio_net_buffer: usize,
+    /// Video backlog cap (segments) in the network scheduler before the
+    /// oldest-stream drop policy (Principle 3) engages.
+    pub video_backlog_cap: usize,
+    /// Network transmit scheduling mode.
+    pub tx_mode: TxMode,
+    /// Segment buffer pool size on the server board.
+    pub pool_buffers: usize,
+    /// Relative crystal drift of this box's clocks (e.g. `1e-5`).
+    pub clock_drift: f64,
+    /// Minimum period between reports of one error class (§3.8).
+    pub report_min_period: SimDuration,
+}
+
+impl BoxConfig {
+    /// The standard configuration, calibrated per DESIGN.md §2.
+    pub fn standard(name: &'static str) -> Self {
+        BoxConfig {
+            name,
+            audio_costs: CpuProfile::default(),
+            video_costs: VideoCosts::default(),
+            switch_cost: SimDuration::from_nanos(700),
+            blocks_per_segment: 2,
+            clawback: ClawbackConfig::default(),
+            clawback_pool_blocks: 2_000,
+            muting: MutingConfig::default(),
+            muting_enabled: true,
+            audio_link_bps: 20_000_000,
+            video_fifo_bps: 100_000_000,
+            decoupling_capacity: 32,
+            audio_net_buffer: 8,
+            video_backlog_cap: 24,
+            tx_mode: TxMode::NonInterleaved,
+            pool_buffers: 256,
+            clock_drift: 0.0,
+            report_min_period: SimDuration::from_millis(500),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_matches_paper_figures() {
+        let c = BoxConfig::standard("test");
+        assert_eq!(c.audio_link_bps, 20_000_000);
+        assert_eq!(c.video_fifo_bps, 100_000_000);
+        assert_eq!(c.blocks_per_segment, 2);
+        assert_eq!(c.clawback.count_threshold, 4096);
+        assert_eq!(c.clawback_pool_blocks, 2_000);
+        assert!(c.switch_cost < SimDuration::from_micros(1));
+        assert_eq!(c.tx_mode, TxMode::NonInterleaved);
+    }
+}

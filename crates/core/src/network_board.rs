@@ -1,0 +1,720 @@
+//! The network board: cell transmit scheduling and receive reassembly.
+//!
+//! Transmit implements the priority principles concretely:
+//!
+//! * **P2 (audio over video)**: audio segments are always taken ahead of
+//!   video (the fig 3.7 split feeds two queues; audio drains first).
+//! * **P3 (newest streams first)**: when the video backlog exceeds its
+//!   cap, segments are dropped from the *longest-open* stream, so "data
+//!   streams that have been open the longest should be degraded first".
+//! * **§4.2's known flaw, reproduced**: in [`TxMode::NonInterleaved`] mode
+//!   a segment's cells go out back-to-back, so "video segments can hold up
+//!   following audio segments, introducing up to 20ms of jitter";
+//!   [`TxMode::Interleaved`] is the cell-level round-robin ablation.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use pandora_atm::{segment_to_cells, Reassembler, Vci};
+use pandora_buffers::{Pool, Report, ReportClass};
+use pandora_metrics::{Histogram, RateLimiter};
+use pandora_segment::{wire, Segment, StreamId};
+use pandora_sim::{alt2, Either2, LinkSender, Receiver, Sender, SimDuration, SimTime, Spawner};
+
+use crate::config::TxMode;
+use crate::msg::SegMsg;
+use crate::server_board::NetMsg;
+
+/// Shared transmit statistics.
+#[derive(Clone, Default)]
+pub struct NetOutStats {
+    inner: Rc<RefCell<NetOutInner>>,
+}
+
+#[derive(Default)]
+struct NetOutInner {
+    audio_segments: u64,
+    video_segments: u64,
+    cells: u64,
+    /// Video segments dropped by the P3 (oldest-first) policy, per stream.
+    p3_drops: HashMap<StreamId, u64>,
+    /// Time audio segments waited from arrival at the scheduler to the
+    /// start of transmission (the §4.2 hold-up).
+    audio_wait_ns: Histogram,
+}
+
+impl NetOutStats {
+    /// Audio segments transmitted.
+    pub fn audio_segments(&self) -> u64 {
+        self.inner.borrow().audio_segments
+    }
+
+    /// Video segments transmitted.
+    pub fn video_segments(&self) -> u64 {
+        self.inner.borrow().video_segments
+    }
+
+    /// Cells put on the wire.
+    pub fn cells(&self) -> u64 {
+        self.inner.borrow().cells
+    }
+
+    /// P3 drops charged to one stream.
+    pub fn p3_drops(&self, stream: StreamId) -> u64 {
+        self.inner
+            .borrow()
+            .p3_drops
+            .get(&stream)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total P3 drops.
+    pub fn p3_drops_total(&self) -> u64 {
+        self.inner.borrow().p3_drops.values().sum()
+    }
+
+    /// Distribution of audio hold-up behind in-flight segments, ns.
+    pub fn audio_wait_ns(&self) -> Histogram {
+        self.inner.borrow().audio_wait_ns.clone()
+    }
+}
+
+struct VideoQueue {
+    opened_at: SimTime,
+    segments: VecDeque<NetMsg>,
+}
+
+/// Spawns the network output process.
+///
+/// `audio` and `video` are the drains of the fig 3.7 decoupling buffers;
+/// `link` is the box's ATM attachment.
+#[allow(clippy::too_many_arguments)]
+pub fn spawn_net_out(
+    spawner: &Spawner,
+    name: &str,
+    mode: TxMode,
+    video_backlog_cap: usize,
+    audio: Receiver<NetMsg>,
+    video: Receiver<NetMsg>,
+    link: LinkSender<pandora_atm::Cell>,
+    pool: Pool<Segment>,
+    reports: Sender<Report>,
+    report_min_period: SimDuration,
+) -> NetOutStats {
+    let stats = NetOutStats::default();
+    let s = stats.clone();
+    let proc_name = format!("net-out:{name}");
+    let task_name = proc_name.clone();
+    spawner.spawn(&task_name, async move {
+        let mut cell_seq: HashMap<Vci, u32> = HashMap::new();
+        let mut audio_q: VecDeque<(NetMsg, SimTime)> = VecDeque::new();
+        let mut video_q: HashMap<StreamId, VideoQueue> = HashMap::new();
+        let mut video_backlog = 0usize;
+        let mut limiter = RateLimiter::new(report_min_period.as_nanos());
+        // In interleaved mode, the cells of the segment currently being
+        // transmitted; audio may preempt between cells.
+        let mut in_flight: VecDeque<pandora_atm::Cell> = VecDeque::new();
+        loop {
+            // Take audio from the decoupling buffer only as transmission
+            // slots open up: the fig 3.7 buffer (not this process) is where
+            // audio queues, so its size limit is meaningful and overflow is
+            // dropped (and counted) at the switch.
+            while audio_q.len() < 2 {
+                match audio.try_recv() {
+                    Some(m) => audio_q.push_back((m, pandora_sim::now())),
+                    None => break,
+                }
+            }
+            while let Some(m) = video.try_recv() {
+                admit_video(
+                    m,
+                    &mut video_q,
+                    &mut video_backlog,
+                    video_backlog_cap,
+                    &pool,
+                    &s,
+                    &reports,
+                    &mut limiter,
+                    &proc_name,
+                )
+                .await;
+            }
+            // In non-interleaved mode a started segment finishes before
+            // anything else is considered — the §4.2 hold-up.
+            if mode == TxMode::NonInterleaved {
+                if let Some(cell) = in_flight.pop_front() {
+                    s.inner.borrow_mut().cells += 1;
+                    if link.send(cell).await.is_err() {
+                        return;
+                    }
+                    continue;
+                }
+            }
+            // Audio next (Principle 2). Audio segments are small (a cell or
+            // two), so they are sent directly in both modes.
+            if let Some((m, queued_at)) = audio_q.pop_front() {
+                let wait = pandora_sim::now() - queued_at;
+                s.inner
+                    .borrow_mut()
+                    .audio_wait_ns
+                    .record(wait.as_nanos() as f64);
+                s.inner.borrow_mut().audio_segments += 1;
+                let bytes = pool.with(m.desc, wire::encode);
+                pool.release(m.desc);
+                let seq = cell_seq.entry(m.vci).or_insert(0);
+                let cells = segment_to_cells(m.vci, &bytes, *seq);
+                *seq = seq.wrapping_add(cells.len() as u32);
+                for cell in cells {
+                    s.inner.borrow_mut().cells += 1;
+                    if link.send(cell).await.is_err() {
+                        return;
+                    }
+                }
+                continue;
+            }
+            // In interleaved mode, staged video cells go out one at a time
+            // so audio can cut in between them.
+            if let Some(cell) = in_flight.pop_front() {
+                s.inner.borrow_mut().cells += 1;
+                if link.send(cell).await.is_err() {
+                    return;
+                }
+                continue;
+            }
+            if let Some(m) = pop_video(&mut video_q, &mut video_backlog) {
+                s.inner.borrow_mut().video_segments += 1;
+                stage_segment(&m, &pool, &mut cell_seq, &mut in_flight);
+                continue;
+            }
+            // Nothing pending: block until either input produces.
+            match alt2(&audio, &video).await {
+                Some(Ok(Either2::A(m))) => audio_q.push_back((m, pandora_sim::now())),
+                Some(Ok(Either2::B(m))) => {
+                    admit_video(
+                        m,
+                        &mut video_q,
+                        &mut video_backlog,
+                        video_backlog_cap,
+                        &pool,
+                        &s,
+                        &reports,
+                        &mut limiter,
+                        &proc_name,
+                    )
+                    .await
+                }
+                _ => return,
+            }
+        }
+    });
+    stats
+}
+
+/// Stages one segment's cells for transmission by the main loop (which
+/// emits them one at a time, draining arrivals between cells so hold-up is
+/// measured faithfully).
+fn stage_segment(
+    m: &NetMsg,
+    pool: &Pool<Segment>,
+    cell_seq: &mut HashMap<Vci, u32>,
+    in_flight: &mut VecDeque<pandora_atm::Cell>,
+) {
+    let bytes = pool.with(m.desc, wire::encode);
+    pool.release(m.desc);
+    let seq = cell_seq.entry(m.vci).or_insert(0);
+    let cells = segment_to_cells(m.vci, &bytes, *seq);
+    *seq = seq.wrapping_add(cells.len() as u32);
+    in_flight.extend(cells);
+}
+
+#[allow(clippy::too_many_arguments)]
+async fn admit_video(
+    m: NetMsg,
+    video_q: &mut HashMap<StreamId, VideoQueue>,
+    backlog: &mut usize,
+    cap: usize,
+    pool: &Pool<Segment>,
+    s: &NetOutStats,
+    reports: &Sender<Report>,
+    limiter: &mut RateLimiter,
+    proc_name: &str,
+) {
+    let q = video_q.entry(m.stream).or_insert_with(|| VideoQueue {
+        opened_at: m.opened_at,
+        segments: VecDeque::new(),
+    });
+    q.opened_at = m.opened_at;
+    q.segments.push_back(m);
+    *backlog += 1;
+    while *backlog > cap {
+        // Principle 3: degrade the stream that has been open the longest.
+        let victim = video_q
+            .iter()
+            .filter(|(_, q)| !q.segments.is_empty())
+            .min_by_key(|(_, q)| q.opened_at)
+            .map(|(&id, _)| id);
+        let Some(victim) = victim else { break };
+        let vq = video_q.get_mut(&victim).expect("victim exists");
+        if let Some(dropped) = vq.segments.pop_front() {
+            pool.release(dropped.desc);
+            *backlog -= 1;
+            *s.inner.borrow_mut().p3_drops.entry(victim).or_insert(0) += 1;
+            let now = pandora_sim::now();
+            let key = format!("p3:{victim}");
+            if limiter.allow(&key, now.as_nanos()) {
+                let total = s.p3_drops(victim);
+                let _ = reports
+                    .send(Report::new(
+                        now,
+                        proc_name,
+                        ReportClass::Overload,
+                        format!("video backlog over {cap}: degraded oldest stream {victim} ({total} dropped)"),
+                    ))
+                    .await;
+            }
+        }
+    }
+}
+
+fn pop_video(video_q: &mut HashMap<StreamId, VideoQueue>, backlog: &mut usize) -> Option<NetMsg> {
+    // Serve streams round-robin-ish by taking from the newest stream
+    // first (the complement of the drop rule keeps new calls lively).
+    let id = video_q
+        .iter()
+        .filter(|(_, q)| !q.segments.is_empty())
+        .max_by_key(|(_, q)| q.opened_at)
+        .map(|(&id, _)| id)?;
+    let q = video_q.get_mut(&id)?;
+    let m = q.segments.pop_front();
+    if m.is_some() {
+        *backlog -= 1;
+    }
+    m
+}
+
+/// Shared receive statistics.
+#[derive(Clone, Default)]
+pub struct NetInStats {
+    inner: Rc<RefCell<NetInInner>>,
+}
+
+#[derive(Default)]
+struct NetInInner {
+    segments: u64,
+    decode_errors: u64,
+    frames_discarded: u64,
+    pool_exhausted: u64,
+}
+
+impl NetInStats {
+    /// Segments delivered to the switch.
+    pub fn segments(&self) -> u64 {
+        self.inner.borrow().segments
+    }
+
+    /// Frames that decoded to garbage (wire errors).
+    pub fn decode_errors(&self) -> u64 {
+        self.inner.borrow().decode_errors
+    }
+
+    /// Frames discarded at reassembly (cell loss).
+    pub fn frames_discarded(&self) -> u64 {
+        self.inner.borrow().frames_discarded
+    }
+
+    /// Segments dropped because the buffer pool was exhausted.
+    pub fn pool_exhausted(&self) -> u64 {
+        self.inner.borrow().pool_exhausted
+    }
+}
+
+/// Spawns the network input handler: cells → frames → segments → switch.
+///
+/// The input handler is lossless up to the switch (drops happen at the
+/// decoupling buffers downstream, §3.7.1); only pool exhaustion — the
+/// paper's "serious fault" — discards here, with a report.
+pub fn spawn_net_in(
+    spawner: &Spawner,
+    name: &str,
+    cells: Receiver<pandora_atm::Cell>,
+    to_switch: Sender<SegMsg>,
+    pool: Pool<Segment>,
+    reports: Sender<Report>,
+    report_min_period: SimDuration,
+) -> NetInStats {
+    let stats = NetInStats::default();
+    let s = stats.clone();
+    let proc_name = format!("net-in:{name}");
+    let task_name = proc_name.clone();
+    spawner.spawn(&task_name, async move {
+        let mut reasm = Reassembler::new();
+        let mut limiter = RateLimiter::new(report_min_period.as_nanos());
+        let mut last_discarded = 0u64;
+        while let Ok(cell) = cells.recv().await {
+            let Some((vci, frame)) = reasm.push(cell) else {
+                let d = reasm.frames_discarded();
+                if d != last_discarded {
+                    last_discarded = d;
+                    s.inner.borrow_mut().frames_discarded = d;
+                    let now = pandora_sim::now();
+                    if limiter.allow("reasm", now.as_nanos()) {
+                        let _ = reports
+                            .send(Report::new(
+                                now,
+                                &proc_name,
+                                ReportClass::Error,
+                                format!("cell loss: {d} frames discarded"),
+                            ))
+                            .await;
+                    }
+                }
+                continue;
+            };
+            let segment = match wire::decode(&frame) {
+                Ok(seg) => seg,
+                Err(e) => {
+                    s.inner.borrow_mut().decode_errors += 1;
+                    let now = pandora_sim::now();
+                    if limiter.allow("decode", now.as_nanos()) {
+                        let _ = reports
+                            .send(Report::new(
+                                now,
+                                &proc_name,
+                                ReportClass::Error,
+                                format!("segment decode failed: {e}"),
+                            ))
+                            .await;
+                    }
+                    continue;
+                }
+            };
+            match pool.try_alloc(segment) {
+                Ok(desc) => {
+                    s.inner.borrow_mut().segments += 1;
+                    if to_switch
+                        .send(SegMsg {
+                            stream: vci.stream(),
+                            desc,
+                        })
+                        .await
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                Err(_) => {
+                    s.inner.borrow_mut().pool_exhausted += 1;
+                    let now = pandora_sim::now();
+                    if limiter.allow("pool", now.as_nanos()) {
+                        let _ = reports
+                            .send(Report::new(
+                                now,
+                                &proc_name,
+                                ReportClass::Fault,
+                                "segment pool exhausted, discarding",
+                            ))
+                            .await;
+                    }
+                }
+            }
+        }
+    });
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pandora_atm::Cell;
+    use pandora_segment::{AudioSegment, SequenceNumber, Timestamp};
+    use pandora_sim::{channel, link, unbounded, LinkConfig, Simulation};
+
+    fn audio_seg(seq: u32) -> Segment {
+        Segment::Audio(AudioSegment::from_blocks(
+            SequenceNumber(seq),
+            Timestamp(0),
+            vec![0u8; 32],
+        ))
+    }
+
+    fn video_seg(bytes: usize) -> Segment {
+        Segment::Test(pandora_segment::TestSegment::new(
+            SequenceNumber(0),
+            Timestamp(0),
+            vec![0u8; bytes],
+        ))
+    }
+
+    struct Rig {
+        sim: Simulation,
+        pool: Pool<Segment>,
+        audio_tx: Sender<NetMsg>,
+        video_tx: Sender<NetMsg>,
+        wire_rx: Receiver<Cell>,
+        stats: NetOutStats,
+    }
+
+    fn rig(mode: TxMode, cap: usize, bps: u64) -> Rig {
+        let sim = Simulation::new();
+        let spawner = sim.spawner();
+        let pool = Pool::new(256);
+        let (audio_tx, audio_rx) = channel::<NetMsg>();
+        let (video_tx, video_rx) = channel::<NetMsg>();
+        let (rep_tx, _rep_rx) = unbounded::<Report>();
+        let (wire_tx, wire_rx) = link::<Cell>(&spawner, LinkConfig::new("atm", bps));
+        let stats = spawn_net_out(
+            &spawner,
+            "t",
+            mode,
+            cap,
+            audio_rx,
+            video_rx,
+            wire_tx,
+            pool.clone(),
+            rep_tx,
+            SimDuration::from_millis(100),
+        );
+        Rig {
+            sim,
+            pool,
+            audio_tx,
+            video_tx,
+            wire_rx,
+            stats,
+        }
+    }
+
+    fn msg(pool: &Pool<Segment>, stream: u32, seg: Segment, opened_ms: u64) -> NetMsg {
+        NetMsg {
+            stream: StreamId(stream),
+            vci: Vci(stream),
+            desc: pool.try_alloc(seg).unwrap(),
+            opened_at: SimTime::from_millis(opened_ms),
+        }
+    }
+
+    #[test]
+    fn audio_goes_out_as_cells() {
+        let mut r = rig(TxMode::NonInterleaved, 16, 100_000_000);
+        let pool = r.pool.clone();
+        let tx = r.audio_tx.clone();
+        r.sim.spawn("feed", async move {
+            tx.send(msg(&pool, 1, audio_seg(0), 0)).await.unwrap();
+        });
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let g = got.clone();
+        let rx = r.wire_rx;
+        r.sim.spawn("wire", async move {
+            while let Ok(c) = rx.recv().await {
+                g.borrow_mut().push(c);
+            }
+        });
+        r.sim.run_until_idle();
+        let cells = got.borrow();
+        // 68-byte segment = 2 cells.
+        assert_eq!(cells.len(), 2);
+        assert!(cells[1].last);
+        assert_eq!(cells[0].vci, Vci(1));
+        assert_eq!(r.stats.audio_segments(), 1);
+        assert_eq!(r.pool.free_count(), 256);
+    }
+
+    #[test]
+    fn round_trip_through_net_in() {
+        let mut sim = Simulation::new();
+        let spawner = sim.spawner();
+        let pool = Pool::new(64);
+        let (cell_tx, cell_rx) = channel::<Cell>();
+        let (sw_tx, sw_rx) = channel::<SegMsg>();
+        let (rep_tx, _rep_rx) = unbounded::<Report>();
+        let stats = spawn_net_in(
+            &spawner,
+            "t",
+            cell_rx,
+            sw_tx,
+            pool.clone(),
+            rep_tx,
+            SimDuration::from_millis(100),
+        );
+        sim.spawn("feed", async move {
+            let bytes = wire::encode(&audio_seg(7));
+            for c in segment_to_cells(Vci(42), &bytes, 0) {
+                cell_tx.send(c).await.unwrap();
+            }
+        });
+        let got = Rc::new(RefCell::new(None));
+        let g = got.clone();
+        let pool2 = pool.clone();
+        sim.spawn("switch", async move {
+            if let Ok(m) = sw_rx.recv().await {
+                *g.borrow_mut() = Some((m.stream, pool2.get_clone(m.desc)));
+                pool2.release(m.desc);
+            }
+        });
+        sim.run_until_idle();
+        let (stream, seg) = got.borrow().clone().expect("segment");
+        assert_eq!(stream, StreamId(42));
+        assert_eq!(seg, audio_seg(7));
+        assert_eq!(stats.segments(), 1);
+    }
+
+    #[test]
+    fn non_interleaved_video_holds_up_audio() {
+        // A large video segment is mid-flight; audio arriving just after
+        // must wait for all its cells (the §4.2 jitter source).
+        let mut r = rig(TxMode::NonInterleaved, 64, 10_000_000);
+        let pool = r.pool.clone();
+        let (atx, vtx) = (r.audio_tx.clone(), r.video_tx.clone());
+        r.sim.spawn("feed", async move {
+            // 24kB video at 10Mbit/s ≈ 19.6ms of cells.
+            vtx.send(msg(&pool, 2, video_seg(24_000), 0)).await.unwrap();
+            pandora_sim::delay(SimDuration::from_micros(100)).await;
+            atx.send(msg(&pool, 1, audio_seg(0), 0)).await.unwrap();
+        });
+        let audio_done = Rc::new(std::cell::Cell::new(SimTime::ZERO));
+        let ad = audio_done.clone();
+        let rx = r.wire_rx;
+        r.sim.spawn("wire", async move {
+            while let Ok(c) = rx.recv().await {
+                if c.vci == Vci(1) && c.last {
+                    ad.set(pandora_sim::now());
+                }
+            }
+        });
+        r.sim.run_until_idle();
+        let t = audio_done.get();
+        assert!(
+            t >= SimTime::from_millis(18),
+            "audio should wait behind the video burst, done at {t}"
+        );
+        let wait = r.stats.audio_wait_ns().max();
+        assert!(wait > 15e6, "recorded wait {wait}ns");
+    }
+
+    #[test]
+    fn interleaved_audio_preempts_video() {
+        let mut r = rig(TxMode::Interleaved, 64, 10_000_000);
+        let pool = r.pool.clone();
+        let (atx, vtx) = (r.audio_tx.clone(), r.video_tx.clone());
+        r.sim.spawn("feed", async move {
+            vtx.send(msg(&pool, 2, video_seg(24_000), 0)).await.unwrap();
+            pandora_sim::delay(SimDuration::from_micros(100)).await;
+            atx.send(msg(&pool, 1, audio_seg(0), 0)).await.unwrap();
+        });
+        let audio_done = Rc::new(std::cell::Cell::new(SimTime::ZERO));
+        let ad = audio_done.clone();
+        let rx = r.wire_rx;
+        r.sim.spawn("wire", async move {
+            while let Ok(c) = rx.recv().await {
+                if c.vci == Vci(1) && c.last {
+                    ad.set(pandora_sim::now());
+                }
+            }
+        });
+        r.sim.run_until_idle();
+        let t = audio_done.get();
+        assert!(
+            t < SimTime::from_millis(3),
+            "interleaved audio must cut in quickly, done at {t}"
+        );
+    }
+
+    #[test]
+    fn p3_drops_oldest_stream_first() {
+        // Flood the scheduler with video from an old and a new stream on a
+        // slow link; drops must hit the old stream.
+        let mut r = rig(TxMode::NonInterleaved, 4, 1_000_000);
+        let pool = r.pool.clone();
+        let vtx = r.video_tx.clone();
+        r.sim.spawn("feed", async move {
+            for _ in 0..10 {
+                vtx.send(msg(&pool, 10, video_seg(5_000), 0)).await.unwrap(); // Old.
+                vtx.send(msg(&pool, 20, video_seg(5_000), 900))
+                    .await
+                    .unwrap(); // New.
+            }
+        });
+        let delivered = Rc::new(RefCell::new(HashMap::<Vci, u64>::new()));
+        let d = delivered.clone();
+        let rx = r.wire_rx;
+        r.sim.spawn("wire", async move {
+            while let Ok(c) = rx.recv().await {
+                if c.last {
+                    *d.borrow_mut().entry(c.vci).or_insert(0) += 1;
+                }
+            }
+        });
+        r.sim.run_until_idle();
+        let old_drops = r.stats.p3_drops(StreamId(10));
+        let new_drops = r.stats.p3_drops(StreamId(20));
+        assert!(old_drops > 0, "old stream untouched");
+        assert!(old_drops > new_drops, "old {old_drops} vs new {new_drops}");
+        // The user-visible effect of Principle 3: the new call keeps
+        // flowing while the old stream is starved.
+        let delivered = delivered.borrow();
+        let old_sent = delivered.get(&Vci(10)).copied().unwrap_or(0);
+        let new_sent = delivered.get(&Vci(20)).copied().unwrap_or(0);
+        assert!(
+            new_sent > old_sent,
+            "new {new_sent} vs old {old_sent} delivered"
+        );
+        assert_eq!(
+            r.pool.free_count(),
+            256,
+            "dropped segments must be released"
+        );
+    }
+
+    #[test]
+    fn cell_loss_discards_frame_and_reports() {
+        let mut sim = Simulation::new();
+        let spawner = sim.spawner();
+        let pool = Pool::new(64);
+        let (cell_tx, cell_rx) = channel::<Cell>();
+        let (sw_tx, sw_rx) = channel::<SegMsg>();
+        let (rep_tx, rep_rx) = unbounded::<Report>();
+        let stats = spawn_net_in(
+            &spawner,
+            "t",
+            cell_rx,
+            sw_tx,
+            pool.clone(),
+            rep_tx,
+            SimDuration::from_millis(1),
+        );
+        sim.spawn("feed", async move {
+            // An intact first segment establishes the cell counter.
+            let bytes = wire::encode(&audio_seg(0));
+            for c in segment_to_cells(Vci(1), &bytes, 0) {
+                cell_tx.send(c).await.unwrap();
+            }
+            // The second segment loses its first cell — a detectable gap.
+            let bytes = wire::encode(&audio_seg(1));
+            let mut cells = segment_to_cells(Vci(1), &bytes, 2);
+            cells.remove(0);
+            for c in cells {
+                cell_tx.send(c).await.unwrap();
+            }
+            // A clean follow-up segment.
+            let bytes = wire::encode(&audio_seg(2));
+            for c in segment_to_cells(Vci(1), &bytes, 4) {
+                cell_tx.send(c).await.unwrap();
+            }
+        });
+        let n = Rc::new(std::cell::Cell::new(0));
+        let nn = n.clone();
+        let pool2 = pool.clone();
+        sim.spawn("switch", async move {
+            while let Ok(m) = sw_rx.recv().await {
+                nn.set(nn.get() + 1);
+                pool2.release(m.desc);
+            }
+        });
+        sim.run_until_idle();
+        assert_eq!(n.get(), 2, "only the intact segments arrive");
+        assert_eq!(stats.frames_discarded(), 1);
+        assert!(rep_rx.try_recv().is_some(), "cell-loss report expected");
+    }
+}

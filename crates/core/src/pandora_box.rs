@@ -1,0 +1,797 @@
+//! The assembled Pandora's Box (figures 1.2/1.3/3.3/3.5).
+//!
+//! Wires the five boards together: capture and mixer boards joined to the
+//! server by 100 Mbit/s FIFOs, the audio board by a 20 Mbit/s link, the
+//! network board on the box's ATM attachment; the server switch fans
+//! streams out through ready-mode decoupling buffers, with the audio/video
+//! split toward the network of figure 3.7. "The host states what it wants
+//! done with the streams, and they then run continuously until stopped."
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use pandora_atm::Vci;
+use pandora_audio::{gen::Signal, Muting};
+use pandora_buffers::{Pool, ReadyGate, Report, ReportClass};
+use pandora_segment::{AudioSegment, Segment, StreamId, VideoSegment};
+use pandora_sim::{link, Cpu, LinkConfig, LinkSender, Receiver, Sender, SimTime, Spawner};
+use pandora_video::CaptureConfig;
+
+use crate::audio_board::{
+    spawn_audio_capture, spawn_audio_playback, CaptureConfig as MicConfig, CaptureStats,
+    PlaybackConfig, SpeakerSink,
+};
+use crate::config::BoxConfig;
+use crate::hostlog::ReportLog;
+use crate::msg::{OutputId, SegMsg, StreamKind, SwitchCommand, SwitchEntry};
+use crate::network_board::{spawn_net_in, spawn_net_out, NetInStats, NetOutStats};
+use crate::server_board::{spawn_switch, NetMsg, SwitchOutputs, SwitchStats};
+use crate::video_boards::{
+    spawn_video_capture, spawn_video_display, Camera, DisplaySink, VideoCaptureHandle,
+};
+
+/// One Pandora's Box: boards, switch, buffers, instrumentation.
+pub struct PandoraBox {
+    /// Configuration in force.
+    pub config: BoxConfig,
+    /// The host-side report log.
+    pub log: ReportLog,
+    /// Switch statistics.
+    pub switch_stats: SwitchStats,
+    /// Network transmit statistics.
+    pub net_out_stats: NetOutStats,
+    /// Network receive statistics.
+    pub net_in_stats: NetInStats,
+    /// Speaker-side audio instrumentation.
+    pub speaker: SpeakerSink,
+    /// Display-side video instrumentation.
+    pub display: DisplaySink,
+    /// The camera shared by capture streams.
+    pub camera: Camera,
+    /// The server board's segment pool.
+    pub pool: Pool<Segment>,
+    /// The audio transputer.
+    pub audio_cpu: Cpu,
+    /// The server transputer.
+    pub server_cpu: Cpu,
+    /// The capture transputer.
+    pub capture_cpu: Cpu,
+    /// The mixer transputer.
+    pub mixer_cpu: Cpu,
+
+    spawner: Spawner,
+    buffer_handles: Rc<RefCell<Vec<pandora_buffers::DecouplingHandle>>>,
+    switch_cmd: Sender<SwitchCommand>,
+    to_switch: Sender<SegMsg>,
+    muting: Option<Rc<RefCell<Muting>>>,
+    next_stream: Cell<u32>,
+    opened: RefCell<HashMap<StreamId, SimTime>>,
+    mic_stats: RefCell<Vec<CaptureStats>>,
+    repository_rx: RefCell<Option<Receiver<(StreamId, Segment)>>>,
+}
+
+impl PandoraBox {
+    /// Builds a box attached to the network via `net_tx`/`net_rx`.
+    pub fn new(
+        spawner: &Spawner,
+        config: BoxConfig,
+        net_tx: LinkSender<pandora_atm::Cell>,
+        net_rx: Receiver<pandora_atm::Cell>,
+    ) -> PandoraBox {
+        let name = config.name;
+        let log = ReportLog::spawn(spawner, name);
+        let reports = log.sender();
+        let pool: Pool<Segment> = Pool::new(config.pool_buffers);
+
+        let audio_cpu = Cpu::new(&format!("{name}.audio"), config.switch_cost);
+        let server_cpu = Cpu::new(&format!("{name}.server"), config.switch_cost);
+        let capture_cpu = Cpu::new(&format!("{name}.capture"), config.switch_cost);
+        let mixer_cpu = Cpu::new(&format!("{name}.mixer"), config.switch_cost);
+
+        // --- Output decoupling buffers (downstream of the switch, §3.7.1).
+        let buffer_handles: Rc<RefCell<Vec<pandora_buffers::DecouplingHandle>>> =
+            Rc::new(RefCell::new(Vec::new()));
+        let bh = buffer_handles.clone();
+        let mk_net_gate = move |label: &str, cap: usize| {
+            let (in_tx, in_rx) = pandora_sim::channel::<NetMsg>();
+            let (out_tx, out_rx) = pandora_sim::channel::<NetMsg>();
+            let (h, ready) = pandora_buffers::spawn_decoupling_ready(
+                spawner,
+                &format!("{name}:{label}"),
+                cap,
+                in_rx,
+                out_tx,
+                reports.clone(),
+            );
+            bh.borrow_mut().push(h);
+            (ReadyGate::new(in_tx, ready), out_rx)
+        };
+        let (net_audio_gate, net_audio_rx) = mk_net_gate("net-audio", config.audio_net_buffer);
+        let (net_video_gate, net_video_rx) = mk_net_gate("net-video", config.decoupling_capacity);
+
+        let reports = log.sender();
+        let bh = buffer_handles.clone();
+        let mk_seg_gate = move |label: &str, cap: usize| {
+            let (in_tx, in_rx) = pandora_sim::channel::<SegMsg>();
+            let (out_tx, out_rx) = pandora_sim::channel::<SegMsg>();
+            let (h, ready) = pandora_buffers::spawn_decoupling_ready(
+                spawner,
+                &format!("{name}:{label}"),
+                cap,
+                in_rx,
+                out_tx,
+                reports.clone(),
+            );
+            bh.borrow_mut().push(h);
+            (ReadyGate::new(in_tx, ready), out_rx)
+        };
+        let (audio_gate, audio_out_rx) = mk_seg_gate("audio-out", config.decoupling_capacity);
+        let (mixer_gate, mixer_out_rx) = mk_seg_gate("mixer-out", config.decoupling_capacity);
+        let (repo_gate, repo_out_rx) = mk_seg_gate("repo-out", config.decoupling_capacity);
+        let reports = log.sender();
+
+        // --- The switch.
+        let (to_switch, switch_in_rx) = pandora_sim::channel::<SegMsg>();
+        let (switch_cmd, switch_cmd_rx) = pandora_sim::unbounded::<SwitchCommand>();
+        let outputs = SwitchOutputs {
+            net_audio: Some(net_audio_gate),
+            net_video: Some(net_video_gate),
+            audio: Some(audio_gate),
+            mixer: Some(mixer_gate),
+            test: None,
+            repository: Some(repo_gate),
+        };
+        let switch_stats = spawn_switch(
+            spawner,
+            name,
+            switch_in_rx,
+            switch_cmd_rx,
+            outputs,
+            pool.clone(),
+            server_cpu.clone(),
+            pandora_sim::SimDuration::from_nanos(config.video_costs.switch_per_segment_ns),
+            reports.clone(),
+            config.report_min_period,
+        );
+
+        // --- Network board.
+        let net_out_stats = spawn_net_out(
+            spawner,
+            name,
+            config.tx_mode,
+            config.video_backlog_cap,
+            net_audio_rx,
+            net_video_rx,
+            net_tx,
+            pool.clone(),
+            reports.clone(),
+            config.report_min_period,
+        );
+        let net_in_stats = spawn_net_in(
+            spawner,
+            name,
+            net_rx,
+            to_switch.clone(),
+            pool.clone(),
+            reports.clone(),
+            config.report_min_period,
+        );
+
+        // --- Audio board: server → (20 Mbit/s link) → clawback/mixer.
+        let muting = if config.muting_enabled {
+            Some(Rc::new(RefCell::new(Muting::new(config.muting))))
+        } else {
+            None
+        };
+        let audio_link_cfg = LinkConfig::new(
+            Box::leak(format!("{name}.audio-link").into_boxed_str()),
+            config.audio_link_bps,
+        );
+        let (audio_link_tx, audio_link_rx) =
+            link::<(StreamId, AudioSegment)>(spawner, audio_link_cfg);
+        // Pump: SegMsg → concrete audio segments over the link.
+        {
+            let pool = pool.clone();
+            let reports = reports.clone();
+            spawner.spawn(&format!("{name}:audio-out-handler"), async move {
+                while let Ok(m) = audio_out_rx.recv().await {
+                    let seg = pool.get_clone(m.desc);
+                    pool.release(m.desc);
+                    match seg {
+                        Segment::Audio(a) => {
+                            let bytes = a.wire_bytes();
+                            if audio_link_tx
+                                .send_sized((m.stream, a), bytes)
+                                .await
+                                .is_err()
+                            {
+                                return;
+                            }
+                        }
+                        _ => {
+                            let _ = reports
+                                .send(Report::new(
+                                    pandora_sim::now(),
+                                    "audio-out-handler",
+                                    ReportClass::Error,
+                                    format!("non-audio segment on audio output ({})", m.stream),
+                                ))
+                                .await;
+                        }
+                    }
+                }
+            });
+        }
+        let playback_config = PlaybackConfig {
+            clawback: config.clawback,
+            pool_blocks: config.clawback_pool_blocks,
+            charge_clawback: true,
+            charge_muting: config.muting_enabled,
+            charge_interface: true,
+            costs: config.audio_costs,
+            drift: config.clock_drift,
+            conceal_cap_blocks: 6,
+            record_output: false,
+            codec_output_fifo_ns: 4_000_000,
+        };
+        let speaker = spawn_audio_playback(
+            spawner,
+            name,
+            playback_config,
+            muting.clone(),
+            audio_cpu.clone(),
+            audio_link_rx,
+            reports.clone(),
+            config.report_min_period,
+        );
+
+        // --- Mixer board: server → (100 Mbit/s fifo) → display.
+        let video_fifo_cfg = LinkConfig::new(
+            Box::leak(format!("{name}.video-fifo").into_boxed_str()),
+            config.video_fifo_bps,
+        );
+        let (video_fifo_tx, video_fifo_rx) =
+            link::<(StreamId, VideoSegment)>(spawner, video_fifo_cfg);
+        {
+            let pool = pool.clone();
+            let reports = reports.clone();
+            spawner.spawn(&format!("{name}:mixer-out-handler"), async move {
+                while let Ok(m) = mixer_out_rx.recv().await {
+                    let seg = pool.get_clone(m.desc);
+                    pool.release(m.desc);
+                    match seg {
+                        Segment::Video(v) => {
+                            let bytes = v.wire_bytes();
+                            if video_fifo_tx
+                                .send_sized((m.stream, v), bytes)
+                                .await
+                                .is_err()
+                            {
+                                return;
+                            }
+                        }
+                        _ => {
+                            let _ = reports
+                                .send(Report::new(
+                                    pandora_sim::now(),
+                                    "mixer-out-handler",
+                                    ReportClass::Error,
+                                    format!("non-video segment on mixer output ({})", m.stream),
+                                ))
+                                .await;
+                        }
+                    }
+                }
+            });
+        }
+        let display = spawn_video_display(
+            spawner,
+            name,
+            pandora_video::DEFAULT_WIDTH,
+            pandora_video::DEFAULT_HEIGHT,
+            video_fifo_rx,
+            config.video_costs,
+            mixer_cpu.clone(),
+        );
+
+        // --- Repository tap: SegMsg → (stream, segment) for attachments.
+        let (repo_tx, repo_rx) = pandora_sim::channel::<(StreamId, Segment)>();
+        {
+            let pool = pool.clone();
+            spawner.spawn(&format!("{name}:repo-out-handler"), async move {
+                while let Ok(m) = repo_out_rx.recv().await {
+                    let seg = pool.get_clone(m.desc);
+                    pool.release(m.desc);
+                    if repo_tx.send((m.stream, seg)).await.is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+
+        // --- Camera.
+        let camera = Camera::spawn(
+            spawner,
+            name,
+            pandora_video::DEFAULT_WIDTH,
+            pandora_video::DEFAULT_HEIGHT,
+        );
+
+        PandoraBox {
+            config,
+            log,
+            switch_stats,
+            net_out_stats,
+            net_in_stats,
+            speaker,
+            display,
+            camera,
+            pool,
+            audio_cpu,
+            server_cpu,
+            capture_cpu,
+            mixer_cpu,
+            spawner: spawner.clone(),
+            buffer_handles,
+            switch_cmd,
+            to_switch,
+            muting,
+            next_stream: Cell::new(1),
+            opened: RefCell::new(HashMap::new()),
+            mic_stats: RefCell::new(Vec::new()),
+            repository_rx: RefCell::new(Some(repo_rx)),
+        }
+    }
+
+    /// Allocates a fresh stream number ("to set data flowing, it is
+    /// necessary to allocate a new stream number", §1.1).
+    pub fn alloc_stream(&self) -> StreamId {
+        let id = self.next_stream.get();
+        self.next_stream.set(id + 1);
+        let stream = StreamId(id);
+        self.opened.borrow_mut().insert(
+            stream,
+            pandora_sim::try_now().unwrap_or_else(|| self.spawner.now()),
+        );
+        stream
+    }
+
+    /// Installs the switch route for a stream.
+    pub fn set_route(&self, stream: StreamId, kind: StreamKind, dests: Vec<OutputId>) {
+        let opened_at = self
+            .opened
+            .borrow()
+            .get(&stream)
+            .copied()
+            .unwrap_or_else(|| pandora_sim::try_now().unwrap_or_else(|| self.spawner.now()));
+        let entry = SwitchEntry {
+            dests,
+            kind,
+            opened_at,
+        };
+        self.switch_cmd
+            .try_send(SwitchCommand::SetRoute { stream, entry })
+            .expect("switch command channel unbounded");
+    }
+
+    /// Adds a destination to a live stream (splitting, Principle 6).
+    pub fn add_dest(&self, stream: StreamId, dest: OutputId) {
+        self.switch_cmd
+            .try_send(SwitchCommand::AddDest { stream, dest })
+            .expect("switch command channel unbounded");
+    }
+
+    /// Removes a destination from a live stream.
+    pub fn remove_dest(&self, stream: StreamId, dest: OutputId) {
+        self.switch_cmd
+            .try_send(SwitchCommand::RemoveDest { stream, dest })
+            .expect("switch command channel unbounded");
+    }
+
+    /// Tears down a stream's routing.
+    pub fn clear_route(&self, stream: StreamId) {
+        self.switch_cmd
+            .try_send(SwitchCommand::ClearRoute { stream })
+            .expect("switch command channel unbounded");
+    }
+
+    /// Asks the switch to report on a stream.
+    pub fn query_stream(&self, stream: StreamId) {
+        self.switch_cmd
+            .try_send(SwitchCommand::Query { stream })
+            .expect("switch command channel unbounded");
+    }
+
+    /// Starts an audio source (microphone or line-in) as a new stream.
+    ///
+    /// The segments travel over the audio board's 20 Mbit/s link to the
+    /// server input handler, which launches them into the switch. Returns
+    /// the stream number; call [`PandoraBox::set_route`] to plumb it.
+    pub fn start_audio_source(&self, signal: Box<dyn Signal>) -> StreamId {
+        let stream = self.alloc_stream();
+        let name = self.config.name;
+        let link_cfg = LinkConfig::new(
+            Box::leak(format!("{name}.mic-link:{stream}").into_boxed_str()),
+            self.config.audio_link_bps,
+        );
+        let (mic_link_tx, mic_link_rx) = link::<AudioSegment>(&self.spawner, link_cfg);
+        let stats = spawn_audio_capture(
+            &self.spawner,
+            &format!("{name}:{stream}"),
+            MicConfig {
+                signal,
+                blocks_per_segment: self.config.blocks_per_segment,
+                drift: self.config.clock_drift,
+                outgoing_cost: pandora_sim::SimDuration::from_nanos(
+                    self.config.audio_costs.outgoing_per_block_ns,
+                ),
+                fifo_depth: 16,
+            },
+            self.muting.clone(),
+            self.audio_cpu.clone(),
+            {
+                // Bridge: AudioSegment → link → pool → switch.
+                let (seg_tx, seg_rx) = pandora_sim::channel::<AudioSegment>();
+                let to_switch = self.to_switch.clone();
+                let pool = self.pool.clone();
+                let reports = self.log.sender();
+                self.spawner
+                    .spawn(&format!("{name}:audio-in-handler:{stream}"), async move {
+                        while let Ok(seg) = seg_rx.recv().await {
+                            let bytes = seg.wire_bytes();
+                            if mic_link_tx.send_sized(seg, bytes).await.is_err() {
+                                return;
+                            }
+                        }
+                    });
+                let reports2 = reports.clone();
+                self.spawner
+                    .spawn(&format!("{name}:server-audio-in:{stream}"), async move {
+                        while let Ok(seg) = mic_link_rx.recv().await {
+                            // Input handlers run lossless to the switch; only
+                            // pool exhaustion (serious fault) discards.
+                            match pool.try_alloc(Segment::Audio(seg)) {
+                                Ok(desc) => {
+                                    if to_switch.send(SegMsg { stream, desc }).await.is_err() {
+                                        return;
+                                    }
+                                }
+                                Err(_) => {
+                                    let now = pandora_sim::now();
+                                    let _ = reports2
+                                        .send(Report::new(
+                                            now,
+                                            "server-audio-in",
+                                            ReportClass::Fault,
+                                            "pool exhausted on audio input",
+                                        ))
+                                        .await;
+                                }
+                            }
+                        }
+                    });
+                seg_tx
+            },
+        );
+        self.mic_stats.borrow_mut().push(stats);
+        stream
+    }
+
+    /// Starts a video capture stream from the local camera.
+    pub fn start_video_capture(&self, config: CaptureConfig) -> (StreamId, VideoCaptureHandle) {
+        let stream = self.alloc_stream();
+        let name = self.config.name;
+        let fifo_cfg = LinkConfig::new(
+            Box::leak(format!("{name}.capture-fifo:{stream}").into_boxed_str()),
+            self.config.video_fifo_bps,
+        );
+        let (fifo_tx, fifo_rx) = link::<(StreamId, VideoSegment)>(&self.spawner, fifo_cfg);
+        let (seg_tx, seg_rx) = pandora_sim::channel::<(StreamId, VideoSegment)>();
+        let handle = spawn_video_capture(
+            &self.spawner,
+            name,
+            stream,
+            &self.camera,
+            config,
+            self.config.video_costs,
+            self.capture_cpu.clone(),
+            seg_tx,
+        );
+        {
+            self.spawner
+                .spawn(&format!("{name}:capture-fifo-pump:{stream}"), async move {
+                    while let Ok((sid, seg)) = seg_rx.recv().await {
+                        let bytes = seg.wire_bytes();
+                        if fifo_tx.send_sized((sid, seg), bytes).await.is_err() {
+                            return;
+                        }
+                    }
+                });
+        }
+        {
+            let to_switch = self.to_switch.clone();
+            let pool = self.pool.clone();
+            let reports = self.log.sender();
+            self.spawner
+                .spawn(&format!("{name}:server-video-in:{stream}"), async move {
+                    while let Ok((sid, seg)) = fifo_rx.recv().await {
+                        match pool.try_alloc(Segment::Video(seg)) {
+                            Ok(desc) => {
+                                if to_switch.send(SegMsg { stream: sid, desc }).await.is_err() {
+                                    return;
+                                }
+                            }
+                            Err(_) => {
+                                let now = pandora_sim::now();
+                                let _ = reports
+                                    .send(Report::new(
+                                        now,
+                                        "server-video-in",
+                                        ReportClass::Fault,
+                                        "pool exhausted on video input",
+                                    ))
+                                    .await;
+                            }
+                        }
+                    }
+                });
+        }
+        (stream, handle)
+    }
+
+    /// Takes the repository tap (streams routed to
+    /// [`OutputId::Repository`] arrive here). Can be taken once.
+    pub fn take_repository_rx(&self) -> Option<Receiver<(StreamId, Segment)>> {
+        self.repository_rx.borrow_mut().take()
+    }
+
+    /// Injects a test segment directly into the switch (the `test in`
+    /// handler of figure 3.3).
+    pub async fn inject_segment(&self, stream: StreamId, segment: Segment) -> bool {
+        match self.pool.try_alloc(segment) {
+            Ok(desc) => self.to_switch.send(SegMsg { stream, desc }).await.is_ok(),
+            Err(_) => false,
+        }
+    }
+
+    /// Returns a sender that feeds `(stream, segment)` pairs into this
+    /// box's switch — an input device handler for external attachments
+    /// (e.g. repository playback). Each call spawns a fresh handler task.
+    pub fn injector(&self) -> Sender<(StreamId, Segment)> {
+        let (tx, rx) = pandora_sim::channel::<(StreamId, Segment)>();
+        let pool = self.pool.clone();
+        let to_switch = self.to_switch.clone();
+        let name = self.config.name;
+        self.spawner.spawn(&format!("{name}:injector"), async move {
+            while let Ok((stream, segment)) = rx.recv().await {
+                if let Ok(desc) = pool.try_alloc(segment) {
+                    if to_switch.send(SegMsg { stream, desc }).await.is_err() {
+                        return;
+                    }
+                }
+            }
+        });
+        tx
+    }
+
+    /// The muting state machine, when enabled.
+    pub fn muting(&self) -> Option<Rc<RefCell<Muting>>> {
+        self.muting.clone()
+    }
+
+    /// Handles onto the box's decoupling buffers, for diagnostics — the
+    /// paper's "a command can be used to request a report from the buffer
+    /// process" made programmatic.
+    pub fn buffer_handles(&self) -> Vec<pandora_buffers::DecouplingHandle> {
+        self.buffer_handles.borrow().clone()
+    }
+
+    /// Capture statistics of started audio sources, in start order.
+    pub fn mic_stats(&self) -> Vec<CaptureStats> {
+        self.mic_stats.borrow().clone()
+    }
+}
+
+/// A pair of boxes joined by symmetric multi-hop ATM paths.
+pub struct BoxPair {
+    /// First box.
+    pub a: PandoraBox,
+    /// Second box.
+    pub b: PandoraBox,
+    /// Loss stats of the a→b path hops.
+    pub a_to_b: Vec<pandora_atm::StageStats>,
+    /// Loss stats of the b→a path hops.
+    pub b_to_a: Vec<pandora_atm::StageStats>,
+}
+
+/// Connects two boxes with the given hop profile in each direction.
+pub fn connect_pair(
+    spawner: &Spawner,
+    cfg_a: BoxConfig,
+    cfg_b: BoxConfig,
+    hops: &[pandora_atm::HopConfig],
+    seed: u64,
+) -> BoxPair {
+    let (a_tx, b_in, a_to_b) = pandora_atm::build_path(spawner, "a-b", hops, seed);
+    let (b_tx, a_in, b_to_a) = pandora_atm::build_path(spawner, "b-a", hops, seed ^ 0xDEAD);
+    let a = PandoraBox::new(spawner, cfg_a, a_tx, a_in);
+    let b = PandoraBox::new(spawner, cfg_b, b_tx, b_in);
+    BoxPair {
+        a,
+        b,
+        a_to_b,
+        b_to_a,
+    }
+}
+
+/// Sets up a one-way audio stream from `src` to `dst` (a "shout", §4.1).
+///
+/// Returns `(source stream at src, arriving stream at dst)`.
+pub fn open_audio_shout(
+    src: &PandoraBox,
+    dst: &PandoraBox,
+    signal: Box<dyn Signal>,
+) -> (StreamId, StreamId) {
+    let dst_stream = dst.alloc_stream();
+    dst.set_route(dst_stream, StreamKind::Audio, vec![OutputId::Audio]);
+    let src_stream = src.start_audio_source(signal);
+    src.set_route(
+        src_stream,
+        StreamKind::Audio,
+        vec![OutputId::Network(Vci::from_stream(dst_stream))],
+    );
+    (src_stream, dst_stream)
+}
+
+/// Sets up a one-way video stream from `src` to `dst`.
+pub fn open_video_stream(
+    src: &PandoraBox,
+    dst: &PandoraBox,
+    config: CaptureConfig,
+) -> (StreamId, StreamId, VideoCaptureHandle) {
+    let dst_stream = dst.alloc_stream();
+    dst.set_route(dst_stream, StreamKind::Video, vec![OutputId::Mixer]);
+    let (src_stream, handle) = src.start_video_capture(config);
+    src.set_route(
+        src_stream,
+        StreamKind::Video,
+        vec![OutputId::Network(Vci::from_stream(dst_stream))],
+    );
+    (src_stream, dst_stream, handle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pandora_atm::HopConfig;
+    use pandora_audio::gen::Tone;
+    use pandora_sim::{SimDuration, Simulation};
+    use pandora_video::dpcm::LineMode;
+    use pandora_video::{RateFraction, Rect};
+
+    fn clean_pair(sim: &Simulation) -> BoxPair {
+        connect_pair(
+            &sim.spawner(),
+            BoxConfig::standard("boxa"),
+            BoxConfig::standard("boxb"),
+            &[HopConfig::clean(50_000_000)],
+            7,
+        )
+    }
+
+    #[test]
+    fn audio_travels_between_boxes() {
+        let mut sim = Simulation::new();
+        let pair = clean_pair(&sim);
+        open_audio_shout(&pair.a, &pair.b, Box::new(Tone::new(440.0, 8_000.0)));
+        sim.run_until(pandora_sim::SimTime::from_secs(2));
+        assert!(
+            pair.b.speaker.segments_received() > 400,
+            "segments {}",
+            pair.b.speaker.segments_received()
+        );
+        assert_eq!(pair.b.speaker.segments_lost(), 0);
+        assert_eq!(pair.b.speaker.late_ticks(), 0);
+        // The one-way trip time: paper's best was 8ms over a quiet network.
+        let mut lat = pair.b.speaker.latency_ns();
+        let p50 = lat.percentile(50.0) / 1e6;
+        assert!(p50 < 15.0, "p50 one-way {p50}ms");
+    }
+
+    #[test]
+    fn video_travels_between_boxes() {
+        let mut sim = Simulation::new();
+        let pair = clean_pair(&sim);
+        open_video_stream(
+            &pair.a,
+            &pair.b,
+            CaptureConfig {
+                rect: Rect::new(16, 16, 128, 96),
+                rate: RateFraction::new(2, 5),
+                lines_per_segment: 32,
+                mode: LineMode::Dpcm,
+            },
+        );
+        sim.run_until(pandora_sim::SimTime::from_secs(2));
+        let fps = pair.b.display.fps(SimDuration::from_secs(2));
+        assert!((8.5..=10.5).contains(&fps), "fps {fps}");
+        assert_eq!(pair.b.display.decode_errors(), 0);
+    }
+
+    #[test]
+    fn duplex_call_works() {
+        let mut sim = Simulation::new();
+        let pair = clean_pair(&sim);
+        open_audio_shout(&pair.a, &pair.b, Box::new(Tone::new(300.0, 6_000.0)));
+        open_audio_shout(&pair.b, &pair.a, Box::new(Tone::new(400.0, 6_000.0)));
+        sim.run_until(pandora_sim::SimTime::from_secs(1));
+        assert!(pair.a.speaker.segments_received() > 200);
+        assert!(pair.b.speaker.segments_received() > 200);
+    }
+
+    #[test]
+    fn local_loopback_stream() {
+        // Mic routed to the local audio output: never touches the network.
+        let mut sim = Simulation::new();
+        let pair = clean_pair(&sim);
+        let s = pair
+            .a
+            .start_audio_source(Box::new(Tone::new(500.0, 6_000.0)));
+        pair.a
+            .set_route(s, StreamKind::Audio, vec![OutputId::Audio]);
+        sim.run_until(pandora_sim::SimTime::from_secs(1));
+        assert!(pair.a.speaker.segments_received() > 200);
+        assert_eq!(pair.a.net_out_stats.audio_segments(), 0);
+    }
+
+    #[test]
+    fn no_pool_leaks_after_run() {
+        let mut sim = Simulation::new();
+        let pair = clean_pair(&sim);
+        open_audio_shout(&pair.a, &pair.b, Box::new(Tone::new(440.0, 8_000.0)));
+        sim.run_until(pandora_sim::SimTime::from_secs(1));
+        // In steady state nearly all buffers are free (a few in flight).
+        assert!(
+            pair.a.pool.free_count() > pair.a.pool.capacity() - 8,
+            "a free {}",
+            pair.a.pool.free_count()
+        );
+        assert!(
+            pair.b.pool.free_count() > pair.b.pool.capacity() - 8,
+            "b free {}",
+            pair.b.pool.free_count()
+        );
+    }
+
+    #[test]
+    fn query_produces_host_log_entry() {
+        let mut sim = Simulation::new();
+        let pair = clean_pair(&sim);
+        let (src, _dst) = open_audio_shout(&pair.a, &pair.b, Box::new(Tone::new(440.0, 8_000.0)));
+        pair.a.query_stream(src);
+        sim.run_until(pandora_sim::SimTime::from_millis(100));
+        let infos = pair.a.log.of_class(ReportClass::Info);
+        assert!(!infos.is_empty(), "no query report in host log");
+    }
+
+    #[test]
+    fn clear_route_stops_traffic() {
+        let mut sim = Simulation::new();
+        let pair = clean_pair(&sim);
+        let (src, _dst) = open_audio_shout(&pair.a, &pair.b, Box::new(Tone::new(440.0, 8_000.0)));
+        sim.run_until(pandora_sim::SimTime::from_millis(500));
+        let before = pair.b.speaker.segments_received();
+        assert!(before > 0);
+        pair.a.clear_route(src);
+        sim.run_until(pandora_sim::SimTime::from_millis(600));
+        let at_stop = pair.b.speaker.segments_received();
+        sim.run_until(pandora_sim::SimTime::from_secs(1));
+        let after = pair.b.speaker.segments_received();
+        assert!(
+            after - at_stop <= 2,
+            "traffic kept flowing: {at_stop}->{after}"
+        );
+        let _ = before;
+    }
+}

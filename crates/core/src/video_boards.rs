@@ -1,0 +1,529 @@
+//! The capture board and the mixer (display) board for video (§3.6).
+//!
+//! Capture: a camera task refreshes the framestore at the full 25 Hz rate;
+//! one task per video stream reads its rectangle at the stream's
+//! fractional rate, timing reads to dodge the camera scan, compresses
+//! line-by-line and emits placement-carrying segments. Display: segments
+//! are decompressed (with the per-stream last-line cache), whole frames
+//! are assembled before anything is shown, and the blit is scheduled
+//! around the display scan — both tear-avoidance rules of §3.6.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use pandora_metrics::Histogram;
+use pandora_segment::{SequenceNumber, StreamId, Timestamp, VideoSegment};
+use pandora_sim::{Cpu, Receiver, Sender, SimDuration, Spawner};
+use pandora_video::{
+    capture_rect, interp::LineCache, AssembledFrame, CaptureConfig, FrameAssembler, FrameStore,
+    ScanModel, TestPattern, FRAME_PERIOD_NANOS,
+};
+
+use crate::config::VideoCosts;
+
+/// Lines per slice through the compression subsystem ("slices of a few
+/// lines each", §3.6).
+const LINES_PER_SLICE: u32 = 4;
+
+/// Pushes one compressed segment through the modelled compression
+/// pipeline as slices, sending the hold-back-buffered descriptions and
+/// flushing with dummy lines. Returns `(slices, dummy_flush_lines)`;
+/// `Err` means the per-line records did not parse (corrupt payload).
+fn push_through_compression(
+    seg: &VideoSegment,
+    pipeline: &mut pandora_video::slice::CompressionPipeline,
+    holdback: &mut pandora_video::slice::HoldbackBuffer<u32>,
+) -> Result<(u64, u64), ()> {
+    use pandora_video::slice::{slice_segment, SliceDesc, DUMMY_FLUSH_LINES};
+    let width = seg.video.width as usize;
+    let line_len = |d: &[u8]| {
+        let mode = pandora_video::dpcm::LineMode::from_header(*d.first()?)?;
+        Some(pandora_video::dpcm::compressed_line_bytes(width, mode))
+    };
+    let slices = slice_segment(&seg.data, seg.video.lines, LINES_PER_SLICE, line_len).ok_or(())?;
+    // Head description first, then the data slices, then the tail marker.
+    let mut emitted = 0usize;
+    let mut pushed = 1usize;
+    emitted += holdback
+        .push(SliceDesc::Head(seg.video.segment_number))
+        .len();
+    let mut exited_bytes = 0usize;
+    let n_slices = slices.len() as u64;
+    for (lines, data) in slices {
+        pushed += 1;
+        emitted += holdback
+            .push(SliceDesc::Slice {
+                lines,
+                bytes: data.len() as u32,
+            })
+            .len();
+        if let Some(out) = pipeline.write(data) {
+            exited_bytes += out.len();
+        }
+    }
+    pushed += 1;
+    emitted += holdback.push(SliceDesc::Tail).len();
+    // Dummy flush lines push the final real slice out of the pipeline.
+    let dummy = vec![0u8; DUMMY_FLUSH_LINES as usize];
+    if let Some(out) = pipeline.write(dummy) {
+        exited_bytes += out.len();
+    }
+    pushed += 1;
+    emitted += holdback
+        .push(SliceDesc::Slice {
+            lines: DUMMY_FLUSH_LINES,
+            bytes: 2,
+        })
+        .len();
+    // Invariants of §3.6: after the dummy flush, the hold-back buffer
+    // retains exactly one slice description — the one modelling the data
+    // (the dummies) still resident in the pipeline — and the flush pushed
+    // the segment's final real slice out.
+    debug_assert_eq!(
+        holdback.held().len(),
+        1,
+        "pushed {pushed}, emitted {emitted}"
+    );
+    debug_assert!(exited_bytes > 0, "flush never drained the pipeline");
+    let _ = (pushed, emitted);
+    Ok((n_slices, DUMMY_FLUSH_LINES as u64))
+}
+
+/// A shared framestore refreshed by the camera task.
+#[derive(Clone)]
+pub struct Camera {
+    store: Rc<RefCell<FrameStore>>,
+    frames: Rc<Cell<u64>>,
+}
+
+impl Camera {
+    /// Spawns the camera: writes a fresh [`TestPattern`] frame every 40 ms.
+    pub fn spawn(spawner: &Spawner, name: &str, width: u32, height: u32) -> Camera {
+        let store = Rc::new(RefCell::new(FrameStore::new(width, height)));
+        let frames = Rc::new(Cell::new(0u64));
+        let cam = Camera {
+            store: store.clone(),
+            frames: frames.clone(),
+        };
+        let pattern = TestPattern::new(width, height);
+        spawner.spawn(&format!("camera:{name}"), async move {
+            let mut n: u64 = 0;
+            loop {
+                store.borrow_mut().write_frame(&pattern.frame(n));
+                frames.set(n + 1);
+                n += 1;
+                pandora_sim::delay(SimDuration::from_nanos(FRAME_PERIOD_NANOS)).await;
+            }
+        });
+        cam
+    }
+
+    /// The shared framestore.
+    pub fn store(&self) -> Rc<RefCell<FrameStore>> {
+        self.store.clone()
+    }
+
+    /// Camera frames written so far.
+    pub fn frames(&self) -> u64 {
+        self.frames.get()
+    }
+}
+
+/// Handle to stop a capture stream.
+#[derive(Clone)]
+pub struct VideoCaptureHandle {
+    stop: Rc<Cell<bool>>,
+    segments: Rc<Cell<u64>>,
+    frames: Rc<Cell<u64>>,
+    slices: Rc<Cell<u64>>,
+    flush_lines: Rc<Cell<u64>>,
+}
+
+impl VideoCaptureHandle {
+    /// Stops the capture task at its next frame boundary.
+    pub fn stop(&self) {
+        self.stop.set(true);
+    }
+
+    /// Segments emitted.
+    pub fn segments(&self) -> u64 {
+        self.segments.get()
+    }
+
+    /// Frames captured.
+    pub fn frames(&self) -> u64 {
+        self.frames.get()
+    }
+
+    /// Slices pushed through the compression pipeline (§3.6).
+    pub fn slices(&self) -> u64 {
+        self.slices.get()
+    }
+
+    /// Dummy flush lines sent to drain the pipeline after each segment.
+    pub fn flush_lines(&self) -> u64 {
+        self.flush_lines.get()
+    }
+}
+
+/// Spawns one video capture stream from `camera` at the configured
+/// fractional rate, emitting `(stream, segment)` pairs on `out`.
+pub fn spawn_video_capture(
+    spawner: &Spawner,
+    name: &str,
+    stream: StreamId,
+    camera: &Camera,
+    config: CaptureConfig,
+    costs: VideoCosts,
+    cpu: Cpu,
+    out: Sender<(StreamId, VideoSegment)>,
+) -> VideoCaptureHandle {
+    let handle = VideoCaptureHandle {
+        stop: Rc::new(Cell::new(false)),
+        segments: Rc::new(Cell::new(0)),
+        frames: Rc::new(Cell::new(0)),
+        slices: Rc::new(Cell::new(0)),
+        flush_lines: Rc::new(Cell::new(0)),
+    };
+    let h = handle.clone();
+    let store = camera.store();
+    let scan = ScanModel::new(store.borrow().height(), FRAME_PERIOD_NANOS);
+    spawner.spawn(&format!("video-capture:{name}:{stream}"), async move {
+        let mut frame_no: u64 = 0;
+        let mut seq = SequenceNumber(0);
+        let mut pipeline = pandora_video::slice::CompressionPipeline::new();
+        let mut holdback = pandora_video::slice::HoldbackBuffer::<u32>::new();
+        let start = pandora_sim::now();
+        loop {
+            if h.stop.get() {
+                return;
+            }
+            let frame_time = start + SimDuration::from_nanos(frame_no * FRAME_PERIOD_NANOS);
+            pandora_sim::delay_until(frame_time).await;
+            if !config.rate.captures_frame(frame_no) {
+                frame_no += 1;
+                continue;
+            }
+            // Dodge the camera scan over our rectangle ("carefully timed so
+            // that the data from the camera … does not update any part of a
+            // block while it is being read").
+            let read_time =
+                SimDuration::from_nanos(config.rect.height as u64 * costs.capture_per_line_ns / 4);
+            let wait = scan.safe_blit_delay(
+                config.rect,
+                pandora_sim::now().as_nanos(),
+                read_time.as_nanos(),
+            );
+            if wait > 0 {
+                pandora_sim::delay(SimDuration::from_nanos(wait)).await;
+            }
+            let cost = config.rect.height as u64 * costs.capture_per_line_ns;
+            cpu.claim(SimDuration::from_nanos(cost)).await;
+            let ts = Timestamp::from_nanos(frame_time.as_nanos());
+            let segments = {
+                let store = store.borrow();
+                capture_rect(&store, &config, frame_no as u32, seq, ts)
+            };
+            for _ in 0..segments.len() {
+                seq = seq.next();
+            }
+            h.frames.set(h.frames.get() + 1);
+            // "Each of which is despatched as soon as the data is ready":
+            // every segment travels through the compression subsystem as
+            // slices of a few lines (§3.6) — the pipeline retains the last
+            // slice until pushed through, the hold-back buffer keeps the
+            // slice descriptions honest, and dummy lines flush the tail.
+            for seg in segments {
+                match push_through_compression(&seg, &mut pipeline, &mut holdback) {
+                    Ok((slices, flushed)) => {
+                        h.slices.set(h.slices.get() + slices);
+                        h.flush_lines.set(h.flush_lines.get() + flushed);
+                    }
+                    Err(()) => continue, // Corrupt payload: segment dropped.
+                }
+                h.segments.set(h.segments.get() + 1);
+                if out.send((stream, seg)).await.is_err() {
+                    return;
+                }
+            }
+            frame_no += 1;
+        }
+    });
+    handle
+}
+
+/// Display-side instrumentation.
+#[derive(Clone)]
+pub struct DisplaySink {
+    inner: Rc<RefCell<DisplayInner>>,
+}
+
+struct DisplayInner {
+    frames_shown: u64,
+    frames_dropped: u64,
+    segments: u64,
+    decode_errors: u64,
+    /// Capture-timestamp → blit latency, ns.
+    latency: Histogram,
+    /// Blits deferred to dodge the scan.
+    blits_deferred: u64,
+    display: FrameStore,
+    last_frame: Option<AssembledFrame>,
+}
+
+impl DisplaySink {
+    /// Complete frames blitted to the display.
+    pub fn frames_shown(&self) -> u64 {
+        self.inner.borrow().frames_shown
+    }
+
+    /// Frames abandoned with missing segments.
+    pub fn frames_dropped(&self) -> u64 {
+        self.inner.borrow().frames_dropped
+    }
+
+    /// Video segments processed.
+    pub fn segments(&self) -> u64 {
+        self.inner.borrow().segments
+    }
+
+    /// Segments that failed to decompress.
+    pub fn decode_errors(&self) -> u64 {
+        self.inner.borrow().decode_errors
+    }
+
+    /// Capture → display latency distribution, ns.
+    pub fn latency_ns(&self) -> Histogram {
+        self.inner.borrow().latency.clone()
+    }
+
+    /// Blits that had to wait for the scan to move away.
+    pub fn blits_deferred(&self) -> u64 {
+        self.inner.borrow().blits_deferred
+    }
+
+    /// The most recently completed frame.
+    pub fn last_frame(&self) -> Option<AssembledFrame> {
+        self.inner.borrow().last_frame.clone()
+    }
+
+    /// Reads back a rectangle of the display framestore.
+    pub fn read_display(&self, rect: pandora_video::Rect) -> Vec<u8> {
+        self.inner.borrow().display.read_rect(rect)
+    }
+
+    /// Average displayed frame rate over `elapsed`.
+    pub fn fps(&self, elapsed: SimDuration) -> f64 {
+        if elapsed.as_nanos() == 0 {
+            0.0
+        } else {
+            self.frames_shown() as f64 / elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// Spawns the mixer-board display path: decompress, assemble whole frames,
+/// blit around the scan.
+pub fn spawn_video_display(
+    spawner: &Spawner,
+    name: &str,
+    display_width: u32,
+    display_height: u32,
+    segments: Receiver<(StreamId, VideoSegment)>,
+    costs: VideoCosts,
+    cpu: Cpu,
+) -> DisplaySink {
+    let sink = DisplaySink {
+        inner: Rc::new(RefCell::new(DisplayInner {
+            frames_shown: 0,
+            frames_dropped: 0,
+            segments: 0,
+            decode_errors: 0,
+            latency: Histogram::new(),
+            blits_deferred: 0,
+            display: FrameStore::new(display_width, display_height),
+            last_frame: None,
+        })),
+    };
+    let s = sink.clone();
+    let scan = ScanModel::new(display_height, FRAME_PERIOD_NANOS);
+    spawner.spawn(&format!("video-display:{name}"), async move {
+        let mut cache = LineCache::new();
+        let mut assemblers: std::collections::HashMap<StreamId, FrameAssembler> =
+            Default::default();
+        while let Ok((stream, seg)) = segments.recv().await {
+            s.inner.borrow_mut().segments += 1;
+            let cost = seg.video.lines as u64 * costs.display_per_line_ns;
+            cpu.claim(SimDuration::from_nanos(cost)).await;
+            let Some(lines) = pandora_video::interp::decode_segment(&seg, stream, &mut cache)
+            else {
+                s.inner.borrow_mut().decode_errors += 1;
+                continue;
+            };
+            let asm = assemblers.entry(stream).or_default();
+            let before_drops = asm.dropped_incomplete();
+            let Some(frame) = asm.push(&seg, lines) else {
+                let d = asm.dropped_incomplete();
+                if d != before_drops {
+                    s.inner.borrow_mut().frames_dropped += d - before_drops;
+                }
+                continue;
+            };
+            // "Once we have all the data for a frame, it is copied into the
+            // display frame buffer as soon as possible, care being taken to
+            // avoid the scan of the display controller."
+            let blit_time =
+                SimDuration::from_nanos(frame.rect.height as u64 * costs.display_per_line_ns / 4);
+            let wait = scan.safe_blit_delay(
+                frame.rect,
+                pandora_sim::now().as_nanos(),
+                blit_time.as_nanos(),
+            );
+            if wait > 0 {
+                s.inner.borrow_mut().blits_deferred += 1;
+                pandora_sim::delay(SimDuration::from_nanos(wait)).await;
+            }
+            let mut inner = s.inner.borrow_mut();
+            if frame.rect.fits(display_width, display_height) {
+                inner.display.write_rect(frame.rect, &frame.pixels);
+            }
+            let now = pandora_sim::now();
+            inner.latency.record(
+                now.as_nanos()
+                    .saturating_sub(seg.common.timestamp.as_nanos()) as f64,
+            );
+            inner.frames_shown += 1;
+            inner.last_frame = Some(frame);
+        }
+    });
+    sink
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pandora_sim::{channel, SimTime, Simulation};
+    use pandora_video::dpcm::LineMode;
+    use pandora_video::{RateFraction, Rect};
+
+    fn capture_config(rate: RateFraction) -> CaptureConfig {
+        CaptureConfig {
+            rect: Rect::new(8, 8, 64, 48),
+            rate,
+            lines_per_segment: 16,
+            mode: LineMode::Dpcm,
+        }
+    }
+
+    fn rig(rate: RateFraction) -> (Simulation, VideoCaptureHandle, DisplaySink) {
+        let mut sim = Simulation::new();
+        let spawner = sim.spawner();
+        let camera = Camera::spawn(&spawner, "t", 128, 96);
+        let capture_cpu = Cpu::new("capture", SimDuration::from_nanos(700));
+        let mixer_cpu = Cpu::new("mixer", SimDuration::from_nanos(700));
+        let (tx, rx) = channel::<(StreamId, VideoSegment)>();
+        let handle = spawn_video_capture(
+            &spawner,
+            "t",
+            StreamId(1),
+            &camera,
+            capture_config(rate),
+            VideoCosts::default(),
+            capture_cpu,
+            tx,
+        );
+        let sink = spawn_video_display(
+            &spawner,
+            "t",
+            256,
+            192,
+            rx,
+            VideoCosts::default(),
+            mixer_cpu,
+        );
+        // Let the camera run.
+        sim.run_for(SimDuration::from_millis(1));
+        (sim, handle, sink)
+    }
+
+    #[test]
+    fn full_rate_shows_25fps() {
+        let (mut sim, handle, sink) = rig(RateFraction::FULL);
+        sim.run_until(SimTime::from_secs(2));
+        handle.stop();
+        let fps = sink.fps(SimDuration::from_secs(2));
+        assert!((23.0..=25.5).contains(&fps), "fps {fps}");
+        assert_eq!(sink.frames_dropped(), 0);
+        assert_eq!(sink.decode_errors(), 0);
+    }
+
+    #[test]
+    fn two_fifths_rate_shows_10fps() {
+        let (mut sim, handle, sink) = rig(RateFraction::new(2, 5));
+        sim.run_until(SimTime::from_secs(2));
+        handle.stop();
+        let fps = sink.fps(SimDuration::from_secs(2));
+        assert!((9.0..=10.5).contains(&fps), "fps {fps}");
+    }
+
+    #[test]
+    fn frames_assemble_from_multiple_segments() {
+        let (mut sim, handle, sink) = rig(RateFraction::FULL);
+        sim.run_until(SimTime::from_millis(500));
+        handle.stop();
+        // 48 lines / 16 per segment = 3 segments per frame.
+        assert!(sink.segments() >= sink.frames_shown() * 3);
+        let frame = sink.last_frame().expect("a frame");
+        assert_eq!(frame.rect, Rect::new(8, 8, 64, 48));
+        assert_eq!(frame.pixels.len(), 64 * 48);
+    }
+
+    #[test]
+    fn display_latency_is_bounded() {
+        let (mut sim, handle, sink) = rig(RateFraction::FULL);
+        sim.run_until(SimTime::from_secs(1));
+        handle.stop();
+        let mut lat = sink.latency_ns();
+        assert!(lat.count() > 10);
+        // Capture → display within two frame periods on a local path.
+        assert!(
+            lat.percentile(99.0) < 80e6,
+            "p99 {}ms",
+            lat.percentile(99.0) / 1e6
+        );
+    }
+
+    #[test]
+    fn stop_halts_stream() {
+        let (mut sim, handle, sink) = rig(RateFraction::FULL);
+        sim.run_until(SimTime::from_millis(500));
+        handle.stop();
+        sim.run_until(SimTime::from_millis(600));
+        let shown = sink.frames_shown();
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(
+            sink.frames_shown(),
+            shown,
+            "frames kept arriving after stop"
+        );
+    }
+
+    #[test]
+    fn displayed_pixels_resemble_camera() {
+        let (mut sim, handle, sink) = rig(RateFraction::FULL);
+        sim.run_until(SimTime::from_secs(1));
+        handle.stop();
+        let frame = sink.last_frame().expect("frame");
+        // DPCM is lossy and the pattern moves, but the displayed rectangle
+        // must correlate with a recent camera frame: compare means.
+        let mean_display: f64 =
+            frame.pixels.iter().map(|&p| p as f64).sum::<f64>() / frame.pixels.len() as f64;
+        assert!(
+            (20.0..=235.0).contains(&mean_display),
+            "mean {mean_display}"
+        );
+        // And the display store holds the blitted data.
+        let shown = sink.read_display(frame.rect);
+        assert_eq!(shown, frame.pixels);
+    }
+}

@@ -1,0 +1,185 @@
+//! Event counters and the report rate limiter.
+
+use std::collections::BTreeMap;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// let mut c = pandora_metrics::Counter::new();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self(0)
+    }
+
+    /// Adds `n` to the counter, saturating at `u64::MAX`.
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero and returns the previous value.
+    pub fn take(&mut self) -> u64 {
+        std::mem::take(&mut self.0)
+    }
+}
+
+/// A set of named counters, ordered by name for stable output.
+///
+/// Used by Pandora processes to keep "local counts of how many segments have
+/// been thrown away" per error class (§3.8).
+#[derive(Debug, Clone, Default)]
+pub struct CounterSet {
+    counters: BTreeMap<String, Counter>,
+}
+
+impl CounterSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter called `name`, creating it if absent.
+    pub fn add(&mut self, name: &str, n: u64) {
+        self.counters.entry(name.to_string()).or_default().add(n);
+    }
+
+    /// Adds one to the counter called `name`.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of `name`, zero if it was never touched.
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).map_or(0, |c| c.get())
+    }
+
+    /// Iterates `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), v.get()))
+    }
+
+    /// Sum over all counters.
+    pub fn total(&self) -> u64 {
+        self.counters.values().map(|c| c.get()).sum()
+    }
+}
+
+/// Gate enforcing "a minimum period between reports for any particular sort
+/// of error" (§3.8).
+///
+/// Call [`RateLimiter::allow`] with the current time; it returns `true` (and
+/// arms the gate) only if at least the configured period has elapsed since
+/// the last allowed event for that key.
+#[derive(Debug, Clone)]
+pub struct RateLimiter {
+    period: u64,
+    last: BTreeMap<String, u64>,
+    suppressed: CounterSet,
+}
+
+impl RateLimiter {
+    /// Creates a limiter allowing one event per `period` time units per key.
+    pub fn new(period: u64) -> Self {
+        Self {
+            period,
+            last: BTreeMap::new(),
+            suppressed: CounterSet::new(),
+        }
+    }
+
+    /// Returns `true` if an event with class `key` may fire at time `now`.
+    ///
+    /// The first event for a key is always allowed.
+    pub fn allow(&mut self, key: &str, now: u64) -> bool {
+        match self.last.get(key) {
+            Some(&t) if now.saturating_sub(t) < self.period => {
+                self.suppressed.incr(key);
+                false
+            }
+            _ => {
+                self.last.insert(key.to_string(), now);
+                true
+            }
+        }
+    }
+
+    /// How many events were suppressed for `key` so far.
+    pub fn suppressed(&self, key: &str) -> u64 {
+        self.suppressed.get(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(2);
+        assert_eq!(c.get(), 3);
+        assert_eq!(c.take(), 3);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter::new();
+        c.add(u64::MAX);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn counter_set_accumulates_by_name() {
+        let mut s = CounterSet::new();
+        s.incr("drops.video");
+        s.incr("drops.video");
+        s.incr("drops.audio");
+        assert_eq!(s.get("drops.video"), 2);
+        assert_eq!(s.get("drops.audio"), 1);
+        assert_eq!(s.get("missing"), 0);
+        assert_eq!(s.total(), 3);
+        let names: Vec<_> = s.iter().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(names, ["drops.audio", "drops.video"]);
+    }
+
+    #[test]
+    fn rate_limiter_enforces_period() {
+        let mut r = RateLimiter::new(100);
+        assert!(r.allow("overflow", 0));
+        assert!(!r.allow("overflow", 50));
+        assert!(!r.allow("overflow", 99));
+        assert!(r.allow("overflow", 100));
+        assert_eq!(r.suppressed("overflow"), 2);
+    }
+
+    #[test]
+    fn rate_limiter_keys_are_independent() {
+        let mut r = RateLimiter::new(100);
+        assert!(r.allow("a", 0));
+        assert!(r.allow("b", 10));
+        assert!(!r.allow("a", 10));
+    }
+}

@@ -1,0 +1,235 @@
+//! Sample-recording histogram with exact quantiles.
+
+/// A distribution of `f64` samples with exact quantile queries.
+///
+/// Samples are stored; quantiles are computed by sorting on demand with the
+/// sorted order cached until the next insertion. This is appropriate for the
+/// simulation workloads in this workspace (up to a few million samples) and
+/// keeps quantiles exact, which matters when asserting paper figures in
+/// tests.
+///
+/// # Examples
+///
+/// ```
+/// let mut h = pandora_metrics::Histogram::new();
+/// for v in [1.0, 2.0, 3.0, 4.0] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.mean(), 2.5);
+/// assert_eq!(h.percentile(50.0), 2.0);
+/// assert_eq!(h.max(), 4.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample. Non-finite samples are ignored.
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.samples.push(v);
+        self.sorted = false;
+        self.sum += v;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum / self.samples.len() as f64
+        }
+    }
+
+    /// Population standard deviation, or 0.0 when empty.
+    pub fn stddev(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var =
+            self.samples.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.samples.len() as f64;
+        var.sqrt()
+    }
+
+    /// Smallest sample, or 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min_finite()
+    }
+
+    /// Largest sample, or 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max_finite()
+    }
+
+    /// Exact percentile by nearest-rank (`p` in 0..=100), or 0.0 when empty.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples.sort_by(|a, b| a.total_cmp(b));
+            self.sorted = true;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        self.samples[rank.saturating_sub(1)]
+    }
+
+    /// Merges all samples of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sum += other.sum;
+        self.sorted = false;
+    }
+
+    /// One-line summary: `n=.. mean=.. p50=.. p99=.. max=..`.
+    pub fn summary(&mut self) -> String {
+        format!(
+            "n={} mean={:.3} p50={:.3} p99={:.3} max={:.3}",
+            self.count(),
+            self.mean(),
+            self.percentile(50.0),
+            self.percentile(99.0),
+            self.max()
+        )
+    }
+}
+
+trait Finite {
+    fn min_finite(self) -> f64;
+    fn max_finite(self) -> f64;
+}
+
+impl Finite for f64 {
+    fn min_finite(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+    fn max_finite(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let mut h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.percentile(99.0), 0.0);
+        assert_eq!(h.stddev(), 0.0);
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let mut h = Histogram::new();
+        for v in [5.0, 1.0, 3.0] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 3.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 5.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.percentile(50.0), 50.0);
+        assert_eq!(h.percentile(99.0), 99.0);
+        assert_eq!(h.percentile(100.0), 100.0);
+        assert_eq!(h.percentile(1.0), 1.0);
+        assert_eq!(h.percentile(0.0), 1.0);
+    }
+
+    #[test]
+    fn record_after_percentile_resorts() {
+        let mut h = Histogram::new();
+        h.record(10.0);
+        assert_eq!(h.percentile(50.0), 10.0);
+        h.record(1.0);
+        assert_eq!(h.percentile(50.0), 1.0);
+    }
+
+    #[test]
+    fn non_finite_ignored() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(2.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), 2.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        a.record(1.0);
+        let mut b = Histogram::new();
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), 2.0);
+    }
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.record(4.0);
+        }
+        assert_eq!(h.stddev(), 0.0);
+    }
+
+    #[test]
+    fn summary_contains_count() {
+        let mut h = Histogram::new();
+        h.record(1.0);
+        assert!(h.summary().contains("n=1"));
+    }
+}

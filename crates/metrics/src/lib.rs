@@ -1,0 +1,27 @@
+//! Measurement utilities for the Pandora reproduction.
+//!
+//! Every experiment in the paper reports latency, jitter, loss or rate
+//! figures. This crate provides the small, dependency-free instruments the
+//! rest of the workspace uses to collect them:
+//!
+//! * [`Histogram`] — sample-recording distribution with quantiles.
+//! * [`JitterTracker`] — inter-arrival jitter relative to a nominal period.
+//! * [`Counter`] and [`CounterSet`] — named event counters.
+//! * [`RateLimiter`] — minimum-period gating used by report channels.
+//! * [`TimeSeries`] — (time, value) traces for figure-style output.
+//! * [`Table`] — aligned ASCII table output for the `repro` binary.
+//!
+//! All values are plain `f64`/`u64`; time units are whatever the caller
+//! uses consistently (the simulator uses nanoseconds).
+
+mod counter;
+mod histogram;
+mod jitter;
+mod series;
+mod table;
+
+pub use counter::{Counter, CounterSet, RateLimiter};
+pub use histogram::Histogram;
+pub use jitter::JitterTracker;
+pub use series::TimeSeries;
+pub use table::Table;

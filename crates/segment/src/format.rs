@@ -1,0 +1,540 @@
+//! Segment structures — figures 3.1 and 3.2 of the paper.
+//!
+//! "Stream implementation is based on self-contained segments of data
+//! containing information for delivery, synchronisation and error
+//! recovery." Every field in the headers is 32 bits; the first five fields
+//! are common to audio and video segments.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{SequenceNumber, Timestamp};
+
+/// The version identifier carried by every segment ("PAN1").
+pub const VERSION_ID: u32 = 0x50414E31;
+
+/// Samples per 2 ms audio block (§3.2: "blocks of 16 samples").
+pub const SAMPLES_PER_BLOCK: usize = 16;
+/// Bytes per audio block (8-bit µ-law).
+pub const BLOCK_BYTES: usize = 16;
+/// Duration of one audio block in nanoseconds (2 ms).
+pub const BLOCK_DURATION_NANOS: u64 = 2_000_000;
+/// Audio sampling rate in Hz (125 µs intervals).
+pub const AUDIO_SAMPLE_RATE: u32 = 8_000;
+/// Default blocks per live segment ("we usually run with 2 blocks").
+pub const DEFAULT_BLOCKS_PER_SEGMENT: usize = 2;
+/// Blocks per repository segment (40 ms, §3.2).
+pub const REPOSITORY_BLOCKS_PER_SEGMENT: usize = 20;
+
+/// Size in bytes of the common segment header (5 × 32-bit fields).
+pub const COMMON_HEADER_BYTES: usize = 20;
+/// Size in bytes of the audio-specific header (4 × 32-bit fields).
+pub const AUDIO_HEADER_BYTES: usize = 16;
+/// Size in bytes of the full audio segment header (36 bytes, §3.2:
+/// repository segments carry "320 bytes of data plus a new 36 byte header").
+pub const AUDIO_FULL_HEADER_BYTES: usize = COMMON_HEADER_BYTES + AUDIO_HEADER_BYTES;
+/// Size in bytes of the fixed part of the video-specific header
+/// (12 × 32-bit fields, excluding variable compression arguments).
+pub const VIDEO_FIXED_HEADER_BYTES: usize = 48;
+
+/// The segment type discriminator in the common header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SegmentType {
+    /// Audio samples (figure 3.1).
+    Audio,
+    /// Video pixel data (figure 3.2).
+    Video,
+    /// Opaque test traffic, produced/consumed by the test device handlers
+    /// shown in figure 3.3.
+    Test,
+}
+
+impl SegmentType {
+    /// Wire encoding of the type field.
+    pub fn code(self) -> u32 {
+        match self {
+            SegmentType::Audio => 1,
+            SegmentType::Video => 2,
+            SegmentType::Test => 3,
+        }
+    }
+
+    /// Decodes the type field.
+    pub fn from_code(code: u32) -> Option<SegmentType> {
+        match code {
+            1 => Some(SegmentType::Audio),
+            2 => Some(SegmentType::Video),
+            3 => Some(SegmentType::Test),
+            _ => None,
+        }
+    }
+}
+
+/// The five 32-bit fields common to all segment formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommonHeader {
+    /// Format version ("Version ID").
+    pub version: u32,
+    /// Per-stream sequence number.
+    pub sequence: SequenceNumber,
+    /// 64 µs-resolution timestamp taken as close to the source as possible.
+    pub timestamp: Timestamp,
+    /// Segment type (audio/video/test).
+    pub segment_type: SegmentType,
+    /// Total segment length in bytes including all headers.
+    pub length: u32,
+}
+
+/// Audio sample format field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AudioFormat {
+    /// 8-bit µ-law, the format of the Pandora codec.
+    MuLaw8,
+    /// 16-bit linear PCM (used by software paths in tests).
+    Linear16,
+}
+
+impl AudioFormat {
+    /// Wire encoding.
+    pub fn code(self) -> u32 {
+        match self {
+            AudioFormat::MuLaw8 => 1,
+            AudioFormat::Linear16 => 2,
+        }
+    }
+
+    /// Decodes the format field.
+    pub fn from_code(code: u32) -> Option<AudioFormat> {
+        match code {
+            1 => Some(AudioFormat::MuLaw8),
+            2 => Some(AudioFormat::Linear16),
+            _ => None,
+        }
+    }
+
+    /// Bytes per sample.
+    pub fn bytes_per_sample(self) -> usize {
+        match self {
+            AudioFormat::MuLaw8 => 1,
+            AudioFormat::Linear16 => 2,
+        }
+    }
+}
+
+/// The audio-specific header (figure 3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AudioHeader {
+    /// Sampling rate in Hz (8000 for the Pandora codec).
+    pub sampling_rate: u32,
+    /// Sample format.
+    pub format: AudioFormat,
+    /// Compression scheme (0 = none; µ-law is considered a format here).
+    pub compression: u32,
+    /// Length of the sample data in bytes.
+    pub data_length: u32,
+}
+
+/// A complete audio segment: header plus µ-law sample blocks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AudioSegment {
+    /// Common header fields.
+    pub common: CommonHeader,
+    /// Audio-specific header fields.
+    pub audio: AudioHeader,
+    /// Sample bytes; a whole number of 16-byte blocks for µ-law.
+    pub data: Vec<u8>,
+}
+
+impl AudioSegment {
+    /// Builds a µ-law audio segment from whole 2 ms blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not a whole number of blocks.
+    pub fn from_blocks(sequence: SequenceNumber, timestamp: Timestamp, data: Vec<u8>) -> Self {
+        assert!(
+            data.len() % BLOCK_BYTES == 0,
+            "audio data must be whole 16-byte blocks, got {} bytes",
+            data.len()
+        );
+        let length = (AUDIO_FULL_HEADER_BYTES + data.len()) as u32;
+        AudioSegment {
+            common: CommonHeader {
+                version: VERSION_ID,
+                sequence,
+                timestamp,
+                segment_type: SegmentType::Audio,
+                length,
+            },
+            audio: AudioHeader {
+                sampling_rate: AUDIO_SAMPLE_RATE,
+                format: AudioFormat::MuLaw8,
+                compression: 0,
+                data_length: data.len() as u32,
+            },
+            data,
+        }
+    }
+
+    /// Number of whole 2 ms blocks in this segment.
+    pub fn block_count(&self) -> usize {
+        self.data.len() / BLOCK_BYTES
+    }
+
+    /// Iterates over the 16-byte blocks.
+    pub fn blocks(&self) -> impl Iterator<Item = &[u8]> {
+        self.data.chunks_exact(BLOCK_BYTES)
+    }
+
+    /// Audio duration covered by this segment, in nanoseconds.
+    pub fn duration_nanos(&self) -> u64 {
+        self.block_count() as u64 * BLOCK_DURATION_NANOS
+    }
+
+    /// Total size on the wire.
+    pub fn wire_bytes(&self) -> usize {
+        AUDIO_FULL_HEADER_BYTES + self.data.len()
+    }
+
+    /// Fraction of the wire bytes spent on headers.
+    pub fn header_overhead(&self) -> f64 {
+        AUDIO_FULL_HEADER_BYTES as f64 / self.wire_bytes() as f64
+    }
+}
+
+/// Pixel formats for video segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PixelFormat {
+    /// 8-bit greyscale.
+    Mono8,
+    /// 16-bit colour (the Pandora framestore format).
+    Rgb16,
+}
+
+impl PixelFormat {
+    /// Wire encoding.
+    pub fn code(self) -> u32 {
+        match self {
+            PixelFormat::Mono8 => 1,
+            PixelFormat::Rgb16 => 2,
+        }
+    }
+
+    /// Decodes the pixel-format field.
+    pub fn from_code(code: u32) -> Option<PixelFormat> {
+        match code {
+            1 => Some(PixelFormat::Mono8),
+            2 => Some(PixelFormat::Rgb16),
+            _ => None,
+        }
+    }
+
+    /// Bytes per pixel.
+    pub fn bytes_per_pixel(self) -> usize {
+        match self {
+            PixelFormat::Mono8 => 1,
+            PixelFormat::Rgb16 => 2,
+        }
+    }
+}
+
+/// Video compression schemes.
+///
+/// "We have a variable number of fields after the compression type field so
+/// that compression parameters for any scheme can be accommodated.
+/// Compression schemes and parameters can be changed from one segment to
+/// the next" (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VideoCompression {
+    /// Uncompressed pixels.
+    None,
+    /// Per-line DPCM with optional horizontal sub-sampling.
+    Dpcm,
+}
+
+impl VideoCompression {
+    /// Wire encoding.
+    pub fn code(self) -> u32 {
+        match self {
+            VideoCompression::None => 0,
+            VideoCompression::Dpcm => 1,
+        }
+    }
+
+    /// Decodes the compression-type field.
+    pub fn from_code(code: u32) -> Option<VideoCompression> {
+        match code {
+            0 => Some(VideoCompression::None),
+            1 => Some(VideoCompression::Dpcm),
+            _ => None,
+        }
+    }
+}
+
+/// The video-specific header (figure 3.2).
+///
+/// "Video segments do not have to contain a whole frame. A frame can be
+/// broken up into a number of rectangular segments, so the segment header
+/// contains a count of the number of segments in the frame, the number of
+/// this segment within the frame, and enough information to place this
+/// segment in the correct position."
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VideoHeader {
+    /// Frame this segment belongs to.
+    pub frame_number: u32,
+    /// Total segments making up the frame.
+    pub segments_in_frame: u32,
+    /// This segment's index within the frame (0-based).
+    pub segment_number: u32,
+    /// Horizontal placement of the rectangle.
+    pub x_offset: u32,
+    /// Vertical placement of the rectangle.
+    pub y_offset: u32,
+    /// Pixel format of the data.
+    pub pixel_format: PixelFormat,
+    /// Compression scheme applied to the data.
+    pub compression: VideoCompression,
+    /// Variable compression arguments (count is the "Argument length" field).
+    pub compression_args: Vec<u32>,
+    /// Width of the rectangle in pixels ("x Width").
+    pub width: u32,
+    /// First line of this segment within the rectangle ("Start Line y").
+    pub start_line: u32,
+    /// Number of lines in this segment ("# Lines y").
+    pub lines: u32,
+    /// Length of the (possibly compressed) pixel data in bytes.
+    pub data_length: u32,
+}
+
+/// A complete video segment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VideoSegment {
+    /// Common header fields.
+    pub common: CommonHeader,
+    /// Video-specific header fields.
+    pub video: VideoHeader,
+    /// Pixel data (compressed per `video.compression`).
+    pub data: Vec<u8>,
+}
+
+impl VideoSegment {
+    /// Builds a video segment, computing the length fields.
+    pub fn new(
+        sequence: SequenceNumber,
+        timestamp: Timestamp,
+        mut video: VideoHeader,
+        data: Vec<u8>,
+    ) -> Self {
+        video.data_length = data.len() as u32;
+        let length = (COMMON_HEADER_BYTES
+            + VIDEO_FIXED_HEADER_BYTES
+            + 4 * video.compression_args.len()
+            + data.len()) as u32;
+        VideoSegment {
+            common: CommonHeader {
+                version: VERSION_ID,
+                sequence,
+                timestamp,
+                segment_type: SegmentType::Video,
+                length,
+            },
+            video,
+            data,
+        }
+    }
+
+    /// Total size on the wire.
+    pub fn wire_bytes(&self) -> usize {
+        self.common.length as usize
+    }
+}
+
+/// An opaque test segment (the `test in`/`test out` handlers of fig. 3.3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TestSegment {
+    /// Common header fields.
+    pub common: CommonHeader,
+    /// Arbitrary payload.
+    pub data: Vec<u8>,
+}
+
+impl TestSegment {
+    /// Builds a test segment.
+    pub fn new(sequence: SequenceNumber, timestamp: Timestamp, data: Vec<u8>) -> Self {
+        TestSegment {
+            common: CommonHeader {
+                version: VERSION_ID,
+                sequence,
+                timestamp,
+                segment_type: SegmentType::Test,
+                length: (COMMON_HEADER_BYTES + data.len()) as u32,
+            },
+            data,
+        }
+    }
+}
+
+/// Any Pandora segment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Segment {
+    /// An audio segment.
+    Audio(AudioSegment),
+    /// A video segment.
+    Video(VideoSegment),
+    /// A test segment.
+    Test(TestSegment),
+}
+
+impl Segment {
+    /// The common header shared by every format.
+    pub fn common(&self) -> &CommonHeader {
+        match self {
+            Segment::Audio(s) => &s.common,
+            Segment::Video(s) => &s.common,
+            Segment::Test(s) => &s.common,
+        }
+    }
+
+    /// Mutable access to the common header.
+    pub fn common_mut(&mut self) -> &mut CommonHeader {
+        match self {
+            Segment::Audio(s) => &mut s.common,
+            Segment::Video(s) => &mut s.common,
+            Segment::Test(s) => &mut s.common,
+        }
+    }
+
+    /// The segment type.
+    pub fn segment_type(&self) -> SegmentType {
+        self.common().segment_type
+    }
+
+    /// Total size on the wire.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            Segment::Audio(s) => s.wire_bytes(),
+            Segment::Video(s) => s.wire_bytes(),
+            Segment::Test(s) => s.common.length as usize,
+        }
+    }
+
+    /// Returns the audio segment, if this is one.
+    pub fn as_audio(&self) -> Option<&AudioSegment> {
+        match self {
+            Segment::Audio(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the video segment, if this is one.
+    pub fn as_video(&self) -> Option<&VideoSegment> {
+        match self {
+            Segment::Video(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audio_segment_sizes() {
+        let seg =
+            AudioSegment::from_blocks(SequenceNumber(0), Timestamp(0), vec![0u8; 2 * BLOCK_BYTES]);
+        assert_eq!(seg.block_count(), 2);
+        assert_eq!(seg.duration_nanos(), 4_000_000);
+        // 36-byte header + 32 bytes of data.
+        assert_eq!(seg.wire_bytes(), 68);
+        assert_eq!(seg.common.length, 68);
+    }
+
+    #[test]
+    fn repository_segment_is_356_bytes() {
+        // §3.2: 40ms segments contain 320 bytes of data plus a 36-byte header.
+        let seg = AudioSegment::from_blocks(
+            SequenceNumber(0),
+            Timestamp(0),
+            vec![0u8; REPOSITORY_BLOCKS_PER_SEGMENT * BLOCK_BYTES],
+        );
+        assert_eq!(seg.data.len(), 320);
+        assert_eq!(seg.wire_bytes(), 356);
+        assert_eq!(seg.duration_nanos(), 40_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole 16-byte blocks")]
+    fn partial_block_rejected() {
+        let _ = AudioSegment::from_blocks(SequenceNumber(0), Timestamp(0), vec![0u8; 17]);
+    }
+
+    #[test]
+    fn block_iteration() {
+        let mut data = vec![0u8; 32];
+        data[16] = 7;
+        let seg = AudioSegment::from_blocks(SequenceNumber(0), Timestamp(0), data);
+        let blocks: Vec<&[u8]> = seg.blocks().collect();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[1][0], 7);
+    }
+
+    #[test]
+    fn header_overhead_shrinks_with_batching() {
+        let live = AudioSegment::from_blocks(SequenceNumber(0), Timestamp(0), vec![0u8; 32]);
+        let repo = AudioSegment::from_blocks(SequenceNumber(0), Timestamp(0), vec![0u8; 320]);
+        assert!(live.header_overhead() > 0.5);
+        assert!(repo.header_overhead() < 0.11);
+    }
+
+    #[test]
+    fn video_segment_length_includes_args() {
+        let header = VideoHeader {
+            frame_number: 1,
+            segments_in_frame: 4,
+            segment_number: 2,
+            x_offset: 10,
+            y_offset: 20,
+            pixel_format: PixelFormat::Mono8,
+            compression: VideoCompression::Dpcm,
+            compression_args: vec![2, 1],
+            width: 64,
+            start_line: 0,
+            lines: 8,
+            data_length: 0,
+        };
+        let seg = VideoSegment::new(SequenceNumber(5), Timestamp(9), header, vec![0u8; 100]);
+        assert_eq!(seg.video.data_length, 100);
+        assert_eq!(seg.wire_bytes(), 20 + 48 + 8 + 100);
+        assert_eq!(seg.common.segment_type, SegmentType::Video);
+    }
+
+    #[test]
+    fn segment_enum_accessors() {
+        let a = Segment::Audio(AudioSegment::from_blocks(
+            SequenceNumber(1),
+            Timestamp(2),
+            vec![0u8; 16],
+        ));
+        assert_eq!(a.segment_type(), SegmentType::Audio);
+        assert!(a.as_audio().is_some());
+        assert!(a.as_video().is_none());
+        assert_eq!(a.common().sequence, SequenceNumber(1));
+    }
+
+    #[test]
+    fn type_codes_round_trip() {
+        for t in [SegmentType::Audio, SegmentType::Video, SegmentType::Test] {
+            assert_eq!(SegmentType::from_code(t.code()), Some(t));
+        }
+        assert_eq!(SegmentType::from_code(99), None);
+        for f in [AudioFormat::MuLaw8, AudioFormat::Linear16] {
+            assert_eq!(AudioFormat::from_code(f.code()), Some(f));
+        }
+        for p in [PixelFormat::Mono8, PixelFormat::Rgb16] {
+            assert_eq!(PixelFormat::from_code(p.code()), Some(p));
+        }
+        for c in [VideoCompression::None, VideoCompression::Dpcm] {
+            assert_eq!(VideoCompression::from_code(c.code()), Some(c));
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # pandora-segment — Pandora segment formats
+//!
+//! "Stream implementation is based on self-contained segments of data
+//! containing information for delivery, synchronisation and error
+//! recovery" (paper abstract). This crate implements the exact segment
+//! layouts of figures 3.1 (audio) and 3.2 (video):
+//!
+//! * [`CommonHeader`] — the five 32-bit fields shared by all segments
+//!   (version, sequence number, 64 µs timestamp, type, length);
+//! * [`AudioSegment`] — 16-sample / 2 ms µ-law blocks grouped per segment
+//!   (2 by default, 1 for low latency, 12 for slow receivers, 20 for the
+//!   repository format);
+//! * [`VideoSegment`] — rectangular frame pieces with placement geometry
+//!   and variable-length compression arguments;
+//! * [`wire`] — big-endian wire codec, with the in-box stream-number tag;
+//! * [`SeqTracker`] — sequence-number loss detection (§3.8);
+//! * [`reseg`] — the repository's 2 ms-block → 40 ms-segment rewriter.
+
+mod format;
+mod ids;
+pub mod reseg;
+pub mod wire;
+
+pub use format::{
+    AudioFormat, AudioHeader, AudioSegment, CommonHeader, PixelFormat, Segment, SegmentType,
+    TestSegment, VideoCompression, VideoHeader, VideoSegment, AUDIO_FULL_HEADER_BYTES,
+    AUDIO_HEADER_BYTES, AUDIO_SAMPLE_RATE, BLOCK_BYTES, BLOCK_DURATION_NANOS, COMMON_HEADER_BYTES,
+    DEFAULT_BLOCKS_PER_SEGMENT, REPOSITORY_BLOCKS_PER_SEGMENT, SAMPLES_PER_BLOCK, VERSION_ID,
+    VIDEO_FIXED_HEADER_BYTES,
+};
+pub use ids::{SeqEvent, SeqTracker, SequenceNumber, StreamId, Timestamp};
+pub use wire::WireError;

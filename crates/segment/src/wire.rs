@@ -1,0 +1,387 @@
+//! Wire encoding and decoding of Pandora segments.
+//!
+//! All header fields are big-endian 32-bit words, matching the paper's
+//! "each field in the header is 32 bits in length". Within a box, segments
+//! travel with a stream-number word prepended ("streams within pandora
+//! pass the stream number in an extra field preceding the segment
+//! header", §3.4); [`encode_tagged`] / [`decode_tagged`] handle that
+//! framing.
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::format::{
+    AudioFormat, AudioHeader, AudioSegment, CommonHeader, PixelFormat, Segment, SegmentType,
+    TestSegment, VideoCompression, VideoHeader, VideoSegment, AUDIO_FULL_HEADER_BYTES,
+    COMMON_HEADER_BYTES, VERSION_ID, VIDEO_FIXED_HEADER_BYTES,
+};
+use crate::ids::{SequenceNumber, StreamId, Timestamp};
+
+/// Errors produced while decoding a segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the advertised length.
+    Truncated {
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// The version field did not match [`VERSION_ID`].
+    BadVersion(u32),
+    /// Unknown segment type code.
+    BadType(u32),
+    /// Unknown audio format code.
+    BadAudioFormat(u32),
+    /// Unknown pixel format code.
+    BadPixelFormat(u32),
+    /// Unknown video compression code.
+    BadCompression(u32),
+    /// A length field is inconsistent with the enclosing segment.
+    BadLength {
+        /// The offending value.
+        field: u32,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { needed, available } => {
+                write!(
+                    f,
+                    "truncated segment: need {needed} bytes, have {available}"
+                )
+            }
+            WireError::BadVersion(v) => write!(f, "bad version id {v:#x}"),
+            WireError::BadType(t) => write!(f, "unknown segment type {t}"),
+            WireError::BadAudioFormat(c) => write!(f, "unknown audio format {c}"),
+            WireError::BadPixelFormat(c) => write!(f, "unknown pixel format {c}"),
+            WireError::BadCompression(c) => write!(f, "unknown compression {c}"),
+            WireError::BadLength { field } => write!(f, "inconsistent length field {field}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes a segment to its wire representation.
+pub fn encode(segment: &Segment) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(segment.wire_bytes());
+    put_common(&mut buf, segment.common());
+    match segment {
+        Segment::Audio(s) => {
+            put_audio_header(&mut buf, &s.audio);
+            buf.put_slice(&s.data);
+        }
+        Segment::Video(s) => {
+            put_video_header(&mut buf, &s.video);
+            buf.put_slice(&s.data);
+        }
+        Segment::Test(s) => {
+            buf.put_slice(&s.data);
+        }
+    }
+    buf.to_vec()
+}
+
+/// Encodes a segment preceded by its in-box stream number word.
+pub fn encode_tagged(stream: StreamId, segment: &Segment) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + segment.wire_bytes());
+    out.extend_from_slice(&stream.0.to_be_bytes());
+    out.extend_from_slice(&encode(segment));
+    out
+}
+
+/// Decodes one segment from `data`, which must contain the whole segment.
+pub fn decode(data: &[u8]) -> Result<Segment, WireError> {
+    let mut buf = data;
+    if buf.len() < COMMON_HEADER_BYTES {
+        return Err(WireError::Truncated {
+            needed: COMMON_HEADER_BYTES,
+            available: buf.len(),
+        });
+    }
+    let version = buf.get_u32();
+    if version != VERSION_ID {
+        return Err(WireError::BadVersion(version));
+    }
+    let sequence = SequenceNumber(buf.get_u32());
+    let timestamp = Timestamp(buf.get_u32());
+    let type_code = buf.get_u32();
+    let segment_type = SegmentType::from_code(type_code).ok_or(WireError::BadType(type_code))?;
+    let length = buf.get_u32();
+    if (length as usize) > data.len() {
+        return Err(WireError::Truncated {
+            needed: length as usize,
+            available: data.len(),
+        });
+    }
+    if (length as usize) < COMMON_HEADER_BYTES {
+        return Err(WireError::BadLength { field: length });
+    }
+    let common = CommonHeader {
+        version,
+        sequence,
+        timestamp,
+        segment_type,
+        length,
+    };
+    let body_len = length as usize - COMMON_HEADER_BYTES;
+    let mut body = &buf[..body_len];
+    match segment_type {
+        SegmentType::Audio => {
+            if body.len() < AUDIO_FULL_HEADER_BYTES - COMMON_HEADER_BYTES {
+                return Err(WireError::Truncated {
+                    needed: AUDIO_FULL_HEADER_BYTES,
+                    available: data.len(),
+                });
+            }
+            let sampling_rate = body.get_u32();
+            let format_code = body.get_u32();
+            let format = AudioFormat::from_code(format_code)
+                .ok_or(WireError::BadAudioFormat(format_code))?;
+            let compression = body.get_u32();
+            let data_length = body.get_u32();
+            if data_length as usize != body.len() {
+                return Err(WireError::BadLength { field: data_length });
+            }
+            Ok(Segment::Audio(AudioSegment {
+                common,
+                audio: AudioHeader {
+                    sampling_rate,
+                    format,
+                    compression,
+                    data_length,
+                },
+                data: body.to_vec(),
+            }))
+        }
+        SegmentType::Video => {
+            if body.len() < VIDEO_FIXED_HEADER_BYTES {
+                return Err(WireError::Truncated {
+                    needed: COMMON_HEADER_BYTES + VIDEO_FIXED_HEADER_BYTES,
+                    available: data.len(),
+                });
+            }
+            let frame_number = body.get_u32();
+            let segments_in_frame = body.get_u32();
+            let segment_number = body.get_u32();
+            let x_offset = body.get_u32();
+            let y_offset = body.get_u32();
+            let pf_code = body.get_u32();
+            let pixel_format =
+                PixelFormat::from_code(pf_code).ok_or(WireError::BadPixelFormat(pf_code))?;
+            let comp_code = body.get_u32();
+            let compression = VideoCompression::from_code(comp_code)
+                .ok_or(WireError::BadCompression(comp_code))?;
+            let arg_count = body.get_u32();
+            if body.len() < arg_count as usize * 4 + 16 {
+                return Err(WireError::BadLength { field: arg_count });
+            }
+            let mut compression_args = Vec::with_capacity(arg_count as usize);
+            for _ in 0..arg_count {
+                compression_args.push(body.get_u32());
+            }
+            let width = body.get_u32();
+            let start_line = body.get_u32();
+            let lines = body.get_u32();
+            let data_length = body.get_u32();
+            if data_length as usize != body.len() {
+                return Err(WireError::BadLength { field: data_length });
+            }
+            Ok(Segment::Video(VideoSegment {
+                common,
+                video: VideoHeader {
+                    frame_number,
+                    segments_in_frame,
+                    segment_number,
+                    x_offset,
+                    y_offset,
+                    pixel_format,
+                    compression,
+                    compression_args,
+                    width,
+                    start_line,
+                    lines,
+                    data_length,
+                },
+                data: body.to_vec(),
+            }))
+        }
+        SegmentType::Test => Ok(Segment::Test(TestSegment {
+            common,
+            data: body.to_vec(),
+        })),
+    }
+}
+
+/// Decodes a stream-number-tagged segment.
+pub fn decode_tagged(data: &[u8]) -> Result<(StreamId, Segment), WireError> {
+    if data.len() < 4 {
+        return Err(WireError::Truncated {
+            needed: 4,
+            available: data.len(),
+        });
+    }
+    let stream = StreamId(u32::from_be_bytes([data[0], data[1], data[2], data[3]]));
+    let segment = decode(&data[4..])?;
+    Ok((stream, segment))
+}
+
+fn put_common(buf: &mut BytesMut, h: &CommonHeader) {
+    buf.put_u32(h.version);
+    buf.put_u32(h.sequence.0);
+    buf.put_u32(h.timestamp.0);
+    buf.put_u32(h.segment_type.code());
+    buf.put_u32(h.length);
+}
+
+fn put_audio_header(buf: &mut BytesMut, h: &AudioHeader) {
+    buf.put_u32(h.sampling_rate);
+    buf.put_u32(h.format.code());
+    buf.put_u32(h.compression);
+    buf.put_u32(h.data_length);
+}
+
+fn put_video_header(buf: &mut BytesMut, h: &VideoHeader) {
+    buf.put_u32(h.frame_number);
+    buf.put_u32(h.segments_in_frame);
+    buf.put_u32(h.segment_number);
+    buf.put_u32(h.x_offset);
+    buf.put_u32(h.y_offset);
+    buf.put_u32(h.pixel_format.code());
+    buf.put_u32(h.compression.code());
+    buf.put_u32(h.compression_args.len() as u32);
+    for a in &h.compression_args {
+        buf.put_u32(*a);
+    }
+    buf.put_u32(h.width);
+    buf.put_u32(h.start_line);
+    buf.put_u32(h.lines);
+    buf.put_u32(h.data_length);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_audio() -> Segment {
+        Segment::Audio(AudioSegment::from_blocks(
+            SequenceNumber(42),
+            Timestamp(1000),
+            (0u8..32).collect(),
+        ))
+    }
+
+    fn sample_video() -> Segment {
+        Segment::Video(VideoSegment::new(
+            SequenceNumber(7),
+            Timestamp(2000),
+            VideoHeader {
+                frame_number: 3,
+                segments_in_frame: 2,
+                segment_number: 1,
+                x_offset: 16,
+                y_offset: 32,
+                pixel_format: PixelFormat::Mono8,
+                compression: VideoCompression::Dpcm,
+                compression_args: vec![2],
+                width: 64,
+                start_line: 8,
+                lines: 4,
+                data_length: 0,
+            },
+            (0u8..=255).collect(),
+        ))
+    }
+
+    #[test]
+    fn audio_round_trip() {
+        let seg = sample_audio();
+        let bytes = encode(&seg);
+        assert_eq!(bytes.len(), seg.wire_bytes());
+        assert_eq!(decode(&bytes).unwrap(), seg);
+    }
+
+    #[test]
+    fn video_round_trip() {
+        let seg = sample_video();
+        let bytes = encode(&seg);
+        assert_eq!(bytes.len(), seg.wire_bytes());
+        assert_eq!(decode(&bytes).unwrap(), seg);
+    }
+
+    #[test]
+    fn test_segment_round_trip() {
+        let seg = Segment::Test(TestSegment::new(
+            SequenceNumber(9),
+            Timestamp(1),
+            vec![1, 2, 3, 4, 5],
+        ));
+        assert_eq!(decode(&encode(&seg)).unwrap(), seg);
+    }
+
+    #[test]
+    fn tagged_round_trip() {
+        let seg = sample_audio();
+        let bytes = encode_tagged(StreamId(17), &seg);
+        let (stream, out) = decode_tagged(&bytes).unwrap();
+        assert_eq!(stream, StreamId(17));
+        assert_eq!(out, seg);
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let seg = sample_audio();
+        let bytes = encode(&seg);
+        assert!(matches!(
+            decode(&bytes[..10]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let seg = sample_audio();
+        let bytes = encode(&seg);
+        assert!(matches!(
+            decode(&bytes[..40]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let seg = sample_audio();
+        let mut bytes = encode(&seg);
+        bytes[0] ^= 0xFF;
+        assert!(matches!(decode(&bytes), Err(WireError::BadVersion(_))));
+    }
+
+    #[test]
+    fn bad_type_rejected() {
+        let seg = sample_audio();
+        let mut bytes = encode(&seg);
+        bytes[15] = 99; // Type field low byte.
+        assert!(matches!(decode(&bytes), Err(WireError::BadType(99))));
+    }
+
+    #[test]
+    fn corrupt_data_length_rejected() {
+        let seg = sample_audio();
+        let mut bytes = encode(&seg);
+        // The audio data_length field is at offset 32..36.
+        bytes[35] = bytes[35].wrapping_add(1);
+        assert!(matches!(decode(&bytes), Err(WireError::BadLength { .. })));
+    }
+
+    #[test]
+    fn error_display_strings() {
+        let e = WireError::Truncated {
+            needed: 10,
+            available: 5,
+        };
+        assert!(e.to_string().contains("truncated"));
+        assert!(WireError::BadVersion(3).to_string().contains("bad version"));
+    }
+}

@@ -1,0 +1,598 @@
+//! Occam-style channels.
+//!
+//! The default channel is a **rendezvous** (capacity 0): a `send` does not
+//! complete until the receiver has taken the value, exactly like an Occam 2
+//! channel communication on the transputer (§3.1: "the hardware scheduler
+//! will automatically block the first of the processes ... to reach the
+//! transfer"). This blocking is the back-pressure mechanism the whole
+//! Pandora design leans on.
+//!
+//! [`buffered`] channels complete sends early while there is space — used
+//! to model hardware FIFOs and report channels. [`unbounded`] never blocks
+//! the sender.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+/// Error returned by `send` when the receiver has been dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError;
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "channel closed: receiver dropped")
+    }
+}
+impl std::error::Error for SendError {}
+
+/// Error returned by `recv` when all senders are gone and the queue is empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "channel closed: all senders dropped")
+    }
+}
+impl std::error::Error for RecvError {}
+
+struct QEntry<T> {
+    value: T,
+    // Present while the sending future is still waiting for acceptance.
+    pending: Option<PendingSend>,
+}
+
+struct PendingSend {
+    done: Rc<Cell<bool>>,
+    waker: Rc<RefCell<Option<Waker>>>,
+}
+
+pub(crate) struct ChanState<T> {
+    queue: RefCell<VecDeque<QEntry<T>>>,
+    capacity: usize,
+    recv_waker: RefCell<Option<Waker>>,
+    senders: Cell<usize>,
+    receiver_alive: Cell<bool>,
+}
+
+impl<T> ChanState<T> {
+    fn wake_receiver(&self) {
+        if let Some(w) = self.recv_waker.borrow_mut().take() {
+            w.wake();
+        }
+    }
+
+    /// Completes the pending flags of every entry now within capacity.
+    fn accept_within_capacity(&self) {
+        let queue = self.queue.borrow();
+        for entry in queue.iter().take(self.capacity) {
+            if let Some(p) = &entry.pending {
+                p.done.set(true);
+                if let Some(w) = p.waker.borrow_mut().take() {
+                    w.wake();
+                }
+            }
+        }
+    }
+
+    fn pop(&self) -> Option<T> {
+        let entry = self.queue.borrow_mut().pop_front()?;
+        if let Some(p) = entry.pending {
+            p.done.set(true);
+            if let Some(w) = p.waker.borrow_mut().take() {
+                w.wake();
+            }
+        }
+        self.accept_within_capacity();
+        Some(entry.value)
+    }
+
+    fn poll_take(&self, cx: &mut Context<'_>) -> Poll<Result<T, RecvError>> {
+        if let Some(v) = self.pop() {
+            return Poll::Ready(Ok(v));
+        }
+        if self.senders.get() == 0 {
+            return Poll::Ready(Err(RecvError));
+        }
+        *self.recv_waker.borrow_mut() = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Creates a rendezvous channel: `send` completes only when the value has
+/// been received (Occam semantics).
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(0)
+}
+
+/// Creates a channel where up to `capacity` sends complete without waiting
+/// for the receiver; further sends block (models a hardware FIFO).
+pub fn buffered<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(capacity)
+}
+
+/// Creates a channel whose sends never block (models a report sink).
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(usize::MAX)
+}
+
+fn with_capacity<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let state = Rc::new(ChanState {
+        queue: RefCell::new(VecDeque::new()),
+        capacity,
+        recv_waker: RefCell::new(None),
+        senders: Cell::new(1),
+        receiver_alive: Cell::new(true),
+    });
+    (
+        Sender {
+            state: state.clone(),
+        },
+        Receiver { state },
+    )
+}
+
+/// The sending half of a channel. Cloneable (many-to-one).
+pub struct Sender<T> {
+    state: Rc<ChanState<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.state.senders.set(self.state.senders.get() + 1);
+        Sender {
+            state: self.state.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let n = self.state.senders.get() - 1;
+        self.state.senders.set(n);
+        if n == 0 {
+            self.state.wake_receiver();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends a value, completing per the channel's capacity semantics.
+    ///
+    /// Returns `Err(SendError)` if the receiver has been dropped. If the
+    /// returned future is dropped before completing, the value is withdrawn
+    /// and not delivered.
+    pub fn send(&self, value: T) -> SendFuture<'_, T> {
+        SendFuture {
+            chan: &self.state,
+            value: Some(value),
+            pending: None,
+        }
+    }
+
+    /// Sends without ever blocking: succeeds immediately if the queue has
+    /// space below capacity or the channel is unbounded; otherwise returns
+    /// the value back.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        if !self.state.receiver_alive.get() {
+            return Err(TrySendError::Closed(value));
+        }
+        if self.state.queue.borrow().len() < self.state.capacity {
+            self.state.queue.borrow_mut().push_back(QEntry {
+                value,
+                pending: None,
+            });
+            self.state.wake_receiver();
+            Ok(())
+        } else {
+            Err(TrySendError::Full(value))
+        }
+    }
+
+    /// Number of values queued and not yet received.
+    pub fn len(&self) -> usize {
+        self.state.queue.borrow().len()
+    }
+
+    /// Returns `true` when no values are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` if the receiver has been dropped.
+    pub fn is_closed(&self) -> bool {
+        !self.state.receiver_alive.get()
+    }
+}
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity; the value is handed back.
+    Full(T),
+    /// The receiver has been dropped; the value is handed back.
+    Closed(T),
+}
+
+/// Future returned by [`Sender::send`].
+pub struct SendFuture<'a, T> {
+    chan: &'a Rc<ChanState<T>>,
+    value: Option<T>,
+    pending: Option<PendingHandle>,
+}
+
+struct PendingHandle {
+    done: Rc<Cell<bool>>,
+    waker: Rc<RefCell<Option<Waker>>>,
+}
+
+impl<T> Future for SendFuture<'_, T> {
+    type Output = Result<(), SendError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // SAFETY: we never move out of `self` in a way that would invalidate
+        // a pinned value; `value` is only taken by value to hand it to the
+        // queue, and the future itself holds no self-references.
+        let this = unsafe { self.get_unchecked_mut() };
+        if let Some(p) = &this.pending {
+            if p.done.get() {
+                this.pending = None;
+                return Poll::Ready(Ok(()));
+            }
+            if !this.chan.receiver_alive.get() {
+                this.pending = None;
+                return Poll::Ready(Err(SendError));
+            }
+            *p.waker.borrow_mut() = Some(cx.waker().clone());
+            return Poll::Pending;
+        }
+        let Some(value) = this.value.take() else {
+            // Completed already (polled after Ready) — treat as done.
+            return Poll::Ready(Ok(()));
+        };
+        if !this.chan.receiver_alive.get() {
+            return Poll::Ready(Err(SendError));
+        }
+        let within_capacity = this.chan.queue.borrow().len() < this.chan.capacity;
+        if within_capacity {
+            this.chan.queue.borrow_mut().push_back(QEntry {
+                value,
+                pending: None,
+            });
+            this.chan.wake_receiver();
+            return Poll::Ready(Ok(()));
+        }
+        let done = Rc::new(Cell::new(false));
+        let waker = Rc::new(RefCell::new(Some(cx.waker().clone())));
+        this.chan.queue.borrow_mut().push_back(QEntry {
+            value,
+            pending: Some(PendingSend {
+                done: done.clone(),
+                waker: waker.clone(),
+            }),
+        });
+        this.chan.wake_receiver();
+        this.pending = Some(PendingHandle { done, waker });
+        Poll::Pending
+    }
+}
+
+impl<T> Drop for SendFuture<'_, T> {
+    fn drop(&mut self) {
+        // A cancelled send must not deliver its value: withdraw the entry.
+        if let Some(p) = &self.pending {
+            if !p.done.get() {
+                let mut queue = self.chan.queue.borrow_mut();
+                if let Some(pos) = queue.iter().position(|e| {
+                    e.pending
+                        .as_ref()
+                        .is_some_and(|q| Rc::ptr_eq(&q.done, &p.done))
+                }) {
+                    queue.remove(pos);
+                }
+            }
+        }
+    }
+}
+
+/// The receiving half of a channel (single consumer).
+pub struct Receiver<T> {
+    state: Rc<ChanState<T>>,
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.state.receiver_alive.set(false);
+        // Wake every blocked sender so it can observe the closure.
+        for entry in self.state.queue.borrow().iter() {
+            if let Some(p) = &entry.pending {
+                if let Some(w) = p.waker.borrow_mut().take() {
+                    w.wake();
+                }
+            }
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives the next value, waiting if none is queued.
+    pub fn recv(&self) -> RecvFuture<'_, T> {
+        RecvFuture { chan: &self.state }
+    }
+
+    /// Takes a queued value without waiting.
+    pub fn try_recv(&self) -> Option<T> {
+        self.state.pop()
+    }
+
+    /// Number of values queued.
+    pub fn len(&self) -> usize {
+        self.state.queue.borrow().len()
+    }
+
+    /// Returns `true` when no values are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` when every sender has been dropped.
+    pub fn is_closed(&self) -> bool {
+        self.state.senders.get() == 0
+    }
+
+    pub(crate) fn poll_take(&self, cx: &mut Context<'_>) -> Poll<Result<T, RecvError>> {
+        self.state.poll_take(cx)
+    }
+}
+
+/// Future returned by [`Receiver::recv`].
+pub struct RecvFuture<'a, T> {
+    chan: &'a Rc<ChanState<T>>,
+}
+
+impl<T> Future for RecvFuture<'_, T> {
+    type Output = Result<T, RecvError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        self.chan.poll_take(cx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Simulation;
+    use crate::time::{SimDuration, SimTime};
+    use std::rc::Rc as StdRc;
+
+    #[test]
+    fn rendezvous_blocks_sender_until_received() {
+        let mut sim = Simulation::new();
+        let (tx, rx) = channel::<u32>();
+        let sent_at = StdRc::new(Cell::new(SimTime::ZERO));
+        let sa = sent_at.clone();
+        sim.spawn("sender", async move {
+            tx.send(1).await.unwrap();
+            sa.set(crate::now());
+        });
+        sim.spawn("receiver", async move {
+            crate::delay(SimDuration::from_millis(5)).await;
+            assert_eq!(rx.recv().await.unwrap(), 1);
+        });
+        sim.run_until_idle();
+        // The sender only completed when the receiver took the value at t=5ms.
+        assert_eq!(sent_at.get(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn buffered_sender_completes_early_until_full() {
+        let mut sim = Simulation::new();
+        let (tx, rx) = buffered::<u32>(2);
+        let progress = StdRc::new(Cell::new(0u32));
+        let p = progress.clone();
+        sim.spawn("sender", async move {
+            tx.send(1).await.unwrap();
+            p.set(1);
+            tx.send(2).await.unwrap();
+            p.set(2);
+            tx.send(3).await.unwrap(); // Blocks: capacity 2.
+            p.set(3);
+        });
+        sim.run_for(SimDuration::from_millis(1));
+        assert_eq!(progress.get(), 2);
+        sim.spawn("receiver", async move {
+            assert_eq!(rx.recv().await.unwrap(), 1);
+            assert_eq!(rx.recv().await.unwrap(), 2);
+            assert_eq!(rx.recv().await.unwrap(), 3);
+        });
+        sim.run_until_idle();
+        assert_eq!(progress.get(), 3);
+    }
+
+    #[test]
+    fn unbounded_never_blocks() {
+        let mut sim = Simulation::new();
+        let (tx, rx) = unbounded::<u32>();
+        sim.spawn("sender", async move {
+            for i in 0..1000 {
+                tx.send(i).await.unwrap();
+            }
+        });
+        sim.run_until_idle();
+        assert_eq!(rx.len(), 1000);
+        let mut got = 0;
+        while rx.try_recv().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 1000);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut sim = Simulation::new();
+        let (tx, rx) = unbounded::<u32>();
+        let out = StdRc::new(RefCell::new(Vec::new()));
+        let o = out.clone();
+        sim.spawn("sender", async move {
+            for i in 0..10 {
+                tx.send(i).await.unwrap();
+            }
+        });
+        sim.spawn("receiver", async move {
+            while let Ok(v) = rx.recv().await {
+                o.borrow_mut().push(v);
+            }
+        });
+        sim.run_until_idle();
+        assert_eq!(*out.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_errors_when_all_senders_dropped() {
+        let mut sim = Simulation::new();
+        let (tx, rx) = channel::<u32>();
+        sim.spawn("sender", async move {
+            tx.send(9).await.unwrap();
+            // tx dropped here.
+        });
+        let saw = StdRc::new(Cell::new(false));
+        let s = saw.clone();
+        sim.spawn("receiver", async move {
+            assert_eq!(rx.recv().await.unwrap(), 9);
+            assert_eq!(rx.recv().await, Err(RecvError));
+            s.set(true);
+        });
+        sim.run_until_idle();
+        assert!(saw.get());
+    }
+
+    #[test]
+    fn send_errors_when_receiver_dropped() {
+        let mut sim = Simulation::new();
+        let (tx, rx) = channel::<u32>();
+        drop(rx);
+        let saw = StdRc::new(Cell::new(false));
+        let s = saw.clone();
+        sim.spawn("sender", async move {
+            assert_eq!(tx.send(1).await, Err(SendError));
+            s.set(true);
+        });
+        sim.run_until_idle();
+        assert!(saw.get());
+    }
+
+    #[test]
+    fn blocked_sender_wakes_when_receiver_dropped() {
+        let mut sim = Simulation::new();
+        let (tx, rx) = channel::<u32>();
+        let saw = StdRc::new(Cell::new(false));
+        let s = saw.clone();
+        sim.spawn("sender", async move {
+            assert_eq!(tx.send(1).await, Err(SendError));
+            s.set(true);
+        });
+        sim.spawn("dropper", async move {
+            crate::delay(SimDuration::from_millis(1)).await;
+            drop(rx);
+        });
+        sim.run_until_idle();
+        assert!(saw.get());
+    }
+
+    #[test]
+    fn try_send_respects_capacity() {
+        let (tx, rx) = buffered::<u32>(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.try_recv(), Some(1));
+        assert_eq!(tx.try_send(2), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(3), Err(TrySendError::Closed(3)));
+    }
+
+    #[test]
+    fn try_send_on_rendezvous_always_full() {
+        let (tx, _rx) = channel::<u32>();
+        assert_eq!(tx.try_send(1), Err(TrySendError::Full(1)));
+    }
+
+    #[test]
+    fn multi_sender_clone_counts() {
+        let mut sim = Simulation::new();
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        sim.spawn("a", async move {
+            tx.send(1).await.unwrap();
+        });
+        sim.spawn("b", async move {
+            tx2.send(2).await.unwrap();
+        });
+        let n = StdRc::new(Cell::new(0));
+        let n2 = n.clone();
+        sim.spawn("rx", async move {
+            while rx.recv().await.is_ok() {
+                n2.set(n2.get() + 1);
+            }
+        });
+        sim.run_until_idle();
+        assert_eq!(n.get(), 2);
+    }
+
+    #[test]
+    fn cancelled_send_withdraws_value() {
+        let mut sim = Simulation::new();
+        let (tx, rx) = channel::<u32>();
+        sim.spawn("sender", async move {
+            // Send with a deadline that expires before any receiver arrives.
+            let send = tx.send(42);
+            let timeout = crate::delay(SimDuration::from_millis(1));
+            futures_race(send, timeout).await;
+            // Hold the sender open so recv below observes emptiness rather
+            // than closure.
+            crate::delay(SimDuration::from_millis(10)).await;
+            drop(tx);
+        });
+        let got = StdRc::new(RefCell::new(None));
+        let g = got.clone();
+        sim.spawn("receiver", async move {
+            crate::delay(SimDuration::from_millis(5)).await;
+            *g.borrow_mut() = Some(rx.recv().await);
+        });
+        sim.run_until_idle();
+        // The send was cancelled at t=1ms, so the receiver sees closure, not 42.
+        assert_eq!(*got.borrow(), Some(Err(RecvError)));
+    }
+
+    /// Minimal two-future race for tests (first to complete wins, other dropped).
+    async fn futures_race<A, B>(a: A, b: B)
+    where
+        A: Future,
+        B: Future,
+    {
+        struct Race<A, B>(Option<A>, Option<B>);
+        impl<A: Future, B: Future> Future for Race<A, B> {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                let this = unsafe { self.get_unchecked_mut() };
+                if let Some(a) = &mut this.0 {
+                    // SAFETY: `a` is not moved after being pinned here.
+                    if unsafe { Pin::new_unchecked(a) }.poll(cx).is_ready() {
+                        return Poll::Ready(());
+                    }
+                }
+                if let Some(b) = &mut this.1 {
+                    // SAFETY: `b` is not moved after being pinned here.
+                    if unsafe { Pin::new_unchecked(b) }.poll(cx).is_ready() {
+                        return Poll::Ready(());
+                    }
+                }
+                Poll::Pending
+            }
+        }
+        Race(Some(a), Some(b)).await
+    }
+}

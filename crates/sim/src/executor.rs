@@ -1,0 +1,602 @@
+//! The deterministic virtual-time executor.
+//!
+//! This is the stand-in for the Inmos transputer's hardware scheduler and
+//! the Occam runtime (§3.1 of the paper). Tasks are plain Rust futures;
+//! time is virtual and only advances when every task is blocked (on a
+//! channel rendezvous, a timer or a CPU grant). Two priority levels mirror
+//! the transputer's high/low priority processes, and a context-switch
+//! counter lets experiments check claims like the "around 5kHz" context
+//! switching rate of §4.2.
+//!
+//! Determinism: with the same spawn order and the same seeded workloads, a
+//! simulation produces bit-identical schedules, which is what makes the
+//! paper tables exactly reproducible.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use parking_lot::Mutex;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Scheduling priority of a task, mirroring the transputer's two levels.
+///
+/// In Pandora "the output processes have priority" (§3.7.1): data is pulled
+/// out of the box ahead of being pushed in, so overload back-pressures
+/// toward the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// High priority: polled before any low-priority task is considered.
+    High,
+    /// Low priority (the default for ordinary processes).
+    #[default]
+    Low,
+}
+
+/// Identifier of a spawned task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskId {
+    index: usize,
+    gen: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskState {
+    Idle,
+    Queued,
+    Running,
+    Done,
+}
+
+struct Slot {
+    gen: u64,
+    state: TaskState,
+    future: Option<Pin<Box<dyn Future<Output = ()>>>>,
+    waker: Option<Waker>,
+    name: Rc<str>,
+    priority: Priority,
+}
+
+struct WakeEntry {
+    id: TaskId,
+    woken: Arc<Mutex<Vec<TaskId>>>,
+}
+
+impl Wake for WakeEntry {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.woken.lock().push(self.id);
+    }
+}
+
+struct TimerEntry {
+    at: u64,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+pub(crate) struct Inner {
+    clock: Cell<u64>,
+    tasks: RefCell<Vec<Slot>>,
+    free: RefCell<Vec<usize>>,
+    run_high: RefCell<VecDeque<TaskId>>,
+    run_low: RefCell<VecDeque<TaskId>>,
+    woken: Arc<Mutex<Vec<TaskId>>>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    timer_seq: Cell<u64>,
+    ctx_switches: Cell<u64>,
+    current: Cell<Option<TaskId>>,
+    live_tasks: Cell<usize>,
+    spawned_total: Cell<u64>,
+}
+
+impl Inner {
+    fn new() -> Rc<Self> {
+        Rc::new(Inner {
+            clock: Cell::new(0),
+            tasks: RefCell::new(Vec::new()),
+            free: RefCell::new(Vec::new()),
+            run_high: RefCell::new(VecDeque::new()),
+            run_low: RefCell::new(VecDeque::new()),
+            woken: Arc::new(Mutex::new(Vec::new())),
+            timers: RefCell::new(BinaryHeap::new()),
+            timer_seq: Cell::new(0),
+            ctx_switches: Cell::new(0),
+            current: Cell::new(None),
+            live_tasks: Cell::new(0),
+            spawned_total: Cell::new(0),
+        })
+    }
+
+    fn spawn(
+        self: &Rc<Self>,
+        name: &str,
+        priority: Priority,
+        future: impl Future<Output = ()> + 'static,
+    ) -> TaskId {
+        let mut tasks = self.tasks.borrow_mut();
+        let index = match self.free.borrow_mut().pop() {
+            Some(i) => i,
+            None => {
+                tasks.push(Slot {
+                    gen: 0,
+                    state: TaskState::Done,
+                    future: None,
+                    waker: None,
+                    name: Rc::from(""),
+                    priority,
+                });
+                tasks.len() - 1
+            }
+        };
+        let slot = &mut tasks[index];
+        let id = TaskId {
+            index,
+            gen: slot.gen,
+        };
+        slot.state = TaskState::Queued;
+        slot.future = Some(Box::pin(future));
+        slot.name = Rc::from(name);
+        slot.priority = priority;
+        slot.waker = Some(Waker::from(Arc::new(WakeEntry {
+            id,
+            woken: self.woken.clone(),
+        })));
+        drop(tasks);
+        self.live_tasks.set(self.live_tasks.get() + 1);
+        self.spawned_total.set(self.spawned_total.get() + 1);
+        match priority {
+            Priority::High => self.run_high.borrow_mut().push_back(id),
+            Priority::Low => self.run_low.borrow_mut().push_back(id),
+        }
+        id
+    }
+
+    pub(crate) fn now(&self) -> SimTime {
+        SimTime(self.clock.get())
+    }
+
+    pub(crate) fn register_timer(&self, at: SimTime, waker: Waker) {
+        let seq = self.timer_seq.get();
+        self.timer_seq.set(seq + 1);
+        self.timers.borrow_mut().push(Reverse(TimerEntry {
+            at: at.0,
+            seq,
+            waker,
+        }));
+    }
+
+    fn drain_woken(&self) {
+        let ids: Vec<TaskId> = std::mem::take(&mut *self.woken.lock());
+        for id in ids {
+            let mut tasks = self.tasks.borrow_mut();
+            let Some(slot) = tasks.get_mut(id.index) else {
+                continue;
+            };
+            if slot.gen != id.gen || slot.state != TaskState::Idle {
+                continue;
+            }
+            slot.state = TaskState::Queued;
+            let priority = slot.priority;
+            drop(tasks);
+            match priority {
+                Priority::High => self.run_high.borrow_mut().push_back(id),
+                Priority::Low => self.run_low.borrow_mut().push_back(id),
+            }
+        }
+    }
+
+    fn next_runnable(&self) -> Option<TaskId> {
+        if let Some(id) = self.run_high.borrow_mut().pop_front() {
+            return Some(id);
+        }
+        self.run_low.borrow_mut().pop_front()
+    }
+
+    fn poll_task(self: &Rc<Self>, id: TaskId) {
+        let (mut future, waker) = {
+            let mut tasks = self.tasks.borrow_mut();
+            let Some(slot) = tasks.get_mut(id.index) else {
+                return;
+            };
+            if slot.gen != id.gen || slot.state == TaskState::Done {
+                return;
+            }
+            slot.state = TaskState::Running;
+            (
+                slot.future.take().expect("task future missing"),
+                slot.waker.clone().expect("waker"),
+            )
+        };
+        self.ctx_switches.set(self.ctx_switches.get() + 1);
+        self.current.set(Some(id));
+        let mut cx = Context::from_waker(&waker);
+        let poll = future.as_mut().poll(&mut cx);
+        self.current.set(None);
+        let mut tasks = self.tasks.borrow_mut();
+        let slot = &mut tasks[id.index];
+        match poll {
+            Poll::Ready(()) => {
+                slot.state = TaskState::Done;
+                slot.gen += 1;
+                slot.future = None;
+                slot.waker = None;
+                drop(tasks);
+                self.free.borrow_mut().push(id.index);
+                self.live_tasks.set(self.live_tasks.get() - 1);
+            }
+            Poll::Pending => {
+                slot.future = Some(future);
+                slot.state = TaskState::Idle;
+            }
+        }
+    }
+
+    /// Runs until `deadline`; returns the reason the loop stopped.
+    fn run_until(self: &Rc<Self>, deadline: SimTime) -> StopReason {
+        let _guard = ContextGuard::enter(self.clone());
+        loop {
+            self.drain_woken();
+            if let Some(id) = self.next_runnable() {
+                self.poll_task(id);
+                continue;
+            }
+            // Nothing runnable: advance virtual time to the next timer.
+            let next_at = self.timers.borrow().peek().map(|Reverse(t)| t.at);
+            match next_at {
+                Some(at) if at <= deadline.0 => {
+                    debug_assert!(at >= self.clock.get(), "time must not go backwards");
+                    self.clock.set(at.max(self.clock.get()));
+                    let mut timers = self.timers.borrow_mut();
+                    while let Some(Reverse(t)) = timers.peek() {
+                        if t.at > at {
+                            break;
+                        }
+                        let Reverse(t) = timers.pop().expect("peeked");
+                        t.waker.wake();
+                    }
+                }
+                _ => {
+                    let idle = next_at.is_none();
+                    // Leave the clock at the requested deadline, except for
+                    // the open-ended run_until_idle sentinel.
+                    if deadline.0 != u64::MAX {
+                        self.clock.set(self.clock.get().max(deadline.0));
+                    }
+                    return if idle {
+                        StopReason::Idle
+                    } else {
+                        StopReason::Deadline
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Why a call to [`Simulation::run_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The virtual clock reached the requested deadline with work remaining.
+    Deadline,
+    /// No task is runnable and no timer is pending: the simulation is
+    /// quiescent (every remaining task is blocked on a channel).
+    Idle,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Vec<Rc<Inner>>> = const { RefCell::new(Vec::new()) };
+}
+
+struct ContextGuard;
+
+impl ContextGuard {
+    fn enter(inner: Rc<Inner>) -> ContextGuard {
+        CURRENT.with(|c| c.borrow_mut().push(inner));
+        ContextGuard
+    }
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+pub(crate) fn with_current<R>(f: impl FnOnce(&Rc<Inner>) -> R) -> R {
+    CURRENT.with(|c| {
+        let stack = c.borrow();
+        let inner = stack
+            .last()
+            .expect("not inside a simulation: this call is only valid inside a running task");
+        f(inner)
+    })
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// # Examples
+///
+/// ```
+/// use pandora_sim::{Simulation, SimDuration, SimTime};
+///
+/// let mut sim = Simulation::new();
+/// let (tx, rx) = pandora_sim::channel::<u32>();
+/// sim.spawn("producer", async move {
+///     pandora_sim::delay(SimDuration::from_millis(2)).await;
+///     tx.send(7).await.unwrap();
+/// });
+/// sim.spawn("consumer", async move {
+///     let v = rx.recv().await.unwrap();
+///     assert_eq!(v, 7);
+///     assert_eq!(pandora_sim::now(), SimTime::from_millis(2));
+/// });
+/// sim.run_until_idle();
+/// assert_eq!(sim.now(), SimTime::from_millis(2));
+/// ```
+pub struct Simulation {
+    inner: Rc<Inner>,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation at t = 0.
+    pub fn new() -> Self {
+        Simulation {
+            inner: Inner::new(),
+        }
+    }
+
+    /// Spawns a low-priority task.
+    pub fn spawn(&mut self, name: &str, future: impl Future<Output = ()> + 'static) -> TaskId {
+        self.inner.spawn(name, Priority::Low, future)
+    }
+
+    /// Spawns a task at the given priority.
+    pub fn spawn_prio(
+        &mut self,
+        name: &str,
+        priority: Priority,
+        future: impl Future<Output = ()> + 'static,
+    ) -> TaskId {
+        self.inner.spawn(name, priority, future)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+
+    /// Runs the simulation until the clock reaches `deadline` or no work
+    /// remains, whichever comes first.
+    pub fn run_until(&mut self, deadline: SimTime) -> StopReason {
+        self.inner.run_until(deadline)
+    }
+
+    /// Runs for `d` of virtual time from the current clock.
+    pub fn run_for(&mut self, d: SimDuration) -> StopReason {
+        let deadline = self.now() + d;
+        self.run_until(deadline)
+    }
+
+    /// Runs until quiescent (no runnable task and no pending timer).
+    pub fn run_until_idle(&mut self) -> StopReason {
+        self.run_until(SimTime(u64::MAX))
+    }
+
+    /// Total number of task polls so far; the simulator's analogue of the
+    /// transputer context-switch count (§4.2).
+    pub fn context_switches(&self) -> u64 {
+        self.inner.ctx_switches.get()
+    }
+
+    /// Number of tasks that have been spawned and not yet finished.
+    pub fn live_tasks(&self) -> usize {
+        self.inner.live_tasks.get()
+    }
+
+    /// Total number of tasks ever spawned.
+    pub fn spawned_total(&self) -> u64 {
+        self.inner.spawned_total.get()
+    }
+
+    /// Names and states of all live tasks, for deadlock diagnosis.
+    pub fn dump_tasks(&self) -> Vec<(String, &'static str)> {
+        self.inner
+            .tasks
+            .borrow()
+            .iter()
+            .filter(|s| s.state != TaskState::Done)
+            .map(|s| {
+                let st = match s.state {
+                    TaskState::Idle => "blocked",
+                    TaskState::Queued => "runnable",
+                    TaskState::Running => "running",
+                    TaskState::Done => "done",
+                };
+                (s.name.to_string(), st)
+            })
+            .collect()
+    }
+
+    /// Handle for spawning from outside a task without `&mut self`.
+    pub fn spawner(&self) -> Spawner {
+        Spawner {
+            inner: Rc::downgrade(&self.inner),
+        }
+    }
+}
+
+/// A cloneable handle that can spawn tasks onto a [`Simulation`].
+#[derive(Clone)]
+pub struct Spawner {
+    inner: std::rc::Weak<Inner>,
+}
+
+impl Spawner {
+    /// Spawns a low-priority task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has been dropped.
+    pub fn spawn(&self, name: &str, future: impl Future<Output = ()> + 'static) -> TaskId {
+        self.spawn_prio(name, Priority::Low, future)
+    }
+
+    /// Spawns a task at the given priority.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has been dropped.
+    pub fn spawn_prio(
+        &self,
+        name: &str,
+        priority: Priority,
+        future: impl Future<Output = ()> + 'static,
+    ) -> TaskId {
+        let inner = self.inner.upgrade().expect("simulation dropped");
+        inner.spawn(name, priority, future)
+    }
+
+    /// The simulation's current virtual time — usable from setup code
+    /// between runs, unlike the task-context [`now`] free function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has been dropped.
+    pub fn now(&self) -> SimTime {
+        self.inner.upgrade().expect("simulation dropped").now()
+    }
+}
+
+/// Current virtual time. Only valid inside a running simulation.
+///
+/// # Panics
+///
+/// Panics when called outside [`Simulation::run_until`] and friends.
+pub fn now() -> SimTime {
+    with_current(|i| i.now())
+}
+
+/// Current virtual time, or `None` when no simulation is running on this
+/// thread (e.g. during setup before the first `run_until`).
+pub fn try_now() -> Option<SimTime> {
+    CURRENT.with(|c| c.borrow().last().map(|i| i.now()))
+}
+
+/// Spawns a low-priority task from inside a running task.
+pub fn spawn(name: &str, future: impl Future<Output = ()> + 'static) -> TaskId {
+    with_current(|i| i.spawn(name, Priority::Low, future))
+}
+
+/// Spawns a task at the given priority from inside a running task.
+pub fn spawn_prio(
+    name: &str,
+    priority: Priority,
+    future: impl Future<Output = ()> + 'static,
+) -> TaskId {
+    with_current(|i| i.spawn(name, priority, future))
+}
+
+/// Future that completes at an absolute virtual time.
+pub fn delay_until(deadline: SimTime) -> Delay {
+    Delay {
+        deadline,
+        rel: None,
+        registered: false,
+    }
+}
+
+/// Future that completes after `d` of virtual time.
+///
+/// The duration is measured from the moment the future is first polled.
+pub fn delay(d: SimDuration) -> Delay {
+    Delay {
+        deadline: SimTime(u64::MAX),
+        rel: Some(d),
+        registered: false,
+    }
+}
+
+/// Timer future returned by [`delay`] / [`delay_until`].
+pub struct Delay {
+    deadline: SimTime,
+    rel: Option<SimDuration>,
+    registered: bool,
+}
+
+impl Delay {
+    /// The absolute deadline (resolved at first poll for [`delay`]).
+    pub fn deadline(&self) -> SimTime {
+        self.deadline
+    }
+}
+
+impl Future for Delay {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = &mut *self;
+        if let Some(d) = this.rel.take() {
+            this.deadline = now() + d;
+        }
+        let t = with_current(|i| i.now());
+        if t >= this.deadline {
+            return Poll::Ready(());
+        }
+        if !this.registered {
+            with_current(|i| i.register_timer(this.deadline, cx.waker().clone()));
+            this.registered = true;
+        }
+        Poll::Pending
+    }
+}
+
+/// Yields once, letting other runnable tasks execute at the same instant.
+pub async fn yield_now() {
+    struct YieldNow(bool);
+    impl Future for YieldNow {
+        type Output = ();
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if self.0 {
+                Poll::Ready(())
+            } else {
+                self.0 = true;
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+    }
+    YieldNow(false).await
+}

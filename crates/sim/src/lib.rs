@@ -1,0 +1,70 @@
+//! # pandora-sim — a deterministic transputer-style simulation kernel
+//!
+//! This crate is the substrate substitution for the Inmos transputer
+//! hardware and Occam 2 runtime that Pandora was built on (see the paper's
+//! §3.1 and DESIGN.md §2). It provides:
+//!
+//! * a single-threaded, deterministic, virtual-time **executor**
+//!   ([`Simulation`]) with two task priorities, timers and a
+//!   context-switch counter;
+//! * **rendezvous channels** ([`channel`]) with Occam semantics — a send
+//!   completes only when received — plus [`buffered`] and [`unbounded`]
+//!   variants for hardware FIFOs and report sinks;
+//! * **PRI ALT** ([`alt2`], [`alt3`], [`alt_many`], [`recv_deadline`]) —
+//!   prioritized alternation so command channels can never be starved
+//!   (Principle 4);
+//! * **virtual CPUs** ([`Cpu`]) with non-preemptive priority dispatch and
+//!   context-switch surcharges, so overload behaviour (the subject of the
+//!   paper's principles) emerges from resource exhaustion;
+//! * **links** ([`link`]) with bandwidth-limited, back-pressured transfer
+//!   (Inmos links and board FIFOs);
+//! * **tickers** ([`ticker`]) modelling the event-pin-driven codec FIFO,
+//!   with overflow counting and configurable crystal drift.
+//!
+//! Everything runs in virtual time: a simulated minute of audio costs
+//! milliseconds of host time, and two runs with the same seeds produce
+//! identical schedules — which is what makes the paper's tables exactly
+//! reproducible.
+//!
+//! ## Example
+//!
+//! ```
+//! use pandora_sim::{Simulation, SimDuration};
+//!
+//! let mut sim = Simulation::new();
+//! let (tx, rx) = pandora_sim::channel::<&'static str>();
+//! sim.spawn("producer", async move {
+//!     pandora_sim::delay(SimDuration::from_millis(2)).await;
+//!     tx.send("block").await.unwrap();
+//! });
+//! sim.spawn("consumer", async move {
+//!     assert_eq!(rx.recv().await.unwrap(), "block");
+//! });
+//! sim.run_until_idle();
+//! assert_eq!(sim.now().as_millis(), 2);
+//! ```
+
+mod alt;
+mod channel;
+mod cpu;
+mod executor;
+mod link;
+mod ticker;
+mod time;
+
+pub use alt::{
+    alt2, alt2_deadline, alt3, alt3_deadline, alt4, alt4_deadline, alt_many, alt_many_deadline,
+    recv_deadline, Alt2, Alt3, Alt4, AltMany, Either2, Either3, Either4, RecvDeadline,
+};
+pub use channel::{
+    buffered, channel, unbounded, Receiver, RecvError, RecvFuture, SendError, SendFuture, Sender,
+    TrySendError,
+};
+pub use cpu::{Claim, ClaimPriority, Cpu, PRIO_COMMAND, PRIO_NORMAL, PRIO_OUTPUT};
+pub use executor::{
+    delay, delay_until, now, spawn, spawn_prio, try_now, yield_now, Delay, Priority, Simulation,
+    Spawner, StopReason, TaskId,
+};
+pub use link::{drifted_tick, link, link_here, LinkConfig, LinkSender, WireSize};
+pub use ticker::{ticker, Tick, TickerHandle};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,236 @@
+//! Frame assembly and tear-free display (§3.6).
+//!
+//! "On the mixer board, the video data is copied from the fifo into a
+//! waiting memory buffer. We do not display any part of a video frame
+//! until all of the segments have been received, otherwise the effect of a
+//! tear can be seen when part of the image is moving parallel to a segment
+//! boundary. Once we have all the data for a frame, it is copied into the
+//! display frame buffer as soon as possible, care being taken to avoid the
+//! scan of the display controller."
+
+use std::collections::HashMap;
+
+use pandora_segment::VideoSegment;
+
+use crate::framestore::Rect;
+
+/// Assembles the segments of each video frame; releases a frame only when
+/// complete.
+#[derive(Debug)]
+pub struct FrameAssembler {
+    current_frame: Option<u32>,
+    expected_segments: u32,
+    received: HashMap<u32, VideoSegment>,
+    /// Frames abandoned because a newer frame arrived first.
+    dropped_incomplete: u64,
+    completed: u64,
+}
+
+/// A fully assembled frame ready to blit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssembledFrame {
+    /// The frame number.
+    pub frame_number: u32,
+    /// Placement of the whole rectangle on the display.
+    pub rect: Rect,
+    /// Decompressed pixels, row-major, `rect.area()` bytes.
+    pub pixels: Vec<u8>,
+}
+
+impl Default for FrameAssembler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameAssembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        FrameAssembler {
+            current_frame: None,
+            expected_segments: 0,
+            received: HashMap::new(),
+            dropped_incomplete: 0,
+            completed: 0,
+        }
+    }
+
+    /// Feeds one decoded segment (already decompressed to `lines` of raw
+    /// pixels). Returns the assembled frame when the last piece lands.
+    ///
+    /// A segment from a newer frame abandons the current incomplete frame
+    /// (it can never complete once its successor starts arriving in a
+    /// FIFO transport) — the abandonment is counted, never displayed.
+    pub fn push(&mut self, segment: &VideoSegment, lines: Vec<Vec<u8>>) -> Option<AssembledFrame> {
+        let frame = segment.video.frame_number;
+        match self.current_frame {
+            Some(f) if f == frame => {}
+            Some(f) => {
+                // Newer frame (or wrap): drop the partial one.
+                if !self.received.is_empty() {
+                    self.dropped_incomplete += 1;
+                }
+                self.received.clear();
+                self.current_frame = Some(frame);
+                self.expected_segments = segment.video.segments_in_frame;
+                let _ = f;
+            }
+            None => {
+                self.current_frame = Some(frame);
+                self.expected_segments = segment.video.segments_in_frame;
+            }
+        }
+        let mut seg = segment.clone();
+        // Replace compressed payload with raw pixels for composition.
+        seg.data = lines.concat();
+        self.received.insert(segment.video.segment_number, seg);
+        if self.received.len() as u32 == self.expected_segments {
+            let frame = self.compose()?;
+            self.received.clear();
+            self.current_frame = None;
+            self.completed += 1;
+            Some(frame)
+        } else {
+            None
+        }
+    }
+
+    fn compose(&self) -> Option<AssembledFrame> {
+        let any = self.received.values().next()?;
+        let width = any.video.width;
+        let total_lines: u32 = self.received.values().map(|s| s.video.lines).sum();
+        let rect = Rect::new(any.video.x_offset, any.video.y_offset, width, total_lines);
+        let mut pixels = vec![0u8; rect.area()];
+        for seg in self.received.values() {
+            let start = seg.video.start_line as usize * width as usize;
+            let len = seg.video.lines as usize * width as usize;
+            if seg.data.len() != len || start + len > pixels.len() {
+                return None;
+            }
+            pixels[start..start + len].copy_from_slice(&seg.data);
+        }
+        Some(AssembledFrame {
+            frame_number: any.video.frame_number,
+            rect,
+            pixels,
+        })
+    }
+
+    /// Frames abandoned mid-assembly.
+    pub fn dropped_incomplete(&self) -> u64 {
+        self.dropped_incomplete
+    }
+
+    /// Frames fully assembled.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Segments currently held for the in-progress frame.
+    pub fn pending_segments(&self) -> usize {
+        self.received.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::{capture_rect, CaptureConfig, RateFraction};
+    use crate::dpcm::LineMode;
+    use crate::framestore::FrameStore;
+    use crate::interp::{decode_segment, LineCache};
+    use crate::pattern::TestPattern;
+    use pandora_segment::{SequenceNumber, StreamId, Timestamp};
+
+    fn captured_frame(frame_number: u32, lines_per_segment: u32) -> Vec<VideoSegment> {
+        let mut fs = FrameStore::new(32, 16);
+        fs.write_frame(&TestPattern::new(32, 16).frame(frame_number as u64));
+        let cfg = CaptureConfig {
+            rect: Rect::new(4, 2, 24, 12),
+            rate: RateFraction::FULL,
+            lines_per_segment,
+            mode: LineMode::Raw, // Raw keeps pixels exact for assertions.
+        };
+        capture_rect(&fs, &cfg, frame_number, SequenceNumber(0), Timestamp(0))
+    }
+
+    fn decode(seg: &VideoSegment, cache: &mut LineCache) -> Vec<Vec<u8>> {
+        decode_segment(seg, StreamId(1), cache).unwrap()
+    }
+
+    #[test]
+    fn frame_released_only_when_complete() {
+        let segs = captured_frame(0, 4); // 3 segments.
+        let mut asm = FrameAssembler::new();
+        let mut cache = LineCache::new();
+        assert!(asm.push(&segs[0], decode(&segs[0], &mut cache)).is_none());
+        assert!(asm.push(&segs[1], decode(&segs[1], &mut cache)).is_none());
+        let frame = asm
+            .push(&segs[2], decode(&segs[2], &mut cache))
+            .expect("complete");
+        assert_eq!(frame.rect, Rect::new(4, 2, 24, 12));
+        assert_eq!(frame.pixels.len(), 24 * 12);
+        assert_eq!(asm.completed(), 1);
+    }
+
+    #[test]
+    fn out_of_order_segments_assemble() {
+        let segs = captured_frame(0, 4);
+        let mut asm = FrameAssembler::new();
+        let mut cache = LineCache::new();
+        assert!(asm.push(&segs[2], decode(&segs[2], &mut cache)).is_none());
+        assert!(asm.push(&segs[0], decode(&segs[0], &mut cache)).is_none());
+        let frame = asm.push(&segs[1], decode(&segs[1], &mut cache));
+        assert!(frame.is_some());
+    }
+
+    #[test]
+    fn lost_segment_drops_whole_frame() {
+        // Frame 0 loses its middle segment; frame 1 arrives: frame 0 is
+        // abandoned (never partially displayed — no tears) and counted.
+        let f0 = captured_frame(0, 4);
+        let f1 = captured_frame(1, 4);
+        let mut asm = FrameAssembler::new();
+        let mut cache = LineCache::new();
+        asm.push(&f0[0], decode(&f0[0], &mut cache));
+        asm.push(&f0[2], decode(&f0[2], &mut cache));
+        // Segment f0[1] lost. Frame 1 starts:
+        assert!(asm.push(&f1[0], decode(&f1[0], &mut cache)).is_none());
+        assert_eq!(asm.dropped_incomplete(), 1);
+        asm.push(&f1[1], decode(&f1[1], &mut cache));
+        let frame = asm
+            .push(&f1[2], decode(&f1[2], &mut cache))
+            .expect("frame 1 completes");
+        assert_eq!(frame.frame_number, 1);
+    }
+
+    #[test]
+    fn assembled_pixels_match_source() {
+        // Raw mode, single stream: pixels after assemble must equal the
+        // framestore rectangle exactly (vertical filter seeds with the
+        // first line, and raw lines of a fresh stream pass through, so we
+        // only check the first segment's first line plus geometry).
+        let segs = captured_frame(0, 12); // Single segment.
+        let mut fs = FrameStore::new(32, 16);
+        fs.write_frame(&TestPattern::new(32, 16).frame(0));
+        let expected = fs.read_rect(Rect::new(4, 2, 24, 12));
+        let mut asm = FrameAssembler::new();
+        let mut cache = LineCache::new();
+        let frame = asm.push(&segs[0], decode(&segs[0], &mut cache)).unwrap();
+        // First line exact; subsequent lines are vertically filtered.
+        assert_eq!(&frame.pixels[..24], &expected[..24]);
+    }
+
+    #[test]
+    fn single_segment_frames_flow() {
+        let mut asm = FrameAssembler::new();
+        let mut cache = LineCache::new();
+        for n in 0..5 {
+            let segs = captured_frame(n, 12);
+            let got = asm.push(&segs[0], decode(&segs[0], &mut cache));
+            assert!(got.is_some(), "frame {n}");
+        }
+        assert_eq!(asm.completed(), 5);
+        assert_eq!(asm.dropped_incomplete(), 0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Per-line DPCM compression with sub-sampling (§3.6).
+//!
+//! "Each line of video data has a one byte compression header added, which
+//! is used by the compression hardware to determine what sub-sampling and
+//! DPCM coding should be applied." This module is the software stand-in
+//! for that silicon: previous-pixel prediction, 4-bit non-uniform
+//! quantisation of the error (two samples per byte, ≈2:1 ratio), with an
+//! optional 2:1 horizontal sub-sampling mode. "Compression schemes and
+//! parameters can be changed from one segment to the next."
+
+/// Per-line compression mode, carried in the 1-byte line header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineMode {
+    /// Uncompressed pixels.
+    Raw,
+    /// DPCM at full horizontal resolution.
+    Dpcm,
+    /// 2:1 horizontal sub-sampling, then DPCM.
+    DpcmSub2,
+}
+
+impl LineMode {
+    /// Header byte value.
+    pub fn header(self) -> u8 {
+        match self {
+            LineMode::Raw => 0x00,
+            LineMode::Dpcm => 0x01,
+            LineMode::DpcmSub2 => 0x02,
+        }
+    }
+
+    /// Parses a header byte.
+    pub fn from_header(b: u8) -> Option<LineMode> {
+        match b {
+            0x00 => Some(LineMode::Raw),
+            0x01 => Some(LineMode::Dpcm),
+            0x02 => Some(LineMode::DpcmSub2),
+            _ => None,
+        }
+    }
+}
+
+/// The 16-level non-uniform DPCM quantiser step table.
+///
+/// Small steps finely quantised, large steps coarsely — the usual DPCM
+/// companding shape.
+const STEPS: [i16; 8] = [0, 2, 5, 9, 16, 28, 48, 80];
+
+fn quantise(err: i32) -> u8 {
+    let mag = err.unsigned_abs() as i16;
+    let mut idx = 0u8;
+    for (i, &s) in STEPS.iter().enumerate() {
+        if mag >= s {
+            idx = i as u8;
+        }
+    }
+    if err < 0 {
+        idx | 0x08
+    } else {
+        idx
+    }
+}
+
+fn dequantise(code: u8) -> i32 {
+    let mag = STEPS[(code & 0x07) as usize] as i32;
+    if code & 0x08 != 0 {
+        -mag
+    } else {
+        mag
+    }
+}
+
+/// Compresses one line: returns the 1-byte header followed by the payload.
+pub fn compress_line(pixels: &[u8], mode: LineMode) -> Vec<u8> {
+    let mut out = vec![mode.header()];
+    match mode {
+        LineMode::Raw => out.extend_from_slice(pixels),
+        LineMode::Dpcm => out.extend_from_slice(&dpcm_encode(pixels)),
+        LineMode::DpcmSub2 => {
+            let sub: Vec<u8> = pixels
+                .chunks(2)
+                .map(|c| {
+                    if c.len() == 2 {
+                        ((c[0] as u16 + c[1] as u16) / 2) as u8
+                    } else {
+                        c[0]
+                    }
+                })
+                .collect();
+            out.extend_from_slice(&dpcm_encode(&sub));
+        }
+    }
+    out
+}
+
+/// Decompresses one line to `width` pixels.
+///
+/// Returns `None` on an unknown header or truncated payload.
+pub fn decompress_line(data: &[u8], width: usize) -> Option<Vec<u8>> {
+    let (&header, payload) = data.split_first()?;
+    let mode = LineMode::from_header(header)?;
+    match mode {
+        LineMode::Raw => {
+            if payload.len() < width {
+                return None;
+            }
+            Some(payload[..width].to_vec())
+        }
+        LineMode::Dpcm => {
+            let px = dpcm_decode(payload, width)?;
+            Some(px)
+        }
+        LineMode::DpcmSub2 => {
+            let half = width.div_ceil(2);
+            let sub = dpcm_decode(payload, half)?;
+            // Horizontal interpolation back to full width.
+            let mut out = Vec::with_capacity(width);
+            for i in 0..width {
+                if i % 2 == 0 {
+                    out.push(sub[i / 2]);
+                } else {
+                    let a = sub[i / 2] as u16;
+                    let b = *sub.get(i / 2 + 1).unwrap_or(&sub[i / 2]) as u16;
+                    out.push(((a + b) / 2) as u8);
+                }
+            }
+            Some(out)
+        }
+    }
+}
+
+fn dpcm_encode(pixels: &[u8]) -> Vec<u8> {
+    // Two 4-bit codes per byte; predictor follows the *decoder's*
+    // reconstruction so errors do not accumulate.
+    let mut codes = Vec::with_capacity(pixels.len());
+    let mut pred = 128i32;
+    for &p in pixels {
+        let err = p as i32 - pred;
+        let code = quantise(err);
+        pred = (pred + dequantise(code)).clamp(0, 255);
+        codes.push(code);
+    }
+    let mut out = Vec::with_capacity(codes.len().div_ceil(2));
+    for pair in codes.chunks(2) {
+        let hi = pair[0] << 4;
+        let lo = if pair.len() == 2 { pair[1] } else { 0 };
+        out.push(hi | lo);
+    }
+    out
+}
+
+fn dpcm_decode(data: &[u8], width: usize) -> Option<Vec<u8>> {
+    if data.len() < width.div_ceil(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(width);
+    let mut pred = 128i32;
+    for i in 0..width {
+        let byte = data[i / 2];
+        let code = if i % 2 == 0 { byte >> 4 } else { byte & 0x0F };
+        pred = (pred + dequantise(code)).clamp(0, 255);
+        out.push(pred as u8);
+    }
+    Some(out)
+}
+
+/// Compressed size of a line of `width` pixels under `mode`, header
+/// included.
+pub fn compressed_line_bytes(width: usize, mode: LineMode) -> usize {
+    1 + match mode {
+        LineMode::Raw => width,
+        LineMode::Dpcm => width.div_ceil(2),
+        LineMode::DpcmSub2 => width.div_ceil(2).div_ceil(2),
+    }
+}
+
+/// Mean absolute per-pixel error between two equal-length lines.
+pub fn line_error(a: &[u8], b: &[u8]) -> f64 {
+    assert_eq!(a.len(), b.len(), "line length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sum: u64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| (x as i32 - y as i32).unsigned_abs() as u64)
+        .sum();
+    sum as f64 / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient(width: usize) -> Vec<u8> {
+        (0..width).map(|i| (i * 255 / width.max(1)) as u8).collect()
+    }
+
+    fn texture(width: usize) -> Vec<u8> {
+        (0..width)
+            .map(|i| (128.0 + 60.0 * ((i as f64) * 0.7).sin()) as u8)
+            .collect()
+    }
+
+    #[test]
+    fn raw_round_trips_exactly() {
+        let px = texture(64);
+        let c = compress_line(&px, LineMode::Raw);
+        assert_eq!(decompress_line(&c, 64).unwrap(), px);
+    }
+
+    #[test]
+    fn dpcm_halves_the_size() {
+        let px = texture(64);
+        let c = compress_line(&px, LineMode::Dpcm);
+        assert_eq!(c.len(), 1 + 32);
+        assert_eq!(c.len(), compressed_line_bytes(64, LineMode::Dpcm));
+    }
+
+    #[test]
+    fn dpcm_error_is_small_on_smooth_content() {
+        let px = gradient(128);
+        let c = compress_line(&px, LineMode::Dpcm);
+        let d = decompress_line(&c, 128).unwrap();
+        assert!(line_error(&px, &d) < 4.0, "error {}", line_error(&px, &d));
+    }
+
+    #[test]
+    fn dpcm_tracks_texture() {
+        let px = texture(128);
+        let c = compress_line(&px, LineMode::Dpcm);
+        let d = decompress_line(&c, 128).unwrap();
+        assert!(line_error(&px, &d) < 10.0, "error {}", line_error(&px, &d));
+    }
+
+    #[test]
+    fn sub2_quarter_size() {
+        let px = texture(64);
+        let c = compress_line(&px, LineMode::DpcmSub2);
+        assert_eq!(c.len(), 1 + 16);
+        let d = decompress_line(&c, 64).unwrap();
+        assert_eq!(d.len(), 64);
+        // Sub-sampling loses detail but stays in the ballpark.
+        assert!(line_error(&px, &d) < 25.0, "error {}", line_error(&px, &d));
+    }
+
+    #[test]
+    fn odd_width_handled() {
+        let px = texture(63);
+        for mode in [LineMode::Raw, LineMode::Dpcm, LineMode::DpcmSub2] {
+            let c = compress_line(&px, mode);
+            let d = decompress_line(&c, 63).unwrap();
+            assert_eq!(d.len(), 63, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_header_rejected() {
+        assert_eq!(decompress_line(&[0x7F, 1, 2, 3], 3), None);
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let px = texture(64);
+        let c = compress_line(&px, LineMode::Dpcm);
+        assert_eq!(decompress_line(&c[..10], 64), None);
+    }
+
+    #[test]
+    fn mode_headers_round_trip() {
+        for m in [LineMode::Raw, LineMode::Dpcm, LineMode::DpcmSub2] {
+            assert_eq!(LineMode::from_header(m.header()), Some(m));
+        }
+        assert_eq!(LineMode::from_header(0x55), None);
+    }
+
+    #[test]
+    fn encoder_decoder_predictors_agree() {
+        // A hard step edge: the decoder must track the encoder's
+        // reconstruction, not the original, so error stays bounded.
+        let mut px = vec![0u8; 32];
+        px.extend(vec![255u8; 32]);
+        let c = compress_line(&px, LineMode::Dpcm);
+        let d = decompress_line(&c, 64).unwrap();
+        // The tail of each plateau should have converged.
+        assert!((d[30] as i32) < 40, "low plateau {:?}", &d[24..32]);
+        assert!((d[63] as i32) > 215, "high plateau {:?}", &d[56..64]);
+    }
+}

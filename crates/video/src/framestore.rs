@@ -1,0 +1,325 @@
+//! The video framestore and display-scan model (§3.6).
+//!
+//! The capture board reads rectangular blocks out of a double-ported
+//! framestore that the camera writes continuously; reads are "carefully
+//! timed so that the data from the camera being written continuously on a
+//! second port does not update any part of a block while it is being
+//! read". The same scan geometry is used on the display side to avoid
+//! tears.
+
+/// A rectangle within a frame (pixel units, top-left origin).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rect {
+    /// Left edge.
+    pub x: u32,
+    /// Top edge.
+    pub y: u32,
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in lines.
+    pub height: u32,
+}
+
+impl Rect {
+    /// Builds a rectangle.
+    pub const fn new(x: u32, y: u32, width: u32, height: u32) -> Self {
+        Rect {
+            x,
+            y,
+            width,
+            height,
+        }
+    }
+
+    /// Number of pixels covered.
+    pub fn area(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Returns `true` if `self` and `other` share any pixel.
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x < other.x + other.width
+            && other.x < self.x + self.width
+            && self.y < other.y + other.height
+            && other.y < self.y + self.height
+    }
+
+    /// Returns `true` if the rectangle fits a `width` × `height` frame.
+    pub fn fits(&self, width: u32, height: u32) -> bool {
+        self.x + self.width <= width && self.y + self.height <= height
+    }
+}
+
+/// An 8-bit greyscale framestore.
+///
+/// PAL-ish geometry by default (768 × 288 per field at 25 Hz); the paper's
+/// hardware stored 16-bit colour, but the transport and timing behaviour
+/// under study is pixel-format-independent (see DESIGN.md §2).
+#[derive(Debug, Clone)]
+pub struct FrameStore {
+    width: u32,
+    height: u32,
+    pixels: Vec<u8>,
+    /// Generation counter: bumped by each camera frame write.
+    generation: u64,
+}
+
+/// Default framestore width.
+pub const DEFAULT_WIDTH: u32 = 768;
+/// Default framestore height.
+pub const DEFAULT_HEIGHT: u32 = 288;
+/// The full camera frame rate (25 Hz).
+pub const FULL_FRAME_RATE_HZ: u32 = 25;
+/// Nanoseconds per full-rate frame (40 ms).
+pub const FRAME_PERIOD_NANOS: u64 = 1_000_000_000 / FULL_FRAME_RATE_HZ as u64;
+
+impl FrameStore {
+    /// Creates a zeroed framestore.
+    pub fn new(width: u32, height: u32) -> Self {
+        FrameStore {
+            width,
+            height,
+            pixels: vec![0; width as usize * height as usize],
+            generation: 0,
+        }
+    }
+
+    /// Creates the default-geometry framestore.
+    pub fn standard() -> Self {
+        FrameStore::new(DEFAULT_WIDTH, DEFAULT_HEIGHT)
+    }
+
+    /// Framestore width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Framestore height in lines.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Frames written so far.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Overwrites the whole store with a camera frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is not exactly `width * height` bytes.
+    pub fn write_frame(&mut self, frame: &[u8]) {
+        assert_eq!(frame.len(), self.pixels.len(), "frame size mismatch");
+        self.pixels.copy_from_slice(frame);
+        self.generation += 1;
+    }
+
+    /// Writes one line (used by the scan-interleaved camera model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is out of range or the wrong width.
+    pub fn write_line(&mut self, y: u32, line: &[u8]) {
+        assert!(y < self.height, "line {y} out of range");
+        assert_eq!(line.len(), self.width as usize, "line width mismatch");
+        let start = y as usize * self.width as usize;
+        self.pixels[start..start + self.width as usize].copy_from_slice(line);
+    }
+
+    /// Reads a rectangle, row-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle does not fit the store.
+    pub fn read_rect(&self, rect: Rect) -> Vec<u8> {
+        assert!(
+            rect.fits(self.width, self.height),
+            "rect out of range: {rect:?}"
+        );
+        let mut out = Vec::with_capacity(rect.area());
+        for row in rect.y..rect.y + rect.height {
+            let start = row as usize * self.width as usize + rect.x as usize;
+            out.extend_from_slice(&self.pixels[start..start + rect.width as usize]);
+        }
+        out
+    }
+
+    /// Writes a rectangle (the display mixer's blit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle does not fit or `data` has the wrong size.
+    pub fn write_rect(&mut self, rect: Rect, data: &[u8]) {
+        assert!(
+            rect.fits(self.width, self.height),
+            "rect out of range: {rect:?}"
+        );
+        assert_eq!(data.len(), rect.area(), "data size mismatch for {rect:?}");
+        for (i, row) in (rect.y..rect.y + rect.height).enumerate() {
+            let start = row as usize * self.width as usize + rect.x as usize;
+            let src = i * rect.width as usize;
+            self.pixels[start..start + rect.width as usize]
+                .copy_from_slice(&data[src..src + rect.width as usize]);
+        }
+    }
+}
+
+/// The raster-scan timing model shared by camera writes and display reads.
+///
+/// At 25 Hz over `height` lines, line `y` is being scanned during
+/// `[frame_start + y*line_period, frame_start + (y+1)*line_period)`.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanModel {
+    height: u32,
+    frame_period_ns: u64,
+}
+
+impl ScanModel {
+    /// Builds the scan model for a store of `height` lines.
+    pub fn new(height: u32, frame_period_ns: u64) -> Self {
+        assert!(height > 0, "height must be non-zero");
+        ScanModel {
+            height,
+            frame_period_ns,
+        }
+    }
+
+    /// The standard 25 Hz scan for the default framestore.
+    pub fn standard() -> Self {
+        ScanModel::new(DEFAULT_HEIGHT, FRAME_PERIOD_NANOS)
+    }
+
+    /// Time the scan spends on one line.
+    pub fn line_period_ns(&self) -> u64 {
+        self.frame_period_ns / self.height as u64
+    }
+
+    /// The line under the scan beam at absolute time `t_ns`.
+    pub fn scan_line_at(&self, t_ns: u64) -> u32 {
+        ((t_ns % self.frame_period_ns) / self.line_period_ns()) as u32 % self.height
+    }
+
+    /// Whether the scan is inside `rect`'s rows during
+    /// `[t_ns, t_ns + duration_ns)`.
+    pub fn scan_hits_rect(&self, rect: Rect, t_ns: u64, duration_ns: u64) -> bool {
+        // Walk whole line intervals covered by the window.
+        let lp = self.line_period_ns();
+        let first = t_ns / lp;
+        let last = (t_ns + duration_ns.max(1) - 1) / lp;
+        for li in first..=last {
+            let line = (li % self.height as u64) as u32;
+            if line >= rect.y && line < rect.y + rect.height {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Earliest delay from `t_ns` at which a copy of `duration_ns` into
+    /// `rect` avoids the scan — "copying frames both in front of and
+    /// behind the scan if necessary".
+    ///
+    /// Returns 0 if the copy is already safe now. Searches line-by-line
+    /// within one frame period; if the copy is longer than the scan's time
+    /// away from the rect, the copy cannot be made safe and 0 is returned
+    /// with the caller accepting the tear (the paper's hardware never hit
+    /// this because blits are fast relative to the scan).
+    pub fn safe_blit_delay(&self, rect: Rect, t_ns: u64, duration_ns: u64) -> u64 {
+        let lp = self.line_period_ns();
+        let mut delay = 0u64;
+        // Try successive line-aligned start times within one frame.
+        for _ in 0..=self.height {
+            if !self.scan_hits_rect(rect, t_ns + delay, duration_ns) {
+                return delay;
+            }
+            // Jump to the start of the next line interval.
+            let into_line = (t_ns + delay) % lp;
+            delay += lp - into_line;
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_geometry() {
+        let r = Rect::new(10, 20, 30, 40);
+        assert_eq!(r.area(), 1200);
+        assert!(r.overlaps(&Rect::new(35, 55, 10, 10)));
+        assert!(!r.overlaps(&Rect::new(40, 20, 5, 5)));
+        assert!(r.fits(100, 100));
+        assert!(!r.fits(39, 100));
+    }
+
+    #[test]
+    fn read_write_rect_round_trip() {
+        let mut fs = FrameStore::new(16, 16);
+        let rect = Rect::new(2, 3, 4, 5);
+        let data: Vec<u8> = (0..rect.area() as u8).collect();
+        fs.write_rect(rect, &data);
+        assert_eq!(fs.read_rect(rect), data);
+        // Outside the rect is untouched.
+        assert_eq!(fs.read_rect(Rect::new(0, 0, 2, 2)), vec![0; 4]);
+    }
+
+    #[test]
+    fn write_frame_bumps_generation() {
+        let mut fs = FrameStore::new(4, 4);
+        assert_eq!(fs.generation(), 0);
+        fs.write_frame(&[7; 16]);
+        assert_eq!(fs.generation(), 1);
+        assert_eq!(fs.read_rect(Rect::new(0, 0, 4, 4)), vec![7; 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rect out of range")]
+    fn out_of_range_read_panics() {
+        let fs = FrameStore::new(8, 8);
+        let _ = fs.read_rect(Rect::new(4, 4, 8, 8));
+    }
+
+    #[test]
+    fn scan_line_advances_with_time() {
+        let scan = ScanModel::new(100, 40_000_000); // 400us per line.
+        assert_eq!(scan.scan_line_at(0), 0);
+        assert_eq!(scan.scan_line_at(400_000), 1);
+        assert_eq!(scan.scan_line_at(39_999_999), 99);
+        assert_eq!(scan.scan_line_at(40_000_000), 0); // Wraps per frame.
+    }
+
+    #[test]
+    fn scan_hits_rect_detection() {
+        let scan = ScanModel::new(100, 40_000_000);
+        let rect = Rect::new(0, 50, 10, 10); // Lines 50-59.
+                                             // At t=0 the scan is at line 0: a short copy misses the rect.
+        assert!(!scan.scan_hits_rect(rect, 0, 1_000_000));
+        // Scanning line 50 at t = 50*400us = 20ms.
+        assert!(scan.scan_hits_rect(rect, 20_000_000, 1_000));
+        // A copy spanning lines 45-52 hits.
+        assert!(scan.scan_hits_rect(rect, 18_000_000, 3_000_000));
+    }
+
+    #[test]
+    fn safe_blit_defers_past_scan() {
+        let scan = ScanModel::new(100, 40_000_000);
+        let rect = Rect::new(0, 0, 10, 5); // Lines 0-4.
+                                           // At t=0 the scan is inside the rect: must wait ~5 lines (2ms).
+        let d = scan.safe_blit_delay(rect, 0, 100_000);
+        assert!(d >= 2_000_000, "delay {d}");
+        assert!(!scan.scan_hits_rect(rect, d, 100_000));
+        // Far from the rect: no delay.
+        assert_eq!(scan.safe_blit_delay(rect, 20_000_000, 100_000), 0);
+    }
+
+    #[test]
+    fn write_line_updates_single_row() {
+        let mut fs = FrameStore::new(4, 3);
+        fs.write_line(1, &[9, 9, 9, 9]);
+        assert_eq!(fs.read_rect(Rect::new(0, 1, 4, 1)), vec![9; 4]);
+        assert_eq!(fs.read_rect(Rect::new(0, 0, 4, 1)), vec![0; 4]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # pandora-video — the Pandora video path primitives
+//!
+//! Implements §3.3 and §3.6 of the paper:
+//!
+//! * [`FrameStore`] / [`ScanModel`] — the double-ported framestore and the
+//!   raster-scan timing used to avoid tearing on capture and display;
+//! * [`capture_rect`] / [`RateFraction`] — rectangle capture at fractional
+//!   frame rates (e.g. 2/5 of 25 Hz = 10 fps), split into self-describing
+//!   video segments;
+//! * [`dpcm`] — the per-line DPCM + sub-sampling codec with its 1-byte
+//!   line headers (the compression silicon stand-in);
+//! * [`slice`](mod@slice) — the slice-description link protocol: the pipelined
+//!   compression engine model, dummy-line flushing, and the special
+//!   hold-back buffer that models data stuck in the pipeline;
+//! * [`interp`] — decompression with the per-stream last-line software
+//!   cache that makes interleaved multi-stream decode seamless (the
+//!   paper's choice 3);
+//! * [`FrameAssembler`] — whole-frame assembly before display, so a
+//!   partially received frame is never shown (no tears).
+
+pub mod dpcm;
+pub mod interp;
+pub mod slice;
+
+mod capture;
+mod display;
+mod framestore;
+mod pattern;
+
+pub use capture::{capture_rect, CaptureConfig, RateFraction};
+pub use display::{AssembledFrame, FrameAssembler};
+pub use framestore::{
+    FrameStore, Rect, ScanModel, DEFAULT_HEIGHT, DEFAULT_WIDTH, FRAME_PERIOD_NANOS,
+    FULL_FRAME_RATE_HZ,
+};
+pub use pattern::TestPattern;

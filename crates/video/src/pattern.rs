@@ -1,0 +1,85 @@
+//! Deterministic synthetic camera frames.
+//!
+//! Stand-in for the live camera: a moving pattern with smooth gradients
+//! (good DPCM behaviour) plus a travelling bright blob (motion for the
+//! tear and frame-rate experiments). Fully deterministic in
+//! (width, height, frame index).
+
+/// A synthetic camera producing 8-bit greyscale frames.
+#[derive(Debug, Clone)]
+pub struct TestPattern {
+    width: u32,
+    height: u32,
+}
+
+impl TestPattern {
+    /// Creates a pattern generator for `width` × `height` frames.
+    pub fn new(width: u32, height: u32) -> Self {
+        TestPattern { width, height }
+    }
+
+    /// Renders frame `n`.
+    pub fn frame(&self, n: u64) -> Vec<u8> {
+        let w = self.width as usize;
+        let h = self.height as usize;
+        let mut out = vec![0u8; w * h];
+        // A diagonal gradient that drifts one pixel per frame.
+        let shift = (n % 256) as usize;
+        // A blob circling the frame.
+        let cx = (w as f64 / 2.0) * (1.0 + 0.7 * ((n as f64) * 0.1).cos());
+        let cy = (h as f64 / 2.0) * (1.0 + 0.7 * ((n as f64) * 0.1).sin());
+        for y in 0..h {
+            for x in 0..w {
+                let g = ((x + y + shift) % 256) as f64 * 0.5;
+                let dx = x as f64 - cx;
+                let dy = y as f64 - cy;
+                let d2 = dx * dx + dy * dy;
+                let blob = 120.0 * (-d2 / 60.0).exp();
+                out[y * w + x] = (g + blob).min(255.0) as u8;
+            }
+        }
+        out
+    }
+
+    /// Frame width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Frame height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let p = TestPattern::new(32, 24);
+        assert_eq!(p.frame(5), p.frame(5));
+    }
+
+    #[test]
+    fn frames_differ_over_time() {
+        let p = TestPattern::new(32, 24);
+        assert_ne!(p.frame(0), p.frame(1));
+    }
+
+    #[test]
+    fn correct_dimensions() {
+        let p = TestPattern::new(17, 9);
+        assert_eq!(p.frame(0).len(), 17 * 9);
+    }
+
+    #[test]
+    fn has_contrast() {
+        let p = TestPattern::new(64, 48);
+        let f = p.frame(0);
+        let min = *f.iter().min().unwrap();
+        let max = *f.iter().max().unwrap();
+        assert!(max - min > 100, "contrast {min}..{max}");
+    }
+}

@@ -1,0 +1,2 @@
+//! Shared helpers for the Pandora examples and integration tests.
+pub use pandora;

@@ -1,0 +1,197 @@
+//! The paper's eight principles (§2), each asserted at system level.
+
+use pandora::{connect_pair, open_audio_shout, open_video_stream, BoxConfig, OutputId, StreamKind};
+use pandora_atm::HopConfig;
+use pandora_audio::gen::{Speech, Tone};
+use pandora_sim::{SimTime, Simulation};
+use pandora_video::dpcm::LineMode;
+use pandora_video::{CaptureConfig, RateFraction, Rect};
+
+fn saturating_video() -> CaptureConfig {
+    CaptureConfig {
+        rect: Rect::new(0, 0, 256, 192),
+        rate: RateFraction::FULL,
+        lines_per_segment: 64,
+        mode: LineMode::Dpcm,
+    }
+}
+
+#[test]
+fn p2_audio_survives_video_overload() {
+    let mut sim = Simulation::new();
+    let cfg = BoxConfig::standard("a");
+    let pair = connect_pair(
+        &sim.spawner(),
+        cfg,
+        BoxConfig::standard("b"),
+        &[HopConfig::clean(6_000_000)],
+        1,
+    );
+    open_audio_shout(&pair.a, &pair.b, Box::new(Speech::new(1)));
+    open_video_stream(&pair.a, &pair.b, saturating_video());
+    open_video_stream(&pair.a, &pair.b, saturating_video());
+    sim.run_until(SimTime::from_secs(5));
+    // Audio sails through untouched.
+    let sent = pair.a.net_out_stats.audio_segments();
+    let got = pair.b.speaker.segments_received();
+    assert!(sent > 1_000);
+    assert!(got as f64 / sent as f64 > 0.97, "audio {got}/{sent}");
+    // Video was shed somewhere (scheduler cap or switch buffer).
+    let shed = pair.a.net_out_stats.p3_drops_total() + pair.a.switch_stats.dropped_total();
+    assert!(shed > 50, "video never degraded: {shed}");
+}
+
+#[test]
+fn p3_new_call_gets_through() {
+    let mut sim = Simulation::new();
+    let cfg = BoxConfig::standard("a");
+    let pair = connect_pair(
+        &sim.spawner(),
+        cfg,
+        BoxConfig::standard("b"),
+        &[HopConfig::clean(6_000_000)],
+        2,
+    );
+    let (old_src, _, _h) = open_video_stream(&pair.a, &pair.b, saturating_video());
+    sim.run_until(SimTime::from_secs(2));
+    let (new_src, _, _h2) = open_video_stream(&pair.a, &pair.b, saturating_video());
+    sim.run_until(SimTime::from_secs(8));
+    assert!(
+        pair.a.net_out_stats.p3_drops(old_src) > pair.a.net_out_stats.p3_drops(new_src),
+        "old {} vs new {}",
+        pair.a.net_out_stats.p3_drops(old_src),
+        pair.a.net_out_stats.p3_drops(new_src)
+    );
+}
+
+#[test]
+fn p4_commands_execute_during_saturation() {
+    let mut sim = Simulation::new();
+    let cfg = BoxConfig::standard("a");
+    let pair = connect_pair(
+        &sim.spawner(),
+        cfg,
+        BoxConfig::standard("b"),
+        &[HopConfig::clean(5_000_000)],
+        3,
+    );
+    let (src, _) = open_audio_shout(&pair.a, &pair.b, Box::new(Tone::new(440.0, 8_000.0)));
+    open_video_stream(&pair.a, &pair.b, saturating_video());
+    sim.run_until(SimTime::from_secs(2));
+    let issued = sim.now();
+    pair.a.query_stream(src);
+    sim.run_until(SimTime::from_millis(2_010));
+    let replies = pair
+        .a
+        .log
+        .of_class(pandora_buffers::ReportClass::Info)
+        .into_iter()
+        .filter(|r| r.time >= issued)
+        .count();
+    assert!(replies > 0, "command starved under stream load");
+}
+
+#[test]
+fn p5_p6_splitting_and_reconfiguration() {
+    let mut sim = Simulation::new();
+    let pair = connect_pair(
+        &sim.spawner(),
+        BoxConfig::standard("a"),
+        BoxConfig::standard("b"),
+        &[HopConfig::clean(50_000_000)],
+        4,
+    );
+    // Split a mic to the speaker, the repository tap and the network.
+    let dst = pair.b.alloc_stream();
+    pair.b
+        .set_route(dst, StreamKind::Audio, vec![OutputId::Audio]);
+    let mic = pair
+        .a
+        .start_audio_source(Box::new(Tone::new(440.0, 8_000.0)));
+    pair.a.set_route(
+        mic,
+        StreamKind::Audio,
+        vec![
+            OutputId::Audio,
+            OutputId::Network(pandora_atm::Vci::from_stream(dst)),
+        ],
+    );
+    sim.run_until(SimTime::from_secs(1));
+    // Live re-plumbing: add the repository destination, then remove it.
+    pair.a.add_dest(mic, OutputId::Repository);
+    sim.run_until(SimTime::from_secs(2));
+    pair.a.remove_dest(mic, OutputId::Repository);
+    sim.run_until(SimTime::from_secs(3));
+    // Both the local copy and the network copy flowed without gaps.
+    assert_eq!(pair.a.speaker.segments_lost(), 0);
+    assert_eq!(pair.b.speaker.segments_lost(), 0);
+    assert!(pair.a.speaker.segments_received() > 700);
+    assert!(pair.b.speaker.segments_received() > 700);
+}
+
+#[test]
+fn p7_default_latency_is_single_digit_ms() {
+    let mut sim = Simulation::new();
+    let pair = connect_pair(
+        &sim.spawner(),
+        BoxConfig::standard("a"),
+        BoxConfig::standard("b"),
+        &[HopConfig::clean(50_000_000)],
+        5,
+    );
+    open_audio_shout(&pair.a, &pair.b, Box::new(Tone::new(440.0, 8_000.0)));
+    sim.run_until(SimTime::from_secs(3));
+    let mut lat = pair.b.speaker.latency_ns();
+    // The paper's best one-way trip was 8 ms.
+    assert!(
+        lat.percentile(50.0) < 10e6,
+        "p50 {}ms",
+        lat.percentile(50.0) / 1e6
+    );
+}
+
+#[test]
+fn p8_adaptation_needs_no_external_help() {
+    // Local adaptation: a stream appears, the clawback bank activates by
+    // itself; the stream stops, the bank deactivates by itself — "the
+    // audio code does not have to be informed of the creation or deletion
+    // of streams" (§3.7.2).
+    let mut sim = Simulation::new();
+    let pair = connect_pair(
+        &sim.spawner(),
+        BoxConfig::standard("a"),
+        BoxConfig::standard("b"),
+        &[HopConfig::clean(50_000_000)],
+        6,
+    );
+    let (src, _) = open_audio_shout(&pair.a, &pair.b, Box::new(Tone::new(440.0, 8_000.0)));
+    sim.run_until(SimTime::from_secs(1));
+    assert!(pair.b.speaker.max_active_streams() >= 1);
+    let before = pair.b.speaker.segments_received();
+    pair.a.clear_route(src);
+    sim.run_until(SimTime::from_secs(2));
+    // No more deliveries; the bank dried up and deactivated without any
+    // command reaching the audio code.
+    let after = pair.b.speaker.segments_received();
+    assert!(after - before <= 3, "stream kept playing after close");
+}
+
+#[test]
+fn muting_prevents_feedback_loop() {
+    // §4.3 at system level: a loud remote talker ducks the local mic.
+    let mut sim = Simulation::new();
+    let pair = connect_pair(
+        &sim.spawner(),
+        BoxConfig::standard("a"),
+        BoxConfig::standard("b"),
+        &[HopConfig::clean(50_000_000)],
+        9,
+    );
+    // Bob talks loudly to alice; alice's mic streams back to bob.
+    open_audio_shout(&pair.b, &pair.a, Box::new(Tone::new(300.0, 25_000.0)));
+    let (_src, _dst) = open_audio_shout(&pair.a, &pair.b, Box::new(Tone::new(440.0, 12_000.0)));
+    sim.run_until(SimTime::from_secs(2));
+    let muting = pair.a.muting().expect("muting enabled");
+    // With a continuous loud far end, alice's muting sits in Deep.
+    assert_eq!(muting.borrow().stage(), pandora_audio::MuteStage::Deep);
+}

@@ -1,0 +1,313 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use pandora_audio::{mulaw, Block};
+use pandora_buffers::{Clawback, ClawbackConfig, ClawbackPool};
+use pandora_metrics::Histogram;
+use pandora_segment::{
+    reseg, wire, AudioSegment, Segment, SeqTracker, SequenceNumber, TestSegment, Timestamp,
+    VideoCompression, VideoHeader, VideoSegment, BLOCK_BYTES,
+};
+use pandora_video::dpcm::{compress_line, decompress_line, LineMode};
+use pandora_video::RateFraction;
+
+proptest! {
+    /// Wire encode → decode is the identity for any audio segment.
+    #[test]
+    fn audio_segment_wire_round_trip(
+        seq in any::<u32>(),
+        ts in any::<u32>(),
+        blocks in 1usize..16,
+        fill in any::<u8>(),
+    ) {
+        let seg = Segment::Audio(AudioSegment::from_blocks(
+            SequenceNumber(seq),
+            Timestamp(ts),
+            vec![fill; blocks * BLOCK_BYTES],
+        ));
+        let bytes = wire::encode(&seg);
+        prop_assert_eq!(wire::decode(&bytes).unwrap(), seg);
+    }
+
+    /// Wire round trip for arbitrary video geometry and payload.
+    #[test]
+    fn video_segment_wire_round_trip(
+        seq in any::<u32>(),
+        frame in any::<u32>(),
+        x in 0u32..1024,
+        y in 0u32..1024,
+        width in 1u32..512,
+        lines in 1u32..64,
+        args in proptest::collection::vec(any::<u32>(), 0..4),
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let seg = Segment::Video(VideoSegment::new(
+            SequenceNumber(seq),
+            Timestamp(0),
+            VideoHeader {
+                frame_number: frame,
+                segments_in_frame: 4,
+                segment_number: 1,
+                x_offset: x,
+                y_offset: y,
+                pixel_format: pandora_segment::PixelFormat::Mono8,
+                compression: VideoCompression::Dpcm,
+                compression_args: args,
+                width,
+                start_line: 0,
+                lines,
+                data_length: 0,
+            },
+            data,
+        ));
+        let bytes = wire::encode(&seg);
+        prop_assert_eq!(wire::decode(&bytes).unwrap(), seg);
+    }
+
+    /// Test segments round trip too.
+    #[test]
+    fn test_segment_wire_round_trip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let seg = Segment::Test(TestSegment::new(SequenceNumber(1), Timestamp(2), data));
+        prop_assert_eq!(wire::decode(&wire::encode(&seg)).unwrap(), seg);
+    }
+
+    /// Decoding arbitrary bytes never panics.
+    #[test]
+    fn wire_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = wire::decode(&bytes);
+    }
+
+    /// µ-law: |decode(encode(x)) - x| is within the segment quantisation
+    /// bound, and encode is monotone in the decoded domain.
+    #[test]
+    fn mulaw_error_bound(pcm in -32767i16..=32767) {
+        let out = mulaw::decode(mulaw::encode(pcm));
+        let err = (out - pcm as i32).abs();
+        let allowed = 16 + (pcm as i32).abs() / 16 + 33; // Segment step + clip margin.
+        prop_assert!(err <= allowed, "pcm={} out={} err={}", pcm, out, err);
+    }
+
+    /// µ-law sign symmetry.
+    #[test]
+    fn mulaw_sign_symmetry(pcm in 1i16..=32767) {
+        prop_assert_eq!(mulaw::decode(mulaw::encode(pcm)), -mulaw::decode(mulaw::encode(-pcm)));
+    }
+
+    /// Re-segmentation never loses or reorders a byte of audio, for any
+    /// mixture of input segment sizes.
+    #[test]
+    fn resegmentation_preserves_audio(
+        sizes in proptest::collection::vec(1usize..13, 1..30),
+    ) {
+        let mut segments = Vec::new();
+        let mut byte = 0u8;
+        let mut block_idx = 0u64;
+        for (i, &blocks) in sizes.iter().enumerate() {
+            let mut data = Vec::new();
+            for _ in 0..blocks * BLOCK_BYTES {
+                data.push(byte);
+                byte = byte.wrapping_add(1);
+            }
+            segments.push(AudioSegment::from_blocks(
+                SequenceNumber(i as u32),
+                Timestamp::from_nanos(block_idx * 2_000_000),
+                data,
+            ));
+            block_idx += blocks as u64;
+        }
+        let repo = reseg::to_repository_format(&segments);
+        let before: Vec<u8> = segments.iter().flat_map(|s| s.data.clone()).collect();
+        let after: Vec<u8> = repo.iter().flat_map(|s| s.data.clone()).collect();
+        prop_assert_eq!(before, after);
+        // All but the last segment are exactly 20 blocks.
+        for s in &repo[..repo.len().saturating_sub(1)] {
+            prop_assert_eq!(s.block_count(), 20);
+        }
+    }
+
+    /// Clawback invariants: length never exceeds the cap; pool accounting
+    /// is exact; served + queued == accepted.
+    #[test]
+    fn clawback_invariants(ops in proptest::collection::vec(any::<bool>(), 1..2000)) {
+        let pool = ClawbackPool::new(64);
+        let mut buf = Clawback::with_pool(
+            ClawbackConfig { per_stream_limit_blocks: 10, count_threshold: 50, ..Default::default() },
+            pool.clone(),
+        );
+        for &is_arrival in &ops {
+            if is_arrival {
+                let _ = buf.arrival(0u32);
+            } else {
+                let _ = buf.tick();
+            }
+            prop_assert!(buf.len() <= 10);
+            prop_assert_eq!(pool.used(), buf.len());
+            let s = buf.stats();
+            prop_assert_eq!(s.accepted, s.served + buf.len() as u64);
+            prop_assert_eq!(
+                s.arrivals,
+                s.accepted + s.clawed_back + s.over_limit + s.pool_full
+            );
+        }
+    }
+
+    /// Sequence tracker: lost + received counts expected deliveries for any
+    /// monotone arrival pattern with gaps.
+    #[test]
+    fn seq_tracker_accounting(gaps in proptest::collection::vec(0u32..5, 1..100)) {
+        let mut t = SeqTracker::new();
+        let mut seq = SequenceNumber(0);
+        let mut expected_lost = 0u64;
+        for (i, &gap) in gaps.iter().enumerate() {
+            for _ in 0..gap {
+                seq = seq.next(); // Skipped segments.
+            }
+            // A gap before the very first arrival is undetectable: the
+            // tracker accepts any starting sequence number.
+            if i > 0 {
+                expected_lost += gap as u64;
+            }
+            t.observe(seq);
+            seq = seq.next();
+        }
+        prop_assert_eq!(t.lost(), expected_lost);
+        prop_assert_eq!(t.received(), gaps.len() as u64);
+    }
+
+    /// Histogram percentiles are order statistics: bounded by min/max and
+    /// monotone in p.
+    #[test]
+    fn histogram_percentile_properties(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let p10 = h.percentile(10.0);
+        let p50 = h.percentile(50.0);
+        let p90 = h.percentile(90.0);
+        prop_assert!(h.min() <= p10 && p10 <= p50 && p50 <= p90 && p90 <= h.max());
+        prop_assert_eq!(h.count(), values.len());
+    }
+
+    /// DPCM: any pixel line decompresses to the right width with bounded
+    /// error (raw mode: exact).
+    #[test]
+    fn dpcm_round_trip_bounds(line in proptest::collection::vec(any::<u8>(), 1..256)) {
+        let width = line.len();
+        let raw = compress_line(&line, LineMode::Raw);
+        prop_assert_eq!(decompress_line(&raw, width).unwrap(), line.clone());
+        let d = decompress_line(&compress_line(&line, LineMode::Dpcm), width).unwrap();
+        prop_assert_eq!(d.len(), width);
+        let d2 = decompress_line(&compress_line(&line, LineMode::DpcmSub2), width).unwrap();
+        prop_assert_eq!(d2.len(), width);
+    }
+
+    /// Rate fractions: over any window of q*25 frames, exactly p*25 are
+    /// captured.
+    #[test]
+    fn rate_fraction_exact_count(p in 1u32..10, q in 1u32..10) {
+        prop_assume!(p <= q);
+        let r = RateFraction::new(p, q);
+        let window = (q * 25) as u64;
+        let captured = (0..window).filter(|&n| r.captures_frame(n)).count() as u32;
+        prop_assert_eq!(captured, p * 25);
+    }
+
+    /// AAL: any frame splits into cells and reassembles byte-identically,
+    /// and interleaving two circuits never cross-contaminates.
+    #[test]
+    fn aal_round_trip_and_isolation(
+        fa in proptest::collection::vec(any::<u8>(), 0..500),
+        fb in proptest::collection::vec(any::<u8>(), 0..500),
+    ) {
+        use pandora_atm::{segment_to_cells, Reassembler, Vci};
+        let ca = segment_to_cells(Vci(1), &fa, 0);
+        let cb = segment_to_cells(Vci(2), &fb, 0);
+        let mut r = Reassembler::new();
+        let mut out = Vec::new();
+        let mut ia = ca.into_iter();
+        let mut ib = cb.into_iter();
+        loop {
+            let mut any = false;
+            if let Some(c) = ia.next() {
+                any = true;
+                if let Some(f) = r.push(c) {
+                    out.push(f);
+                }
+            }
+            if let Some(c) = ib.next() {
+                any = true;
+                if let Some(f) = r.push(c) {
+                    out.push(f);
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        prop_assert_eq!(out.len(), 2);
+        for (vci, frame) in out {
+            if vci == Vci(1) {
+                prop_assert_eq!(&frame, &fa);
+            } else {
+                prop_assert_eq!(&frame, &fb);
+            }
+        }
+    }
+
+    /// Hold-back buffer conservation: every description pushed is either
+    /// released (in order) or still held; slices release everything held.
+    #[test]
+    fn holdback_conserves_descriptions(ops in proptest::collection::vec(0u8..3, 1..100)) {
+        use pandora_video::slice::{HoldbackBuffer, SliceDesc};
+        let mut hb = HoldbackBuffer::<u32>::new();
+        let mut pushed = 0usize;
+        let mut released = 0usize;
+        for (i, &op) in ops.iter().enumerate() {
+            let desc = match op {
+                0 => SliceDesc::Slice { lines: 1, bytes: i as u32 },
+                1 => SliceDesc::Head(i as u32),
+                _ => SliceDesc::Tail,
+            };
+            pushed += 1;
+            released += hb.push(desc).len();
+            prop_assert_eq!(pushed, released + hb.held().len());
+            // Held prefix is always exactly one slice (if anything is held).
+            if let Some(first) = hb.held().first() {
+                let is_slice = matches!(first, SliceDesc::Slice { .. });
+                prop_assert!(is_slice);
+            }
+        }
+    }
+
+    /// Muting: the gain only ever takes the three configured values, and
+    /// any sufficiently long quiet tail returns it to full volume.
+    #[test]
+    fn muting_state_machine_bounds(pattern in proptest::collection::vec(any::<bool>(), 1..200)) {
+        use pandora_audio::{MuteStage, Muting, MutingConfig};
+        let mut m = Muting::new(MutingConfig::default());
+        let loud = Block([pandora_audio::mulaw::encode(20_000); BLOCK_BYTES]);
+        for &is_loud in &pattern {
+            m.observe_speaker(if is_loud { &loud } else { &Block::SILENCE });
+            let f = m.factor();
+            prop_assert!(f == 0.2 || f == 0.5 || f == 1.0, "factor {}", f);
+        }
+        // 23 quiet blocks clear the deep hold, 11 more clear the half hold.
+        for _ in 0..40 {
+            m.observe_speaker(&Block::SILENCE);
+        }
+        prop_assert_eq!(m.stage(), MuteStage::Full);
+    }
+
+    /// Mixing silence with any block is that block (identity element).
+    #[test]
+    fn mix_silence_identity(samples in proptest::collection::vec(any::<u8>(), BLOCK_BYTES)) {
+        let b = Block::from_slice(&samples);
+        let mixed = pandora_audio::mix_blocks([&b, &Block::SILENCE]);
+        // Equality in the decoded domain (the codeword for -0/+0 differs).
+        for (m, o) in mixed.0.iter().zip(b.0.iter()) {
+            prop_assert_eq!(mulaw::decode(*m), mulaw::decode(*o));
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Executor-level integration tests: scheduling semantics the whole
+//! reproduction rests on.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use pandora_sim::{
+    channel, delay, now, spawn, Priority, SimDuration, SimTime, Simulation, StopReason,
+};
+
+#[test]
+fn run_until_stops_at_deadline_and_reports_reason() {
+    let mut sim = Simulation::new();
+    sim.spawn("ticker", async {
+        loop {
+            delay(SimDuration::from_millis(10)).await;
+        }
+    });
+    assert_eq!(
+        sim.run_until(SimTime::from_millis(35)),
+        StopReason::Deadline
+    );
+    assert_eq!(sim.now(), SimTime::from_millis(35));
+    // With no tasks pending anything, run_until_idle reports Idle.
+    let mut sim2 = Simulation::new();
+    sim2.spawn("oneshot", async {
+        delay(SimDuration::from_millis(1)).await;
+    });
+    assert_eq!(sim2.run_until_idle(), StopReason::Idle);
+    assert_eq!(sim2.live_tasks(), 0);
+}
+
+#[test]
+fn high_priority_tasks_run_first_each_instant() {
+    let mut sim = Simulation::new();
+    let order = Rc::new(RefCell::new(Vec::new()));
+    for i in 0..3 {
+        let o = order.clone();
+        sim.spawn(&format!("low{i}"), async move {
+            o.borrow_mut().push(format!("low{i}"));
+        });
+    }
+    for i in 0..3 {
+        let o = order.clone();
+        sim.spawn_prio(&format!("high{i}"), Priority::High, async move {
+            o.borrow_mut().push(format!("high{i}"));
+        });
+    }
+    sim.run_until_idle();
+    let order = order.borrow();
+    assert!(
+        order[..3].iter().all(|s| s.starts_with("high")),
+        "{order:?}"
+    );
+    assert!(order[3..].iter().all(|s| s.starts_with("low")), "{order:?}");
+}
+
+#[test]
+fn tasks_can_spawn_tasks() {
+    let mut sim = Simulation::new();
+    let count = Rc::new(Cell::new(0u32));
+    let c = count.clone();
+    sim.spawn("root", async move {
+        for i in 0..5 {
+            let c = c.clone();
+            spawn(&format!("child{i}"), async move {
+                delay(SimDuration::from_millis(i as u64 + 1)).await;
+                c.set(c.get() + 1);
+            });
+        }
+    });
+    sim.run_until_idle();
+    assert_eq!(count.get(), 5);
+    assert_eq!(sim.spawned_total(), 6);
+}
+
+#[test]
+fn virtual_time_is_exact_across_many_timers() {
+    let mut sim = Simulation::new();
+    let log = Rc::new(RefCell::new(Vec::new()));
+    for i in 1..=10u64 {
+        let l = log.clone();
+        sim.spawn(&format!("t{i}"), async move {
+            delay(SimDuration::from_micros(i * 137)).await;
+            l.borrow_mut().push((i, now().as_micros()));
+        });
+    }
+    sim.run_until_idle();
+    for &(i, at) in log.borrow().iter() {
+        assert_eq!(at, i * 137, "timer {i} fired at {at}");
+    }
+}
+
+#[test]
+fn dump_tasks_reports_blocked_processes() {
+    let mut sim = Simulation::new();
+    let (_tx, rx) = channel::<u32>();
+    sim.spawn("waiter", async move {
+        let _ = rx.recv().await;
+    });
+    sim.run_until_idle();
+    let tasks = sim.dump_tasks();
+    assert_eq!(tasks.len(), 1);
+    assert_eq!(tasks[0], ("waiter".to_string(), "blocked"));
+}
+
+#[test]
+fn deterministic_context_switch_counts() {
+    let run = || {
+        let mut sim = Simulation::new();
+        let (tx, rx) = channel::<u32>();
+        sim.spawn("producer", async move {
+            for i in 0..100 {
+                delay(SimDuration::from_micros(50)).await;
+                if tx.send(i).await.is_err() {
+                    return;
+                }
+            }
+        });
+        sim.spawn("consumer", async move { while rx.recv().await.is_ok() {} });
+        sim.run_until_idle();
+        sim.context_switches()
+    };
+    assert_eq!(run(), run(), "context switches must be deterministic");
+}
+
+#[test]
+fn zero_duration_delay_resumes_same_instant() {
+    let mut sim = Simulation::new();
+    let at = Rc::new(Cell::new(SimTime::ZERO));
+    let a = at.clone();
+    sim.spawn("z", async move {
+        delay(SimDuration::from_millis(5)).await;
+        delay(SimDuration::ZERO).await;
+        a.set(now());
+    });
+    sim.run_until_idle();
+    assert_eq!(at.get(), SimTime::from_millis(5));
+}
