@@ -1,0 +1,129 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The wire codec only needs a growable byte buffer with big-endian
+//! `put_u32`/`put_slice` on the encode side and an advancing `get_u32`
+//! over `&[u8]` on the decode side, so that is all this shim provides.
+//! `BytesMut` is a thin wrapper over `Vec<u8>` — no shared views, no
+//! split/freeze machinery.
+
+use std::ops::Deref;
+
+/// Read side: big-endian cursor over a byte source, mirroring `bytes::Buf`.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads a big-endian `u32` and advances past it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than four bytes remain.
+    fn get_u32(&mut self) -> u32;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        assert!(self.len() >= 4, "get_u32 on {} bytes", self.len());
+        let v = u32::from_be_bytes([self[0], self[1], self[2], self[3]]);
+        *self = &self[4..];
+        v
+    }
+}
+
+/// Write side: big-endian append, mirroring `bytes::BufMut`.
+pub trait BufMut {
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+
+    /// Appends a byte slice.
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+/// A growable byte buffer, mirroring the subset of `bytes::BytesMut` the
+/// workspace uses.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with at least `capacity` bytes reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.buf.clone()
+    }
+
+    /// Consumes the buffer, returning the underlying vector without a copy.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Buf, BufMut, BytesMut};
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_slice(&[1, 2, 3]);
+        let v = b.to_vec();
+        assert_eq!(v.len(), 7);
+        let mut r: &[u8] = &v;
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(r, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn big_endian_layout() {
+        let mut b = BytesMut::default();
+        b.put_u32(1);
+        assert_eq!(&b[..], &[0, 0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "get_u32")]
+    fn short_read_panics() {
+        let mut r: &[u8] = &[1, 2];
+        let _ = r.get_u32();
+    }
+}

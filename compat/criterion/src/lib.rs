@@ -1,0 +1,196 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro and method surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `bench_function`, groups and
+//! `iter_batched_ref` — over a deliberately simple harness: warm up,
+//! time a fixed wall-clock budget, report mean ns/iteration to stdout.
+//! No statistics, plots or baselines; the point is that `cargo bench`
+//! keeps running without registry access.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Batch sizing hint, accepted for API compatibility and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup state.
+    SmallInput,
+    /// Large per-iteration setup state.
+    LargeInput,
+    /// One setup per measured batch.
+    PerIteration,
+}
+
+/// Re-export spot for `black_box`, mirroring criterion's.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// The bench driver handed to each registered bench function.
+pub struct Criterion {
+    /// Wall-clock budget per measured bench.
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure_for: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, self.measure_for, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks (criterion's `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the shim has no sampling statistics.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Registers and immediately runs one benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(&full, self.criterion.measure_for, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; drives the iterations.
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up and per-iteration cost estimate.
+        let start = Instant::now();
+        hint::black_box(routine());
+        let probe = start.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(10).as_nanos() / probe.as_nanos()).clamp(1, 100_000);
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(routine());
+            }
+            self.elapsed += t0.elapsed();
+            self.iters += batch as u64;
+        }
+    }
+
+    /// Times `routine` over fresh state from `setup` each batch.
+    pub fn iter_batched_ref<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(&mut S) -> O,
+        _size: BatchSize,
+    ) {
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let mut state = setup();
+            let t0 = Instant::now();
+            hint::black_box(routine(&mut state));
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_bench(name: &str, budget: Duration, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        budget,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name:<50} (no iterations)");
+    } else {
+        let per = b.elapsed.as_nanos() / b.iters as u128;
+        println!("{name:<50} {per:>12} ns/iter  ({} iters)", b.iters);
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion {
+            measure_for: Duration::from_millis(5),
+        };
+        let mut ran = 0u64;
+        c.bench_function("t", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn batched_runs_setup_and_routine() {
+        let mut c = Criterion {
+            measure_for: Duration::from_millis(5),
+        };
+        c.bench_function("t", |b| {
+            b.iter_batched_ref(|| vec![1u8, 2, 3], |v| v.pop(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn group_names_compose() {
+        let mut c = Criterion {
+            measure_for: Duration::from_millis(2),
+        };
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10)
+            .bench_function("inner", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

@@ -164,7 +164,7 @@ mod tests {
         let mut r = Reassembler::new();
         let mut done = Vec::new();
         // Interleave cell by cell.
-        for (a, b) in ca.into_iter().zip(cb.into_iter()) {
+        for (a, b) in ca.into_iter().zip(cb) {
             if let Some(f) = r.push(a) {
                 done.push(f);
             }

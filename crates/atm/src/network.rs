@@ -387,7 +387,8 @@ mod tests {
         let g = got.clone();
         sim.spawn("recv", async move {
             for _ in 0..10 {
-                g.borrow_mut().push(rx.recv().await.unwrap().seq);
+                let cell = rx.recv().await.unwrap();
+                g.borrow_mut().push(cell.seq);
             }
         });
         sim.run_until_idle();

@@ -80,7 +80,8 @@ pub struct ConcealmentResult {
 /// speech sounds gravelly. … Replaying the last 2ms block occasionally is
 /// perfectly acceptable."
 pub fn loss_concealment() -> ConcealmentResult {
-    let signals: Vec<(&str, Box<dyn Fn() -> Box<dyn Signal>>)> = vec![
+    type SignalFactory = Box<dyn Fn() -> Box<dyn Signal>>;
+    let signals: Vec<(&str, SignalFactory)> = vec![
         ("tone", Box::new(|| Box::new(Tone::new(440.0, 10_000.0)))),
         (
             "violin",

@@ -416,14 +416,15 @@ impl<T> ClawbackBank<T> {
     /// Routes an arriving block to its stream's buffer, creating one if
     /// the stream is new or was deactivated.
     pub fn arrival(&mut self, stream: StreamId, item: T) -> Arrival {
-        if !self.streams.contains_key(&stream) {
-            self.activations += 1;
-            self.streams
-                .insert(stream, Clawback::with_pool(self.config, self.pool.clone()));
-        }
+        let config = self.config;
+        let pool = &self.pool;
+        let activations = &mut self.activations;
         self.streams
-            .get_mut(&stream)
-            .expect("just inserted")
+            .entry(stream)
+            .or_insert_with(|| {
+                *activations += 1;
+                Clawback::with_pool(config, pool.clone())
+            })
             .arrival(item)
     }
 

@@ -411,7 +411,8 @@ mod tests {
         let g = got.clone();
         sim.spawn("consumer", async move {
             for _ in 0..10 {
-                g.borrow_mut().push(out_rx.recv().await.unwrap());
+                let item = out_rx.recv().await.unwrap();
+                g.borrow_mut().push(item);
             }
         });
         sim.run_until_idle();

@@ -31,5 +31,5 @@ pub use clawback::{
 pub use decoupling::{
     spawn_decoupling, spawn_decoupling_ready, BufferCommand, DecouplingHandle, ReadyGate,
 };
-pub use pool::{Alloc, Descriptor, Pool};
+pub use pool::{take_leak_report, Alloc, Descriptor, LeakReport, Pool};
 pub use report::{Report, ReportClass};

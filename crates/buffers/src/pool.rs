@@ -37,6 +37,67 @@ struct PoolInner<T> {
     allocations: Cell<u64>,
 }
 
+/// Drop-time audit record: the slots still holding a nonzero reference
+/// count when the last [`Pool`] handle went away. A leak here means some
+/// process duplicated a descriptor and never released it — the
+/// reference-count discipline of §3.4 was violated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeakReport {
+    /// Total buffers in the audited pool.
+    pub capacity: usize,
+    /// Leaked slots: each descriptor and its outstanding reference count.
+    pub leaked: Vec<(Descriptor, u32)>,
+}
+
+thread_local! {
+    static LAST_LEAK: RefCell<Option<LeakReport>> = const { RefCell::new(None) };
+}
+
+/// Takes (and clears) the leak report from the most recently dropped
+/// leaking pool on this thread, if any. This is the observable side of
+/// the `Drop`-time audit; dropping a balanced pool leaves it `None`.
+pub fn take_leak_report() -> Option<LeakReport> {
+    LAST_LEAK.with(|l| l.borrow_mut().take())
+}
+
+impl<T> Drop for PoolInner<T> {
+    /// Audits the pool on teardown: any slot with a live reference count
+    /// is reported on stderr and recorded for [`take_leak_report`], and
+    /// debug builds assert the free list and live slots balance.
+    fn drop(&mut self) {
+        let slots = self.slots.get_mut();
+        let leaked: Vec<(Descriptor, u32)> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.refs > 0)
+            .map(|(i, s)| (Descriptor(i), s.refs))
+            .collect();
+        let free = self.free.get_mut().len();
+        debug_assert!(
+            free + leaked.len() == slots.len(),
+            "pool accounting out of balance: {free} free + {} live != {} slots",
+            leaked.len(),
+            slots.len()
+        );
+        if !leaked.is_empty() {
+            eprintln!(
+                "pandora-buffers: pool dropped with {} leaked descriptor(s) of {}:",
+                leaked.len(),
+                slots.len()
+            );
+            for (d, refs) in &leaked {
+                eprintln!("  {d:?} with {refs} outstanding reference(s)");
+            }
+            LAST_LEAK.with(|l| {
+                *l.borrow_mut() = Some(LeakReport {
+                    capacity: slots.len(),
+                    leaked,
+                });
+            });
+        }
+    }
+}
+
 /// A fixed-size pool of segment buffers with reference counting.
 ///
 /// Cloning the pool handle shares the same buffers, mirroring the single
@@ -159,7 +220,10 @@ impl<T> Pool<T> {
     /// Panics if the descriptor is not allocated.
     pub fn with<R>(&self, d: Descriptor, f: impl FnOnce(&T) -> R) -> R {
         let slots = self.inner.slots.borrow();
-        f(slots[d.0].value.as_ref().expect("with() on a free buffer"))
+        match slots[d.0].value.as_ref() {
+            Some(value) => f(value),
+            None => panic!("with() on a free buffer {d:?}"),
+        }
     }
 
     /// Clones the buffer contents behind `d` (for copy-out device handlers).
@@ -203,14 +267,19 @@ pub struct Alloc<'a, T> {
     counted: bool,
 }
 
+// `Alloc` holds no self-references — only a pool handle and an owned
+// value — so it is freely movable and we can pin-project safely via
+// `Pin::get_mut` instead of `unsafe { get_unchecked_mut() }`.
+impl<T> Unpin for Alloc<'_, T> {}
+
 impl<T> Future for Alloc<'_, T> {
     type Output = Descriptor;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Descriptor> {
-        // SAFETY: no field of `Alloc` is pinned-sensitive; we only move the
-        // owned `value` out, never data that a self-reference points into.
-        let this = unsafe { self.get_unchecked_mut() };
-        let value = this.value.take().expect("Alloc polled after completion");
+        let this = self.get_mut();
+        let Some(value) = this.value.take() else {
+            panic!("Alloc polled after completion");
+        };
         match this.pool.try_alloc(value) {
             Ok(d) => Poll::Ready(d),
             Err(value) => {
@@ -367,5 +436,65 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_panics() {
         let _ = Pool::<u8>::new(0);
+    }
+
+    #[test]
+    fn leak_audit_identifies_leaked_slot() {
+        let _ = take_leak_report(); // clear any report from another test
+        let leaked_descriptor;
+        {
+            let pool = Pool::new(3);
+            let a = pool.try_alloc("released").unwrap();
+            let b = pool.try_alloc("leaked").unwrap();
+            pool.add_refs(b, 1);
+            pool.release(a);
+            leaked_descriptor = b;
+            // `b` never fully released: 2 refs outstanding at drop.
+        }
+        let report = take_leak_report().expect("leak audit must fire");
+        assert_eq!(report.capacity, 3);
+        assert_eq!(report.leaked, vec![(leaked_descriptor, 2)]);
+    }
+
+    #[test]
+    fn balanced_drop_leaves_no_leak_report() {
+        let _ = take_leak_report();
+        {
+            let pool = Pool::new(2);
+            let a = pool.try_alloc(1u8).unwrap();
+            let b = pool.try_alloc(2u8).unwrap();
+            pool.release(a);
+            pool.release(b);
+        }
+        assert!(take_leak_report().is_none());
+    }
+
+    #[test]
+    fn exhaustion_wakes_waiters_in_fifo_order() {
+        let mut sim = Simulation::new();
+        let pool = Pool::new(1);
+        let d0 = pool.try_alloc(99u32).unwrap();
+        let order = StdRc::new(RefCell::new(Vec::new()));
+        for i in 0..3u32 {
+            let pool = pool.clone();
+            let order = order.clone();
+            sim.spawn(&format!("w{i}"), async move {
+                let d = pool.alloc(i).await;
+                order.borrow_mut().push(i);
+                pandora_sim::delay(SimDuration::from_millis(1)).await;
+                pool.release(d);
+            });
+        }
+        {
+            let pool = pool.clone();
+            sim.spawn("kick", async move {
+                pandora_sim::delay(SimDuration::from_millis(1)).await;
+                pool.release(d0);
+            });
+        }
+        sim.run_until_idle();
+        // Waiters acquire strictly in arrival order under the
+        // deterministic scheduler.
+        assert_eq!(*order.borrow(), vec![0, 1, 2]);
     }
 }

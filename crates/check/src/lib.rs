@@ -1,0 +1,172 @@
+//! `pandora-check`: static enforcement of workspace invariants that the
+//! compiler cannot see.
+//!
+//! Pandora's correctness leans on properties rustc has no lint for:
+//!
+//! * the deterministic crates must never consult the wall clock or OS
+//!   scheduler, or the simulation stops being reproducible;
+//! * every `unsafe` block must carry a written justification;
+//! * the hot-path crates must not panic via `unwrap`/`expect` outside
+//!   test code — buffer exhaustion and channel closure are *reported*
+//!   conditions in the paper, not crashes;
+//! * the public wire-format and allocator APIs must stay documented.
+//!
+//! The analyzer is a token-level pass (see [`mask`]) over every `.rs`
+//! file in the workspace — pure `std`, no registry dependencies. Run it
+//! with `cargo run -p pandora-check`; it exits nonzero when any rule
+//! fires, printing `path:line: rule-name: message` diagnostics.
+//!
+//! A violation can be waived in place with a trailing or preceding
+//! comment `check:allow(rule-name): reason`; waivers are deliberate,
+//! reviewable artifacts just like `#[allow]`.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub mod mask;
+mod rules;
+mod walk;
+
+pub use walk::workspace_root;
+
+/// The rules the analyzer enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// `unsafe` without a `// SAFETY:` (or `# Safety` doc) justification.
+    SafetyComment,
+    /// Wall-clock time (`Instant::now`, `SystemTime`) outside the allowlist.
+    WallClock,
+    /// OS threading (`thread::spawn`, `thread::sleep`) outside the allowlist.
+    OsThread,
+    /// `unwrap()`/`expect(` outside `#[cfg(test)]` in a hot-path crate.
+    NoUnwrap,
+    /// Public item without a doc comment in a documented crate.
+    MissingDocs,
+}
+
+impl Rule {
+    /// The kebab-case name used in diagnostics and `check:allow(...)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::SafetyComment => "safety-comment",
+            Rule::WallClock => "wall-clock",
+            Rule::OsThread => "os-thread",
+            Rule::NoUnwrap => "no-unwrap",
+            Rule::MissingDocs => "missing-docs",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path relative to the analyzed root.
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    /// `path:line: rule-name: message`, the format CI and editors consume.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Analyzer policy: which crates each rule applies to.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Crate directory names (under `crates/`) that must stay deterministic.
+    pub deterministic_crates: Vec<String>,
+    /// Crate directory names whose non-test code must not unwrap/expect.
+    pub hot_path_crates: Vec<String>,
+    /// Crate directory names whose public items must be documented.
+    pub documented_crates: Vec<String>,
+    /// Path prefixes (relative, `/`-separated) exempt from the
+    /// determinism rules — the deliberately wall-clock code.
+    pub wall_clock_allowlist: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let v = |names: &[&str]| names.iter().map(|s| s.to_string()).collect();
+        Config {
+            deterministic_crates: v(&["sim", "buffers", "segment", "audio", "video", "atm"]),
+            hot_path_crates: v(&["buffers", "sim", "atm"]),
+            documented_crates: v(&["segment", "buffers"]),
+            // rt.rs is the intentionally-live runtime; bench measures the
+            // host. Everything else under crates/ must stay virtual-time.
+            wall_clock_allowlist: v(&["crates/core/src/rt.rs", "crates/bench"]),
+        }
+    }
+}
+
+/// Runs every rule over all workspace `.rs` files under `root`.
+///
+/// Returns diagnostics sorted by path, then line. `root` is typically the
+/// workspace root; fixture trees in tests pass their own root.
+///
+/// # Errors
+///
+/// Returns an error when the tree cannot be walked or a file read.
+pub fn run_checks(root: &Path, config: &Config) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diagnostics = Vec::new();
+    for file in walk::rust_sources(root)? {
+        let source = std::fs::read_to_string(&file)?;
+        let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+        let masked = mask::MaskedFile::parse(&source);
+        rules::check_file(&rel, &masked, config, &mut diagnostics);
+    }
+    diagnostics.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(diagnostics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_names_are_kebab_case() {
+        for rule in [
+            Rule::SafetyComment,
+            Rule::WallClock,
+            Rule::OsThread,
+            Rule::NoUnwrap,
+            Rule::MissingDocs,
+        ] {
+            let name = rule.name();
+            assert!(name.chars().all(|c| c.is_ascii_lowercase() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn diagnostic_format_is_path_line_rule() {
+        let d = Diagnostic {
+            path: PathBuf::from("crates/sim/src/executor.rs"),
+            line: 42,
+            rule: Rule::WallClock,
+            message: "Instant::now in deterministic crate".to_string(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/sim/src/executor.rs:42: wall-clock: Instant::now in deterministic crate"
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! The `pandora-check` binary: analyze the workspace (or `--root <dir>`)
+//! and exit nonzero if any invariant is violated.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pandora_check::{run_checks, workspace_root, Config};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = args.next().map(PathBuf::from);
+                if root.is_none() {
+                    eprintln!("pandora-check: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "pandora-check: workspace invariant analyzer\n\
+                     \n\
+                     USAGE: pandora-check [--root <dir>]\n\
+                     \n\
+                     Walks every .rs file under the workspace root (found by\n\
+                     ascending from the current directory) and enforces:\n\
+                     \n\
+                       safety-comment  unsafe requires a SAFETY: justification\n\
+                       wall-clock      no Instant::now/SystemTime outside the allowlist\n\
+                       os-thread       no thread::spawn/thread::sleep outside the allowlist\n\
+                       no-unwrap       no unwrap/expect outside tests in hot-path crates\n\
+                       missing-docs    public items documented in segment/buffers\n\
+                     \n\
+                     Waive a finding in place with: // check:allow(rule-name): reason\n\
+                     Exits 0 when clean, 1 when any rule fires."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("pandora-check: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root = root.unwrap_or_else(|| workspace_root(&cwd));
+    let diagnostics = match run_checks(&root, &Config::default()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("pandora-check: failed to analyze {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for d in &diagnostics {
+        println!("{d}");
+    }
+    if diagnostics.is_empty() {
+        eprintln!("pandora-check: workspace clean ({})", root.display());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("pandora-check: {} violation(s)", diagnostics.len());
+        ExitCode::FAILURE
+    }
+}

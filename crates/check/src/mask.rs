@@ -1,0 +1,404 @@
+//! A lightweight lexical pass over Rust source.
+//!
+//! The analyzer's rules are token-level, so rather than a full parser we
+//! classify every character of a file as *code*, *comment* or *string*.
+//! Rules then match against the code channel (so `"Instant::now"` inside
+//! a string literal is never a violation) while SAFETY-comment and
+//! waiver detection read the comment channel.
+
+/// A source file split into per-line code and comment channels.
+///
+/// All three vectors have one entry per source line. In `code`, comment
+/// and string-literal characters are replaced by spaces; in `comment`,
+/// everything except comment text is replaced by spaces.
+pub struct MaskedFile {
+    /// The original lines, unmodified.
+    pub raw: Vec<String>,
+    /// Code channel: comments and string contents blanked.
+    pub code: Vec<String>,
+    /// Comment channel: only comment text survives.
+    pub comment: Vec<String>,
+    /// True for lines inside `#[cfg(test)]` items or `#[test]` functions.
+    pub in_test: Vec<bool>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+impl MaskedFile {
+    /// Lexes `source` into code/comment channels and marks test regions.
+    pub fn parse(source: &str) -> MaskedFile {
+        let chars: Vec<char> = source.chars().collect();
+        let mut code = String::with_capacity(source.len());
+        let mut comment = String::with_capacity(source.len());
+        let mut state = State::Code;
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            if c == '\n' {
+                if state == State::LineComment {
+                    state = State::Code;
+                }
+                code.push('\n');
+                comment.push('\n');
+                i += 1;
+                continue;
+            }
+            match state {
+                State::Code => match c {
+                    '/' if next == Some('/') => {
+                        state = State::LineComment;
+                        code.push(' ');
+                        comment.push(c);
+                        i += 1;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        code.push(' ');
+                        comment.push(c);
+                        i += 1;
+                    }
+                    '"' => {
+                        state = State::Str;
+                        // Keep the delimiters in the code channel so token
+                        // boundaries stay intact.
+                        code.push('"');
+                        comment.push(' ');
+                        i += 1;
+                    }
+                    'r' | 'b' if is_raw_string_start(&chars, i) => {
+                        let (hashes, consumed) = raw_string_open(&chars, i);
+                        state = State::RawStr(hashes);
+                        for _ in 0..consumed {
+                            code.push(' ');
+                            comment.push(' ');
+                        }
+                        code.pop();
+                        code.push('"');
+                        i += consumed as usize;
+                    }
+                    'b' if next == Some('"') => {
+                        state = State::Str;
+                        code.push(' ');
+                        code.push('"');
+                        comment.push(' ');
+                        comment.push(' ');
+                        i += 2;
+                    }
+                    '\'' => {
+                        if let Some(end) = char_literal_end(&chars, i) {
+                            // Char literal: blank the contents.
+                            code.push('\'');
+                            comment.push(' ');
+                            for _ in (i + 1)..end {
+                                code.push(' ');
+                                comment.push(' ');
+                            }
+                            code.push('\'');
+                            comment.push(' ');
+                            i = end + 1;
+                            continue;
+                        }
+                        // Lifetime tick: plain code.
+                        code.push(c);
+                        comment.push(' ');
+                        i += 1;
+                    }
+                    _ => {
+                        code.push(c);
+                        comment.push(' ');
+                        i += 1;
+                    }
+                },
+                State::LineComment => {
+                    code.push(' ');
+                    comment.push(c);
+                    i += 1;
+                }
+                State::BlockComment(depth) => {
+                    if c == '*' && next == Some('/') {
+                        let d = depth - 1;
+                        state = if d == 0 {
+                            State::Code
+                        } else {
+                            State::BlockComment(d)
+                        };
+                        code.push(' ');
+                        code.push(' ');
+                        comment.push(c);
+                        comment.push('/');
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        state = State::BlockComment(depth + 1);
+                        code.push(' ');
+                        code.push(' ');
+                        comment.push(c);
+                        comment.push('*');
+                        i += 2;
+                    } else {
+                        code.push(' ');
+                        comment.push(c);
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if c == '\\' {
+                        // Escape: consume the pair.
+                        code.push(' ');
+                        comment.push(' ');
+                        if next.is_some() && next != Some('\n') {
+                            code.push(' ');
+                            comment.push(' ');
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    } else if c == '"' {
+                        state = State::Code;
+                        code.push('"');
+                        comment.push(' ');
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        comment.push(' ');
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if c == '"' && closes_raw(&chars, i, hashes) {
+                        state = State::Code;
+                        code.push('"');
+                        comment.push(' ');
+                        for _ in 0..hashes {
+                            code.push(' ');
+                            comment.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                    } else {
+                        code.push(' ');
+                        comment.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let raw: Vec<String> = source.lines().map(str::to_string).collect();
+        let code: Vec<String> = code.lines().map(str::to_string).collect();
+        let comment: Vec<String> = comment.lines().map(str::to_string).collect();
+        let in_test = mark_test_regions(&code);
+        MaskedFile {
+            raw,
+            code,
+            comment,
+            in_test,
+        }
+    }
+
+    /// Number of lines in the file.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// True when the file has no lines.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+}
+
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // r"  r#"  br"  br#"  rb is not a thing; b handled by caller for b".
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) != Some(&'r') {
+            return false;
+        }
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Returns (hash count, chars consumed through the opening quote).
+fn raw_string_open(chars: &[char], i: usize) -> (u32, u32) {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    j += 1; // the 'r'
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // the opening quote
+    (hashes, (j - i) as u32)
+}
+
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Distinguishes a char literal from a lifetime; returns the index of the
+/// closing quote for a literal.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    let next = *chars.get(i + 1)?;
+    if next == '\\' {
+        // Escaped char: scan for the closing quote on this line.
+        let mut j = i + 2;
+        while let Some(&c) = chars.get(j) {
+            if c == '\'' {
+                return Some(j);
+            }
+            if c == '\n' {
+                return None;
+            }
+            j += 1;
+        }
+        return None;
+    }
+    // 'x' is a literal only if a quote follows immediately; otherwise it
+    // is a lifetime ('a, 'static).
+    if next != '\'' && chars.get(i + 2) == Some(&'\'') {
+        return Some(i + 2);
+    }
+    None
+}
+
+/// Marks the lines belonging to `#[cfg(test)]` items and `#[test]` fns.
+fn mark_test_regions(code: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut line = 0;
+    while line < code.len() {
+        let text = &code[line];
+        if text.contains("cfg(test") || text.contains("#[test]") {
+            let end = item_end(code, line);
+            for flag in in_test.iter_mut().take(end + 1).skip(line) {
+                *flag = true;
+            }
+            line = end + 1;
+        } else {
+            line += 1;
+        }
+    }
+    in_test
+}
+
+/// Finds the last line of the item an attribute on `start` applies to:
+/// either the statement's `;` or the matching close of its first brace.
+fn item_end(code: &[String], start: usize) -> usize {
+    let mut depth = 0i32;
+    let mut seen_brace = false;
+    // Skip past the attribute's own brackets by ignoring [] entirely and
+    // tracking only braces/semicolons.
+    for (lineno, text) in code.iter().enumerate().skip(start) {
+        for c in text.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    seen_brace = true;
+                }
+                '}' => {
+                    depth -= 1;
+                    if seen_brace && depth == 0 {
+                        return lineno;
+                    }
+                }
+                ';' if !seen_brace && depth == 0 && lineno > start => {
+                    return lineno;
+                }
+                _ => {}
+            }
+        }
+    }
+    code.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::MaskedFile;
+
+    #[test]
+    fn strings_are_blanked_in_code_channel() {
+        let m = MaskedFile::parse("let x = \"Instant::now\";\n");
+        assert!(!m.code[0].contains("Instant"));
+        assert!(m.code[0].contains("let x ="));
+    }
+
+    #[test]
+    fn comments_split_to_comment_channel() {
+        let m = MaskedFile::parse("foo(); // SAFETY: fine\n");
+        assert!(m.code[0].contains("foo();"));
+        assert!(!m.code[0].contains("SAFETY"));
+        assert!(m.comment[0].contains("SAFETY: fine"));
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let m = MaskedFile::parse("a /* x /* y */ z */ b\n");
+        assert!(m.code[0].contains('a'));
+        assert!(m.code[0].contains('b'));
+        assert!(!m.code[0].contains('y'));
+        assert!(!m.code[0].contains('z'));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let m = MaskedFile::parse("let s = r#\"unsafe \"quoted\" here\"#; end()\n");
+        assert!(!m.code[0].contains("unsafe"));
+        assert!(m.code[0].contains("end()"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let m = MaskedFile::parse("fn f<'a>(x: &'a str) { let c = '\"'; g(x) }\n");
+        assert!(m.code[0].contains("fn f<'a>"));
+        assert!(m.code[0].contains("g(x)"));
+        // The quote char literal must not open a string.
+        let m2 = MaskedFile::parse("let c = 'x'; h(\"unsafe\")\n");
+        assert!(!m2.code[0].contains("unsafe"));
+        assert!(m2.code[0].contains("h("));
+    }
+
+    #[test]
+    fn cfg_test_region_marked() {
+        let src =
+            "pub fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\npub fn after() {}\n";
+        let m = MaskedFile::parse(src);
+        assert!(!m.in_test[0]);
+        assert!(m.in_test[1]);
+        assert!(m.in_test[2]);
+        assert!(m.in_test[3]);
+        assert!(m.in_test[4]);
+        assert!(!m.in_test[5]);
+    }
+
+    #[test]
+    fn cfg_test_on_statement_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() {}\n";
+        let m = MaskedFile::parse(src);
+        assert!(m.in_test[0]);
+        assert!(m.in_test[1]);
+        assert!(!m.in_test[2]);
+    }
+
+    #[test]
+    fn multiline_string_spans() {
+        let src = "let s = \"line one\nInstant::now\";\nreal();\n";
+        let m = MaskedFile::parse(src);
+        assert!(!m.code[1].contains("Instant"));
+        assert!(m.code[2].contains("real()"));
+    }
+}

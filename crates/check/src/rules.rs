@@ -1,0 +1,489 @@
+//! The lint rules, applied per file over the masked channels.
+
+use std::path::Path;
+
+use crate::mask::MaskedFile;
+use crate::{Config, Diagnostic, Rule};
+
+/// Runs every applicable rule on one file, appending to `out`.
+pub fn check_file(rel: &Path, file: &MaskedFile, config: &Config, out: &mut Vec<Diagnostic>) {
+    let rel_str = rel_slashes(rel);
+    let ctx = FileContext {
+        rel,
+        rel_str: &rel_str,
+        crate_name: crate_name(&rel_str),
+        in_src: rel_str.contains("/src/"),
+        testish: is_testish(&rel_str),
+    };
+    safety_comment_rule(&ctx, file, out);
+    determinism_rules(&ctx, file, config, out);
+    no_unwrap_rule(&ctx, file, config, out);
+    missing_docs_rule(&ctx, file, config, out);
+}
+
+struct FileContext<'a> {
+    rel: &'a Path,
+    rel_str: &'a str,
+    crate_name: Option<&'a str>,
+    in_src: bool,
+    testish: bool,
+}
+
+fn rel_slashes(rel: &Path) -> String {
+    let s = rel.to_string_lossy().replace('\\', "/");
+    s
+}
+
+/// `crates/<name>/...` -> `<name>`.
+fn crate_name(rel: &str) -> Option<&str> {
+    let rest = rel.strip_prefix("crates/")?;
+    rest.split('/').next()
+}
+
+/// True for integration tests, benches and examples — code where panics
+/// and wall clocks are accepted.
+fn is_testish(rel: &str) -> bool {
+    rel.split('/')
+        .any(|c| matches!(c, "tests" | "benches" | "examples"))
+}
+
+/// True when line `l` (or the line above) carries `check:allow(rule)`.
+fn waived(file: &MaskedFile, line: usize, rule: Rule) -> bool {
+    let marker = format!("check:allow({})", rule.name());
+    let here = file.comment.get(line).is_some_and(|c| c.contains(&marker));
+    let above = line > 0 && file.comment[line - 1].contains(&marker);
+    here || above
+}
+
+fn push(
+    out: &mut Vec<Diagnostic>,
+    ctx: &FileContext<'_>,
+    line: usize,
+    rule: Rule,
+    message: impl Into<String>,
+) {
+    out.push(Diagnostic {
+        path: ctx.rel.to_path_buf(),
+        line: line + 1,
+        rule,
+        message: message.into(),
+    });
+}
+
+/// Finds `needle` in `haystack` as a whole word (identifier boundaries).
+fn contains_word(haystack: &str, needle: &str) -> bool {
+    let bytes = haystack.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let before_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Rule `safety-comment`: every `unsafe` token needs a written
+/// justification — a `SAFETY:` comment on the same line or in the
+/// comment block immediately above, or a `# Safety` doc section.
+fn safety_comment_rule(ctx: &FileContext<'_>, file: &MaskedFile, out: &mut Vec<Diagnostic>) {
+    for line in 0..file.len() {
+        if !contains_word(&file.code[line], "unsafe") {
+            continue;
+        }
+        // `unsafe_op_in_unsafe_fn`-style attribute mentions are fine.
+        if file.code[line].contains("allow(") || file.code[line].contains("deny(") {
+            continue;
+        }
+        if has_safety_justification(file, line) || waived(file, line, Rule::SafetyComment) {
+            continue;
+        }
+        push(
+            out,
+            ctx,
+            line,
+            Rule::SafetyComment,
+            "`unsafe` without a preceding `// SAFETY:` justification",
+        );
+    }
+}
+
+fn has_safety_justification(file: &MaskedFile, line: usize) -> bool {
+    let is_safety =
+        |l: usize| file.comment[l].contains("SAFETY:") || file.comment[l].contains("# Safety");
+    if is_safety(line) {
+        return true;
+    }
+    // Walk the contiguous comment/attribute block directly above.
+    let mut l = line;
+    while l > 0 {
+        l -= 1;
+        let code = file.code[l].trim();
+        let has_comment = !file.comment[l].trim().is_empty();
+        if code.is_empty() && has_comment {
+            if is_safety(l) {
+                return true;
+            }
+            continue;
+        }
+        // Attribute lines sit between docs and the item.
+        if code.starts_with("#[") && code.ends_with(']') {
+            continue;
+        }
+        break;
+    }
+    false
+}
+
+/// Rules `wall-clock` and `os-thread`: nothing under `crates/` may read
+/// real time or touch the OS scheduler, except the explicit allowlist
+/// (the live runtime and the host benchmarks).
+fn determinism_rules(
+    ctx: &FileContext<'_>,
+    file: &MaskedFile,
+    config: &Config,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !ctx.rel_str.starts_with("crates/") || ctx.testish {
+        return;
+    }
+    if config
+        .wall_clock_allowlist
+        .iter()
+        .any(|prefix| ctx.rel_str.starts_with(prefix.as_str()))
+    {
+        return;
+    }
+    let deterministic = ctx
+        .crate_name
+        .is_some_and(|c| config.deterministic_crates.iter().any(|d| d == c));
+    let zone = if deterministic {
+        "deterministic crate"
+    } else {
+        "non-allowlisted crate"
+    };
+    for line in 0..file.len() {
+        let code = &file.code[line];
+        for pattern in ["Instant::now", "SystemTime"] {
+            if contains_word(code, pattern) && !waived(file, line, Rule::WallClock) {
+                push(
+                    out,
+                    ctx,
+                    line,
+                    Rule::WallClock,
+                    format!("wall-clock `{pattern}` in {zone}; use the sim clock"),
+                );
+            }
+        }
+        for pattern in ["thread::spawn", "thread::sleep"] {
+            if code.contains(pattern) && !waived(file, line, Rule::OsThread) {
+                push(
+                    out,
+                    ctx,
+                    line,
+                    Rule::OsThread,
+                    format!("OS scheduling `{pattern}` in {zone}; spawn sim tasks instead"),
+                );
+            }
+        }
+    }
+}
+
+/// Rule `no-unwrap`: hot-path crates must not panic via `unwrap`/`expect`
+/// outside test code; exhaustion and closure are reported faults.
+fn no_unwrap_rule(
+    ctx: &FileContext<'_>,
+    file: &MaskedFile,
+    config: &Config,
+    out: &mut Vec<Diagnostic>,
+) {
+    let hot = ctx
+        .crate_name
+        .is_some_and(|c| config.hot_path_crates.iter().any(|h| h == c));
+    if !hot || !ctx.in_src || ctx.testish {
+        return;
+    }
+    for line in 0..file.len() {
+        if file.in_test[line] {
+            continue;
+        }
+        let code = &file.code[line];
+        let hit = code.contains(".unwrap()") || code.contains(".expect(");
+        if hit && !waived(file, line, Rule::NoUnwrap) {
+            push(
+                out,
+                ctx,
+                line,
+                Rule::NoUnwrap,
+                format!(
+                    "`unwrap`/`expect` outside test code in hot-path crate `{}`",
+                    ctx.crate_name.unwrap_or("?")
+                ),
+            );
+        }
+    }
+}
+
+/// Rule `missing-docs`: public items in the documented crates carry doc
+/// comments — these are the workspace's stable API surface.
+fn missing_docs_rule(
+    ctx: &FileContext<'_>,
+    file: &MaskedFile,
+    config: &Config,
+    out: &mut Vec<Diagnostic>,
+) {
+    let documented = ctx
+        .crate_name
+        .is_some_and(|c| config.documented_crates.iter().any(|d| d == c));
+    if !documented || !ctx.in_src || ctx.testish {
+        return;
+    }
+    for line in 0..file.len() {
+        if file.in_test[line] {
+            continue;
+        }
+        let code = file.code[line].trim_start();
+        let Some(rest) = code.strip_prefix("pub ") else {
+            continue;
+        };
+        let keyword = rest.split_whitespace().next().unwrap_or("");
+        let is_item = matches!(
+            keyword,
+            "fn" | "async"
+                | "unsafe"
+                | "const"
+                | "static"
+                | "struct"
+                | "enum"
+                | "union"
+                | "trait"
+                | "type"
+                | "mod"
+                | "macro"
+        );
+        // `pub const NAME` and `pub const fn` both require docs, but
+        // `pub use` re-exports do not.
+        if !is_item {
+            continue;
+        }
+        // `pub mod name;` file modules document themselves with inner
+        // `//!` docs, which a line scan of this file cannot see.
+        if keyword == "mod" && code.trim_end().ends_with(';') {
+            continue;
+        }
+        if is_documented(file, line) || waived(file, line, Rule::MissingDocs) {
+            continue;
+        }
+        push(
+            out,
+            ctx,
+            line,
+            Rule::MissingDocs,
+            format!("public `{keyword}` item without a doc comment"),
+        );
+    }
+}
+
+fn is_documented(file: &MaskedFile, item_line: usize) -> bool {
+    let mut l = item_line;
+    while l > 0 {
+        l -= 1;
+        let raw = file.raw[l].trim_start();
+        if raw.starts_with("///") || raw.starts_with("//!") || raw.starts_with("#[doc") {
+            return true;
+        }
+        // Attributes (possibly stacked) sit between the docs and the item.
+        if raw.starts_with("#[") {
+            continue;
+        }
+        // A multi-line attribute like `#[derive(\n  Debug,\n)]`: walk up
+        // to its opening line and resume the scan above it.
+        if raw.ends_with(']') && !raw.contains('[') {
+            let mut a = l;
+            while a > 0 && !file.raw[a].trim_start().starts_with("#[") {
+                a -= 1;
+            }
+            if file.raw[a].trim_start().starts_with("#[") {
+                l = a;
+                continue;
+            }
+            return false;
+        }
+        // A doc block comment `/** ... */` ends just above the item.
+        if raw.ends_with("*/") {
+            return true;
+        }
+        return false;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn diags(rel: &str, source: &str) -> Vec<Diagnostic> {
+        let file = MaskedFile::parse(source);
+        let mut out = Vec::new();
+        check_file(&PathBuf::from(rel), &file, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn unsafe_without_safety_fires() {
+        let out = diags(
+            "crates/video/src/x.rs",
+            "fn f() {\n    let p = unsafe { q() };\n}\n",
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, Rule::SafetyComment);
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn unsafe_with_safety_comment_passes() {
+        let out = diags(
+            "crates/video/src/x.rs",
+            "fn f() {\n    // SAFETY: q has no invariants.\n    let p = unsafe { q() };\n}\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn unsafe_fn_with_doc_safety_section_passes() {
+        let src = "/// Does things.\n///\n/// # Safety\n///\n/// Caller upholds X.\npub unsafe fn f() {}\n";
+        let out = diags("crates/video/src/x.rs", src);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn unsafe_in_string_is_ignored() {
+        let out = diags("crates/video/src/x.rs", "fn f() { g(\"unsafe\"); }\n");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn wall_clock_in_deterministic_crate_fires() {
+        let out = diags(
+            "crates/sim/src/executor.rs",
+            "fn f() { let t = std::time::Instant::now(); }\n",
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, Rule::WallClock);
+    }
+
+    #[test]
+    fn wall_clock_allowlisted_in_rt() {
+        let out = diags(
+            "crates/core/src/rt.rs",
+            "fn f() { let t = std::time::Instant::now(); }\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn os_thread_fires() {
+        let out = diags(
+            "crates/buffers/src/pool.rs",
+            "fn f() { std::thread::spawn(|| {}); }\n",
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, Rule::OsThread);
+    }
+
+    #[test]
+    fn unwrap_outside_tests_fires_in_hot_path() {
+        let out = diags("crates/sim/src/x.rs", "fn f() { g().unwrap(); }\n");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, Rule::NoUnwrap);
+    }
+
+    #[test]
+    fn unwrap_inside_cfg_test_passes() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { g().unwrap(); }\n}\n";
+        let out = diags("crates/sim/src/x.rs", src);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn unwrap_in_non_hot_crate_passes() {
+        let out = diags("crates/metrics/src/x.rs", "fn f() { g().unwrap(); }\n");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn waiver_suppresses() {
+        let src = "fn f() {\n    // check:allow(no-unwrap): startup path, cannot fail.\n    g().unwrap();\n}\n";
+        let out = diags("crates/sim/src/x.rs", src);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn missing_docs_fires_in_documented_crate() {
+        let out = diags("crates/segment/src/x.rs", "pub fn undocumented() {}\n");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, Rule::MissingDocs);
+    }
+
+    #[test]
+    fn documented_item_passes() {
+        let out = diags(
+            "crates/segment/src/x.rs",
+            "/// Well documented.\npub fn fine() {}\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn docs_above_attributes_count() {
+        let out = diags(
+            "crates/segment/src/x.rs",
+            "/// Documented.\n#[derive(Debug)]\npub struct S;\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn docs_above_multiline_attribute_count() {
+        let out = diags(
+            "crates/segment/src/x.rs",
+            "/// Documented.\n#[derive(\n    Debug, Clone,\n)]\npub struct S;\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn file_module_declaration_needs_no_docs() {
+        let out = diags("crates/segment/src/lib.rs", "pub mod wire;\n");
+        assert!(out.is_empty(), "{out:?}");
+        let inline = diags("crates/segment/src/lib.rs", "pub mod wire {\n}\n");
+        assert_eq!(inline.len(), 1, "inline modules still need docs");
+    }
+
+    #[test]
+    fn pub_use_needs_no_docs() {
+        let out = diags("crates/segment/src/lib.rs", "pub use crate::wire;\n");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn pub_crate_needs_no_docs() {
+        let out = diags("crates/segment/src/x.rs", "pub(crate) fn internal() {}\n");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn missing_docs_ignored_outside_documented_crates() {
+        let out = diags("crates/video/src/x.rs", "pub fn undocumented() {}\n");
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

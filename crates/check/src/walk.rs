@@ -1,0 +1,78 @@
+//! Workspace discovery and source-tree walking.
+
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into: build output, VCS metadata, and the
+/// analyzer's own seeded-violation fixtures.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", ".cargo"];
+
+/// Collects every `.rs` file under `root`, sorted for deterministic
+/// diagnostics, skipping [`SKIP_DIRS`].
+///
+/// # Errors
+///
+/// Returns an error when a directory cannot be read.
+pub fn rust_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Ascends from `start` to the nearest directory whose `Cargo.toml`
+/// declares `[workspace]`; falls back to `start` itself.
+pub fn workspace_root(start: &Path) -> PathBuf {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent.to_path_buf(),
+            None => return start.to_path_buf(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_workspace_root() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = workspace_root(here);
+        assert!(root.join("Cargo.toml").exists());
+        assert!(root.join("crates").is_dir());
+    }
+
+    #[test]
+    fn walk_skips_fixtures_and_target() {
+        let root = workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")));
+        let files = rust_sources(&root).unwrap();
+        assert!(!files.is_empty());
+        for f in &files {
+            let s = f.to_string_lossy();
+            assert!(!s.contains("/target/"), "walked into target: {s}");
+            assert!(!s.contains("/fixtures/"), "walked into fixtures: {s}");
+        }
+    }
+}

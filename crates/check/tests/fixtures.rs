@@ -1,0 +1,100 @@
+//! End-to-end analyzer tests over the seeded-violation fixture tree, plus
+//! a clean-workspace run of the real binary.
+//!
+//! The fixture tree under `tests/fixtures/` mirrors the workspace layout
+//! (`crates/<name>/src/*.rs`) so the path-scoped rules apply exactly as
+//! they would in the real tree. The walker skips directories named
+//! `fixtures`, so these files never pollute a real workspace run.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use pandora_check::{run_checks, workspace_root, Config, Rule};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Every seeded violation is reported at its exact file and line, with
+/// nothing extra — including the waived `Instant::now` staying silent.
+#[test]
+fn fixtures_report_every_seeded_violation() {
+    let diags = run_checks(&fixture_root(), &Config::default()).unwrap();
+    let got: Vec<(String, usize, Rule)> = diags
+        .iter()
+        .map(|d| (d.path.to_string_lossy().replace('\\', "/"), d.line, d.rule))
+        .collect();
+    let expected = vec![
+        ("crates/atm/src/cell.rs".to_string(), 4, Rule::OsThread),
+        ("crates/atm/src/cell.rs".to_string(), 8, Rule::WallClock),
+        (
+            "crates/buffers/src/lib.rs".to_string(),
+            3,
+            Rule::MissingDocs,
+        ),
+        ("crates/buffers/src/lib.rs".to_string(), 7, Rule::NoUnwrap),
+        (
+            "crates/segment/src/wire.rs".to_string(),
+            3,
+            Rule::MissingDocs,
+        ),
+        ("crates/sim/src/bad.rs".to_string(), 4, Rule::WallClock),
+        ("crates/sim/src/bad.rs".to_string(), 9, Rule::OsThread),
+        ("crates/sim/src/bad.rs".to_string(), 13, Rule::NoUnwrap),
+        (
+            "crates/video/src/raw.rs".to_string(),
+            4,
+            Rule::SafetyComment,
+        ),
+    ];
+    assert_eq!(got, expected);
+}
+
+/// The binary exits nonzero on the fixture tree and prints
+/// `path:line: rule-name` diagnostics on stdout.
+#[test]
+fn binary_exits_nonzero_on_fixtures() {
+    let out = Command::new(env!("CARGO_BIN_EXE_pandora-check"))
+        .args(["--root"])
+        .arg(fixture_root())
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "crates/sim/src/bad.rs:4: wall-clock:",
+        "crates/sim/src/bad.rs:9: os-thread:",
+        "crates/sim/src/bad.rs:13: no-unwrap:",
+        "crates/video/src/raw.rs:4: safety-comment:",
+        "crates/segment/src/wire.rs:3: missing-docs:",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
+    }
+    assert!(
+        !stdout.contains("bad.rs:18"),
+        "waived wall-clock must not be reported:\n{stdout}"
+    );
+}
+
+/// The binary exits 0 on the real (clean) workspace.
+#[test]
+fn binary_exits_zero_on_workspace() {
+    let root = workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")));
+    let out = Command::new(env!("CARGO_BIN_EXE_pandora-check"))
+        .args(["--root"])
+        .arg(&root)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "workspace not clean:\n{stdout}");
+}
+
+/// Unknown flags are a usage error (exit 2), not a crash.
+#[test]
+fn binary_rejects_unknown_flags() {
+    let out = Command::new(env!("CARGO_BIN_EXE_pandora-check"))
+        .arg("--bogus")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

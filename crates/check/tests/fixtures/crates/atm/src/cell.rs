@@ -1,0 +1,9 @@
+//! Seeded violations: os-thread and wall-clock in `atm`.
+
+pub fn naughty_sleep() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+pub fn naughty_epoch() {
+    let _ = std::time::SystemTime::now();
+}

@@ -1,0 +1,8 @@
+//! Seeded violations: missing-docs and no-unwrap in `buffers`.
+
+pub struct Undocumented;
+
+/// Documented, but the body panics via `expect`.
+pub fn naughty_expect(v: Option<u8>) -> u8 {
+    v.expect("fixture")
+}

@@ -1,0 +1,5 @@
+//! Seeded violation: missing-docs in `segment`.
+
+pub fn parse(_bytes: &[u8]) -> u32 {
+    0
+}

@@ -1,0 +1,20 @@
+//! Seeded violations: wall-clock, os-thread and no-unwrap in `sim`.
+
+pub fn naughty_clock() -> u64 {
+    let _t = std::time::Instant::now();
+    0
+}
+
+pub fn naughty_thread() {
+    std::thread::spawn(|| {});
+}
+
+pub fn naughty_unwrap(v: Option<u8>) -> u8 {
+    v.unwrap()
+}
+
+pub fn waived_clock() -> u64 {
+    // check:allow(wall-clock): fixture demonstrating the waiver syntax
+    let _t = std::time::Instant::now();
+    0
+}

@@ -1,0 +1,11 @@
+//! Seeded violation: `unsafe` without a SAFETY justification.
+
+pub fn read_byte(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+/// Reads a byte with the contract written down.
+pub fn read_byte_justified(p: *const u8) -> u8 {
+    // SAFETY: fixture pointer is always valid in this demo.
+    unsafe { *p }
+}

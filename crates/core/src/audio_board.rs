@@ -333,6 +333,7 @@ impl SpeakerSink {
 /// `segments` delivers `(stream, segment)` pairs from the server board;
 /// the task mixes every 2 ms and exposes everything through the returned
 /// [`SpeakerSink`].
+#[allow(clippy::too_many_arguments)] // mirrors the board's full wiring harness
 pub fn spawn_audio_playback(
     spawner: &Spawner,
     name: &str,

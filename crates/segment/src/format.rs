@@ -5,8 +5,6 @@
 //! recovery." Every field in the headers is 32 bits; the first five fields
 //! are common to audio and video segments.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{SequenceNumber, Timestamp};
 
 /// The version identifier carried by every segment ("PAN1").
@@ -37,7 +35,7 @@ pub const AUDIO_FULL_HEADER_BYTES: usize = COMMON_HEADER_BYTES + AUDIO_HEADER_BY
 pub const VIDEO_FIXED_HEADER_BYTES: usize = 48;
 
 /// The segment type discriminator in the common header.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SegmentType {
     /// Audio samples (figure 3.1).
     Audio,
@@ -70,7 +68,7 @@ impl SegmentType {
 }
 
 /// The five 32-bit fields common to all segment formats.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CommonHeader {
     /// Format version ("Version ID").
     pub version: u32,
@@ -85,7 +83,7 @@ pub struct CommonHeader {
 }
 
 /// Audio sample format field.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AudioFormat {
     /// 8-bit µ-law, the format of the Pandora codec.
     MuLaw8,
@@ -121,7 +119,7 @@ impl AudioFormat {
 }
 
 /// The audio-specific header (figure 3.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AudioHeader {
     /// Sampling rate in Hz (8000 for the Pandora codec).
     pub sampling_rate: u32,
@@ -134,7 +132,7 @@ pub struct AudioHeader {
 }
 
 /// A complete audio segment: header plus µ-law sample blocks.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AudioSegment {
     /// Common header fields.
     pub common: CommonHeader,
@@ -152,7 +150,7 @@ impl AudioSegment {
     /// Panics if `data` is not a whole number of blocks.
     pub fn from_blocks(sequence: SequenceNumber, timestamp: Timestamp, data: Vec<u8>) -> Self {
         assert!(
-            data.len() % BLOCK_BYTES == 0,
+            data.len().is_multiple_of(BLOCK_BYTES),
             "audio data must be whole 16-byte blocks, got {} bytes",
             data.len()
         );
@@ -202,7 +200,7 @@ impl AudioSegment {
 }
 
 /// Pixel formats for video segments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PixelFormat {
     /// 8-bit greyscale.
     Mono8,
@@ -243,7 +241,7 @@ impl PixelFormat {
 /// that compression parameters for any scheme can be accommodated.
 /// Compression schemes and parameters can be changed from one segment to
 /// the next" (§3.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VideoCompression {
     /// Uncompressed pixels.
     None,
@@ -277,7 +275,7 @@ impl VideoCompression {
 /// contains a count of the number of segments in the frame, the number of
 /// this segment within the frame, and enough information to place this
 /// segment in the correct position."
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VideoHeader {
     /// Frame this segment belongs to.
     pub frame_number: u32,
@@ -306,7 +304,7 @@ pub struct VideoHeader {
 }
 
 /// A complete video segment.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VideoSegment {
     /// Common header fields.
     pub common: CommonHeader,
@@ -349,7 +347,7 @@ impl VideoSegment {
 }
 
 /// An opaque test segment (the `test in`/`test out` handlers of fig. 3.3).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TestSegment {
     /// Common header fields.
     pub common: CommonHeader,
@@ -374,7 +372,7 @@ impl TestSegment {
 }
 
 /// Any Pandora segment.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Segment {
     /// An audio segment.
     Audio(AudioSegment),

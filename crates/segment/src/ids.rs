@@ -1,15 +1,11 @@
 //! Stream numbers, sequence numbers and timestamps.
 
-use serde::{Deserialize, Serialize};
-
 /// A stream number, "allocated by the interface code" (§3.4).
 ///
 /// Streams within a box pass the stream number in an extra field preceding
 /// the segment header; streams arriving from the network carry it in their
 /// VCI.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct StreamId(pub u32);
 
 impl std::fmt::Display for StreamId {
@@ -22,7 +18,7 @@ impl std::fmt::Display for StreamId {
 ///
 /// "As all pandora segments carry sequence numbers, the destination can
 /// detect that segments are missing as soon as a later one arrives" (§3.8).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct SequenceNumber(pub u32);
 
 impl SequenceNumber {
@@ -121,9 +117,7 @@ impl SeqTracker {
 /// clock as close as possible to the data source. The timestamps are
 /// relative to the last time the Pandora's Box was booted, and are not
 /// drift corrected."
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Timestamp(pub u32);
 
 impl Timestamp {

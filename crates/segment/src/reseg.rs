@@ -100,7 +100,10 @@ mod tests {
             let n = blocks_per_segment.min(blocks - block_index as usize);
             let mut data = Vec::new();
             for b in 0..n {
-                data.extend(std::iter::repeat((block_index as usize + b) as u8).take(BLOCK_BYTES));
+                data.extend(std::iter::repeat_n(
+                    (block_index as usize + b) as u8,
+                    BLOCK_BYTES,
+                ));
             }
             segments.push(AudioSegment::from_blocks(
                 seq,

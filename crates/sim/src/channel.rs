@@ -230,14 +230,16 @@ struct PendingHandle {
     waker: Rc<RefCell<Option<Waker>>>,
 }
 
+// `SendFuture` holds no self-references — a channel handle, an owned
+// value, and a shared-cell pending handle — so it is freely movable and
+// pin-projection is safe via `Pin::get_mut`, no `unsafe` required.
+impl<T> Unpin for SendFuture<'_, T> {}
+
 impl<T> Future for SendFuture<'_, T> {
     type Output = Result<(), SendError>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-        // SAFETY: we never move out of `self` in a way that would invalidate
-        // a pinned value; `value` is only taken by value to hand it to the
-        // queue, and the future itself holds no self-references.
-        let this = unsafe { self.get_unchecked_mut() };
+        let this = self.get_mut();
         if let Some(p) = &this.pending {
             if p.done.get() {
                 this.pending = None;
@@ -573,26 +575,27 @@ mod tests {
         A: Future,
         B: Future,
     {
-        struct Race<A, B>(Option<A>, Option<B>);
+        // Boxing the contenders keeps the race entirely in safe code: the
+        // pinned futures live on the heap, so `Race` itself stays `Unpin`
+        // and projection needs no `unsafe`.
+        struct Race<A, B>(Option<Pin<Box<A>>>, Option<Pin<Box<B>>>);
         impl<A: Future, B: Future> Future for Race<A, B> {
             type Output = ();
             fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
-                let this = unsafe { self.get_unchecked_mut() };
+                let this = self.get_mut();
                 if let Some(a) = &mut this.0 {
-                    // SAFETY: `a` is not moved after being pinned here.
-                    if unsafe { Pin::new_unchecked(a) }.poll(cx).is_ready() {
+                    if a.as_mut().poll(cx).is_ready() {
                         return Poll::Ready(());
                     }
                 }
                 if let Some(b) = &mut this.1 {
-                    // SAFETY: `b` is not moved after being pinned here.
-                    if unsafe { Pin::new_unchecked(b) }.poll(cx).is_ready() {
+                    if b.as_mut().poll(cx).is_ready() {
                         return Poll::Ready(());
                     }
                 }
                 Poll::Pending
             }
         }
-        Race(Some(a), Some(b)).await
+        Race(Some(Box::pin(a)), Some(Box::pin(b))).await
     }
 }

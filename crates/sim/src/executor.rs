@@ -228,10 +228,16 @@ impl Inner {
                 return;
             }
             slot.state = TaskState::Running;
-            (
-                slot.future.take().expect("task future missing"),
-                slot.waker.clone().expect("waker"),
-            )
+            match (slot.future.take(), slot.waker.clone()) {
+                (Some(future), Some(waker)) => (future, waker),
+                _ => {
+                    // A queued task always has both; reaching here means
+                    // the slot table is corrupt. Skip the poll rather
+                    // than crash the whole simulation.
+                    debug_assert!(false, "queued task {id:?} missing future/waker");
+                    return;
+                }
+            }
         };
         self.ctx_switches.set(self.ctx_switches.get() + 1);
         self.current.set(Some(id));
@@ -273,12 +279,10 @@ impl Inner {
                     debug_assert!(at >= self.clock.get(), "time must not go backwards");
                     self.clock.set(at.max(self.clock.get()));
                     let mut timers = self.timers.borrow_mut();
-                    while let Some(Reverse(t)) = timers.peek() {
-                        if t.at > at {
-                            break;
+                    while timers.peek().is_some_and(|Reverse(t)| t.at <= at) {
+                        if let Some(Reverse(t)) = timers.pop() {
+                            t.waker.wake();
                         }
-                        let Reverse(t) = timers.pop().expect("peeked");
-                        t.waker.wake();
                     }
                 }
                 _ => {
@@ -333,10 +337,12 @@ impl Drop for ContextGuard {
 pub(crate) fn with_current<R>(f: impl FnOnce(&Rc<Inner>) -> R) -> R {
     CURRENT.with(|c| {
         let stack = c.borrow();
-        let inner = stack
-            .last()
-            .expect("not inside a simulation: this call is only valid inside a running task");
-        f(inner)
+        match stack.last() {
+            Some(inner) => f(inner),
+            None => {
+                panic!("not inside a simulation: this call is only valid inside a running task")
+            }
+        }
     })
 }
 
@@ -363,6 +369,30 @@ pub(crate) fn with_current<R>(f: impl FnOnce(&Rc<Inner>) -> R) -> R {
 /// ```
 pub struct Simulation {
     inner: Rc<Inner>,
+    last_deadlock: Option<DeadlockReport>,
+}
+
+/// Produced when [`Simulation::run_until_idle`] stops with live tasks:
+/// no task is runnable and no timer is pending, so every task named here
+/// is blocked forever — a deadlock (typically a channel wait cycle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockReport {
+    /// Virtual time at which the deadlock was detected.
+    pub at: SimTime,
+    /// Names of the permanently blocked tasks, in spawn order.
+    pub blocked: Vec<String>,
+}
+
+impl std::fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "deadlock at t={:?}: {} task(s) blocked forever: {}",
+            self.at,
+            self.blocked.len(),
+            self.blocked.join(", ")
+        )
+    }
 }
 
 impl Default for Simulation {
@@ -376,6 +406,7 @@ impl Simulation {
     pub fn new() -> Self {
         Simulation {
             inner: Inner::new(),
+            last_deadlock: None,
         }
     }
 
@@ -412,8 +443,34 @@ impl Simulation {
     }
 
     /// Runs until quiescent (no runnable task and no pending timer).
+    ///
+    /// If tasks are still live at quiescence they can never run again —
+    /// no timer will ever wake them — so this is a deadlock. The blocked
+    /// set is reported on stderr and kept for [`Self::deadlock_report`].
     pub fn run_until_idle(&mut self) -> StopReason {
-        self.run_until(SimTime(u64::MAX))
+        let reason = self.run_until(SimTime(u64::MAX));
+        self.last_deadlock = if reason == StopReason::Idle && self.live_tasks() > 0 {
+            let blocked = self
+                .dump_tasks()
+                .into_iter()
+                .map(|(name, _)| name)
+                .collect();
+            let report = DeadlockReport {
+                at: self.now(),
+                blocked,
+            };
+            eprintln!("pandora-sim: {report}");
+            Some(report)
+        } else {
+            None
+        };
+        reason
+    }
+
+    /// The deadlock found by the most recent [`Self::run_until_idle`],
+    /// or `None` if it drained cleanly (or has not run yet).
+    pub fn deadlock_report(&self) -> Option<&DeadlockReport> {
+        self.last_deadlock.as_ref()
     }
 
     /// Total number of task polls so far; the simulator's analogue of the
@@ -486,7 +543,9 @@ impl Spawner {
         priority: Priority,
         future: impl Future<Output = ()> + 'static,
     ) -> TaskId {
-        let inner = self.inner.upgrade().expect("simulation dropped");
+        let Some(inner) = self.inner.upgrade() else {
+            panic!("simulation dropped");
+        };
         inner.spawn(name, priority, future)
     }
 
@@ -497,7 +556,10 @@ impl Spawner {
     ///
     /// Panics if the simulation has been dropped.
     pub fn now(&self) -> SimTime {
-        self.inner.upgrade().expect("simulation dropped").now()
+        let Some(inner) = self.inner.upgrade() else {
+            panic!("simulation dropped");
+        };
+        inner.now()
     }
 }
 

@@ -136,6 +136,6 @@ mod tests {
         sim.run_until(SimTime::from_secs(100));
         // Nominal 50_000 ticks in 100s; the fast clock yields ~5 extra.
         let n = count.get();
-        assert!(n >= 50_004 && n <= 50_006, "ticks = {n}");
+        assert!((50_004..=50_006).contains(&n), "ticks = {n}");
     }
 }

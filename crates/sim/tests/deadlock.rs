@@ -1,0 +1,71 @@
+//! Deadlock-detector integration tests.
+//!
+//! When `run_until_idle` quiesces with live tasks, no timer can ever wake
+//! them again, so the simulation must surface the blocked set by name —
+//! the virtual-time analogue of Pandora's watchdog reporting a wedged
+//! transputer process.
+
+use pandora_sim::{channel, Simulation, StopReason};
+
+/// The canonical two-task cycle: each side receives before it sends, so
+/// both block on a rendezvous that can never complete. The report must
+/// name both tasks.
+#[test]
+fn two_task_channel_cycle_names_both_tasks() {
+    let mut sim = Simulation::new();
+    let (tx_a, rx_a) = channel::<u32>();
+    let (tx_b, rx_b) = channel::<u32>();
+    sim.spawn("ping", async move {
+        let v = rx_b.recv().await.unwrap();
+        let _ = tx_a.send(v).await;
+    });
+    sim.spawn("pong", async move {
+        let v = rx_a.recv().await.unwrap();
+        let _ = tx_b.send(v).await;
+    });
+    assert_eq!(sim.run_until_idle(), StopReason::Idle);
+    let report = sim.deadlock_report().expect("cycle must be detected");
+    assert_eq!(report.blocked, vec!["ping".to_string(), "pong".to_string()]);
+    assert_eq!(sim.live_tasks(), 2);
+}
+
+/// A pipeline that drains completely must not trip the detector.
+#[test]
+fn clean_drain_reports_no_deadlock() {
+    let mut sim = Simulation::new();
+    let (tx, rx) = channel::<u32>();
+    sim.spawn("producer", async move {
+        for i in 0..4 {
+            tx.send(i).await.unwrap();
+        }
+    });
+    sim.spawn("consumer", async move {
+        for i in 0..4 {
+            assert_eq!(rx.recv().await.unwrap(), i);
+        }
+    });
+    assert_eq!(sim.run_until_idle(), StopReason::Idle);
+    assert!(sim.deadlock_report().is_none());
+    assert_eq!(sim.live_tasks(), 0);
+}
+
+/// A stale report from a deadlocked run is cleared once the blockage is
+/// resolved and a later `run_until_idle` drains cleanly.
+#[test]
+fn report_clears_after_recovery() {
+    let mut sim = Simulation::new();
+    let (tx, rx) = channel::<u32>();
+    sim.spawn("stuck-receiver", async move {
+        assert_eq!(rx.recv().await.unwrap(), 9);
+    });
+    sim.run_until_idle();
+    assert!(sim.deadlock_report().is_some());
+
+    // Spawn the missing peer; the pair now completes.
+    sim.spawn("late-sender", async move {
+        tx.send(9).await.unwrap();
+    });
+    sim.run_until_idle();
+    assert!(sim.deadlock_report().is_none());
+    assert_eq!(sim.live_tasks(), 0);
+}
