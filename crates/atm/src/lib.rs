@@ -21,5 +21,6 @@ mod network;
 pub use aal::{segment_to_cells, Reassembler};
 pub use cell::{Cell, Vci, CELL_BYTES, CELL_PAYLOAD};
 pub use network::{
-    build_path, cell_time, jitter_stage, loss_stage, HopConfig, JitterModel, StageStats, Switch,
+    build_path, build_path_controlled, cell_time, jitter_stage, loss_stage, HopConfig, JitterModel,
+    PathControl, StageStats, Switch,
 };

@@ -15,7 +15,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use pandora_sim::{
-    buffered, channel, link, LinkConfig, LinkSender, Receiver, Sender, SimDuration, Spawner,
+    buffered, channel, link, link_controlled, LinkConfig, LinkControl, LinkSender, Receiver,
+    Sender, SimDuration, Spawner,
 };
 
 use crate::cell::{Cell, Vci, CELL_BYTES};
@@ -220,6 +221,199 @@ pub fn build_path(
         );
     }
     (ingress, rx, stats)
+}
+
+struct PathCtlState {
+    loss: StdCell<f64>,
+    corrupt: StdCell<f64>,
+    extra_delay_ns: StdCell<u64>,
+    injected_drops: StdCell<u64>,
+    injected_corruptions: StdCell<u64>,
+}
+
+/// Runtime fault-injection handle for a [`build_path_controlled`] path.
+///
+/// A fault plan can superimpose cell loss, payload corruption and a
+/// latency step on the path's egress, and reach the per-hop
+/// [`LinkControl`]s to flap links or collapse their bandwidth. All
+/// randomness comes from the path's seeded generator, so a given plan
+/// replays bit-identically.
+#[derive(Clone)]
+pub struct PathControl {
+    state: Rc<PathCtlState>,
+    links: Rc<Vec<LinkControl>>,
+}
+
+impl PathControl {
+    fn new(links: Vec<LinkControl>) -> Self {
+        PathControl {
+            state: Rc::new(PathCtlState {
+                loss: StdCell::new(0.0),
+                corrupt: StdCell::new(0.0),
+                extra_delay_ns: StdCell::new(0),
+                injected_drops: StdCell::new(0),
+                injected_corruptions: StdCell::new(0),
+            }),
+            links: Rc::new(links),
+        }
+    }
+
+    /// Sets the superimposed Bernoulli cell-loss probability (0 disables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `0..=1`.
+    pub fn set_loss(&self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "loss probability out of range");
+        self.state.loss.set(p);
+    }
+
+    /// Sets the per-cell payload-corruption probability (0 disables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `0..=1`.
+    pub fn set_corruption(&self, p: f64) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "corruption probability out of range"
+        );
+        self.state.corrupt.set(p);
+    }
+
+    /// Sets a constant extra delay at the path egress. Stepping this up
+    /// then back down reproduces the §3.7.2 jitter step: a gap opens when
+    /// the delay appears, and a burst drains when it is removed.
+    pub fn set_extra_delay(&self, d: SimDuration) {
+        self.state.extra_delay_ns.set(d.as_nanos());
+    }
+
+    /// Cells dropped by injected loss so far.
+    pub fn injected_drops(&self) -> u64 {
+        self.state.injected_drops.get()
+    }
+
+    /// Cells whose payload was corrupted so far.
+    pub fn injected_corruptions(&self) -> u64 {
+        self.state.injected_corruptions.get()
+    }
+
+    /// Control handle of hop `i`'s link, if the path has that many hops.
+    pub fn link(&self, i: usize) -> Option<&LinkControl> {
+        self.links.get(i)
+    }
+
+    /// Control handles of every hop link, in hop order.
+    pub fn links(&self) -> &[LinkControl] {
+        &self.links
+    }
+}
+
+/// Like [`build_path`], but every hop link gets a [`LinkControl`] and the
+/// egress carries a seeded fault stage, all reachable through the returned
+/// [`PathControl`]. With the control untouched the path behaves identically
+/// to [`build_path`] with the same seed.
+pub fn build_path_controlled(
+    spawner: &Spawner,
+    name: &str,
+    hops: &[HopConfig],
+    seed: u64,
+) -> (
+    LinkSender<Cell>,
+    Receiver<Cell>,
+    Vec<StageStats>,
+    PathControl,
+) {
+    assert!(!hops.is_empty(), "a path needs at least one hop");
+    let mut stats = Vec::new();
+    let mut link_ctls = Vec::new();
+    let first = LinkConfig::new(leak_name(format!("{name}.0")), hops[0].bits_per_sec)
+        .with_latency(hops[0].latency);
+    let (ingress, mut rx, lc) = link_controlled::<Cell>(spawner, first);
+    link_ctls.push(lc);
+    rx = apply_disturbance(spawner, name, 0, &hops[0], seed, rx, &mut stats);
+    for (i, hop) in hops.iter().enumerate().skip(1) {
+        let cfg = LinkConfig::new(leak_name(format!("{name}.{i}")), hop.bits_per_sec)
+            .with_latency(hop.latency);
+        let (tx, next_rx, lc) = link_controlled::<Cell>(spawner, cfg);
+        link_ctls.push(lc);
+        let pump_in = rx;
+        spawner.spawn(&format!("hop:{name}.{i}"), async move {
+            while let Ok(cell) = pump_in.recv().await {
+                if tx.send(cell).await.is_err() {
+                    return;
+                }
+            }
+        });
+        rx = apply_disturbance(
+            spawner,
+            name,
+            i,
+            hop,
+            seed.wrapping_add(i as u64),
+            next_rx,
+            &mut stats,
+        );
+    }
+    let ctrl = PathControl::new(link_ctls);
+    let rx = fault_stage(spawner, name, seed ^ 0xFA17, ctrl.clone(), rx);
+    (ingress, rx, stats, ctrl)
+}
+
+/// The controllable egress disturbance of [`build_path_controlled`]:
+/// seeded Bernoulli loss, payload corruption (one byte XORed, so the frame
+/// fails to decode downstream rather than vanishing) and a constant extra
+/// delay with FIFO-monotone release.
+fn fault_stage(
+    spawner: &Spawner,
+    name: &str,
+    seed: u64,
+    ctrl: PathControl,
+    input: Receiver<Cell>,
+) -> Receiver<Cell> {
+    let (tx, rx) = channel::<Cell>();
+    // Same stamper/delayer split as `jitter_stage`: arrival times are
+    // recorded immediately so a standing extra delay shifts cells by a
+    // constant instead of compounding through the rendezvous chain.
+    let (stamped_tx, stamped_rx) = pandora_sim::unbounded::<(pandora_sim::SimTime, Cell)>();
+    spawner.spawn(&format!("faults:path:{name}:stamp"), async move {
+        while let Ok(cell) = input.recv().await {
+            if stamped_tx.send((pandora_sim::now(), cell)).await.is_err() {
+                return;
+            }
+        }
+    });
+    spawner.spawn(&format!("faults:path:{name}"), async move {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut last_due = pandora_sim::SimTime::ZERO;
+        while let Ok((arrival, mut cell)) = stamped_rx.recv().await {
+            let loss = ctrl.state.loss.get();
+            if loss > 0.0 && rng.gen_bool(loss) {
+                ctrl.state
+                    .injected_drops
+                    .set(ctrl.state.injected_drops.get() + 1);
+                continue;
+            }
+            let corrupt = ctrl.state.corrupt.get();
+            if corrupt > 0.0 && rng.gen_bool(corrupt) && cell.payload_len > 0 {
+                let i = rng.gen_range(0..cell.payload_len as usize);
+                cell.payload[i] ^= 0xFF;
+                ctrl.state
+                    .injected_corruptions
+                    .set(ctrl.state.injected_corruptions.get() + 1);
+            }
+            let extra = ctrl.state.extra_delay_ns.get();
+            let due = (arrival + SimDuration(extra)).max(last_due);
+            if due > pandora_sim::now() {
+                pandora_sim::delay_until(due).await;
+            }
+            last_due = due;
+            if tx.send(cell).await.is_err() {
+                return;
+            }
+        }
+    });
+    rx
 }
 
 fn apply_disturbance(
@@ -556,6 +750,147 @@ mod tests {
         let big = samples.iter().filter(|&&s| s > 2_000_000).count();
         assert!((300..=800).contains(&big), "bursts: {big}");
         assert!(samples.iter().any(|&s| s > 15_000_000));
+    }
+
+    #[test]
+    fn controlled_path_injects_loss_and_corruption() {
+        let mut sim = Simulation::new();
+        let (tx, rx, _stats, ctrl) =
+            build_path_controlled(&sim.spawner(), "p", &[HopConfig::clean(1_000_000_000)], 11);
+        ctrl.set_loss(0.2);
+        ctrl.set_corruption(0.1);
+        sim.spawn("send", async move {
+            for i in 0..2_000 {
+                tx.send(Cell::new(Vci(1), i, false, &[0u8; 16]))
+                    .await
+                    .unwrap();
+            }
+        });
+        let delivered = Rc::new(StdCell::new(0u64));
+        let flipped = Rc::new(StdCell::new(0u64));
+        let (d, f) = (delivered.clone(), flipped.clone());
+        sim.spawn("recv", async move {
+            while let Ok(c) = rx.recv().await {
+                d.set(d.get() + 1);
+                if c.data().iter().any(|&b| b != 0) {
+                    f.set(f.get() + 1);
+                }
+            }
+        });
+        sim.run_until_idle();
+        assert_eq!(delivered.get() + ctrl.injected_drops(), 2_000);
+        assert!(
+            (300..=500).contains(&ctrl.injected_drops()),
+            "drops = {}",
+            ctrl.injected_drops()
+        );
+        assert_eq!(flipped.get(), ctrl.injected_corruptions());
+        assert!(ctrl.injected_corruptions() > 100);
+    }
+
+    #[test]
+    fn controlled_path_untouched_matches_plain_path() {
+        let run = |controlled: bool| {
+            let mut sim = Simulation::new();
+            let hop = HopConfig {
+                bits_per_sec: 100_000_000,
+                latency: SimDuration::from_millis(1),
+                jitter: JitterModel::Uniform {
+                    max: SimDuration::from_millis(2),
+                },
+                loss: 0.05,
+            };
+            let (tx, rx) = if controlled {
+                let (tx, rx, _s, _c) = build_path_controlled(&sim.spawner(), "p", &[hop], 99);
+                (tx, rx)
+            } else {
+                let (tx, rx, _s) = build_path(&sim.spawner(), "p", &[hop], 99);
+                (tx, rx)
+            };
+            sim.spawn("send", async move {
+                for i in 0..500 {
+                    let _ = tx.send(Cell::new(Vci(1), i, false, &[])).await;
+                }
+            });
+            let log = Rc::new(StdRefCell::new(Vec::new()));
+            let l = log.clone();
+            sim.spawn("recv", async move {
+                while let Ok(c) = rx.recv().await {
+                    l.borrow_mut().push((pandora_sim::now(), c.seq));
+                }
+            });
+            sim.run_until_idle();
+            Rc::try_unwrap(log).expect("log shared").into_inner()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn extra_delay_step_shifts_then_bursts() {
+        let mut sim = Simulation::new();
+        let (tx, rx, _stats, ctrl) =
+            build_path_controlled(&sim.spawner(), "p", &[HopConfig::clean(1_000_000_000)], 5);
+        sim.spawn("send", async move {
+            for i in 0..100 {
+                let _ = tx.send(Cell::new(Vci(1), i, false, &[])).await;
+                pandora_sim::delay(SimDuration::from_millis(1)).await;
+            }
+        });
+        let times = Rc::new(StdRefCell::new(Vec::new()));
+        let t = times.clone();
+        sim.spawn("recv", async move {
+            while let Ok(c) = rx.recv().await {
+                t.borrow_mut().push((c.seq, pandora_sim::now().as_millis()));
+            }
+        });
+        sim.run_until(SimTime::from_millis(20));
+        ctrl.set_extra_delay(SimDuration::from_millis(10));
+        sim.run_until(SimTime::from_millis(50));
+        ctrl.set_extra_delay(SimDuration::ZERO);
+        sim.run_until_idle();
+        let times = times.borrow();
+        assert_eq!(times.len(), 100);
+        // Cell 30 sent at 30ms lands ~40ms; after the revert the backlog
+        // drains and late cells return to ~send time.
+        let at = |seq: u32| times.iter().find(|&&(s, _)| s == seq).map(|&(_, t)| t);
+        assert!(
+            at(30).is_some_and(|t| (39..=42).contains(&t)),
+            "{:?}",
+            at(30)
+        );
+        assert!(
+            at(90).is_some_and(|t| (90..=93).contains(&t)),
+            "{:?}",
+            at(90)
+        );
+    }
+
+    #[test]
+    fn path_link_flap_reachable_through_control() {
+        let mut sim = Simulation::new();
+        let (tx, rx, _stats, ctrl) =
+            build_path_controlled(&sim.spawner(), "p", &[HopConfig::clean(1_000_000_000)], 5);
+        sim.spawn("send", async move {
+            for i in 0..10 {
+                let _ = tx.send(Cell::new(Vci(1), i, false, &[])).await;
+                pandora_sim::delay(SimDuration::from_millis(1)).await;
+            }
+        });
+        let n = Rc::new(StdCell::new(0u64));
+        let nn = n.clone();
+        sim.spawn("recv", async move {
+            while rx.recv().await.is_ok() {
+                nn.set(nn.get() + 1);
+            }
+        });
+        sim.run_until(SimTime::from_millis(3));
+        let got_at_down = n.get();
+        ctrl.link(0).expect("hop 0").set_up(false);
+        sim.run_until(SimTime::from_millis(8));
+        assert_eq!(n.get(), got_at_down, "no delivery while hop is down");
+        ctrl.link(0).expect("hop 0").set_up(true);
+        sim.run_until_idle();
+        assert_eq!(n.get(), 10);
     }
 
     #[test]

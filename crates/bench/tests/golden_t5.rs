@@ -1,0 +1,33 @@
+//! Golden-table regression for the T5 clawback adaptation experiment
+//! (§3.7.2). The experiment is fully deterministic (zero drift, fixed
+//! bunching model), so its rendered table is compared byte-for-byte
+//! against a checked-in snapshot. Regenerate deliberately with
+//! `UPDATE_GOLDEN=1 cargo test -p pandora-bench --test golden_t5` after
+//! an intentional behaviour change, and review the diff.
+
+use pandora_bench::clawback_exps::clawback_adaptation;
+
+const GOLDEN: &str = include_str!("golden/t5_clawback.txt");
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/t5_clawback.txt");
+
+#[test]
+fn t5_clawback_table_matches_golden() {
+    let result = clawback_adaptation();
+    let rendered = result.table.to_string();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden");
+        return;
+    }
+    // The headline result must stay in the paper's ballpark regardless
+    // of formatting: "about one minute to adjust".
+    assert!(
+        result.adaptation_seconds > 20.0 && result.adaptation_seconds < 90.0,
+        "adaptation took {}s",
+        result.adaptation_seconds
+    );
+    assert_eq!(
+        rendered, GOLDEN,
+        "T5 table drifted from the golden snapshot; if intentional, \
+         regenerate with UPDATE_GOLDEN=1 and review the diff"
+    );
+}

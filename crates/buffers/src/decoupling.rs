@@ -321,7 +321,9 @@ async fn handle_command<T>(
 /// indicating that the corresponding output can be sent data again."
 pub struct ReadyGate<T> {
     data_tx: Sender<T>,
-    ready_rx: Receiver<bool>,
+    /// `None` for a gate onto a *blocking* buffer: offers simply send (and
+    /// stall on a full buffer) — the Principle-5 conformance ablation.
+    ready_rx: Option<Receiver<bool>>,
     permitted: bool,
     dropped: u64,
     sent: u64,
@@ -332,7 +334,21 @@ impl<T> ReadyGate<T> {
     pub fn new(data_tx: Sender<T>, ready_rx: Receiver<bool>) -> Self {
         ReadyGate {
             data_tx,
-            ready_rx,
+            ready_rx: Some(ready_rx),
+            permitted: true,
+            dropped: 0,
+            sent: 0,
+        }
+    }
+
+    /// Wraps the data sender of a *blocking* buffer (no ready channel):
+    /// every offer sends, blocking while the buffer is full, so a slow
+    /// consumer stalls the offering process — exactly what Principle 5
+    /// exists to prevent. Used by the conformance suite's ablations.
+    pub fn blocking(data_tx: Sender<T>) -> Self {
+        ReadyGate {
+            data_tx,
+            ready_rx: None,
             permitted: true,
             dropped: 0,
             sent: 0,
@@ -341,12 +357,22 @@ impl<T> ReadyGate<T> {
 
     /// Offers an item: sends it if the buffer is known to have space,
     /// otherwise drops it immediately (never blocks on a full buffer).
+    /// Gates made with [`ReadyGate::blocking`] always send, blocking on a
+    /// full buffer instead of dropping.
     ///
     /// Returns `true` if the item was sent.
     pub async fn offer(&mut self, item: T) -> bool {
+        let Some(ready_rx) = &self.ready_rx else {
+            if self.data_tx.send(item).await.is_err() {
+                self.dropped += 1;
+                return false;
+            }
+            self.sent += 1;
+            return true;
+        };
         if !self.permitted {
             // Poll the ready channel without blocking.
-            while let Some(r) = self.ready_rx.try_recv() {
+            while let Some(r) = ready_rx.try_recv() {
                 self.permitted = r;
             }
             if !self.permitted {
@@ -360,7 +386,7 @@ impl<T> ReadyGate<T> {
         }
         self.sent += 1;
         // The immediate reply mandated by the protocol.
-        match self.ready_rx.recv().await {
+        match ready_rx.recv().await {
             Ok(r) => self.permitted = r,
             Err(_) => self.permitted = false,
         }
@@ -593,6 +619,30 @@ mod tests {
         // crucially, traffic keeps flowing after the first FALSE.
         assert!(sent >= 20, "sent {sent}");
         assert!(dropped >= 60, "dropped {dropped}");
+    }
+
+    #[test]
+    fn blocking_gate_stalls_instead_of_dropping() {
+        // The Principle-5 ablation: a gate onto a blocking buffer with no
+        // consumer wedges the offering process once the buffer fills.
+        let mut sim = Simulation::new();
+        let (in_tx, in_rx) = channel::<u32>();
+        let (out_tx, _out_rx_kept) = channel::<u32>();
+        let (rep_tx, _rep_rx) = unbounded::<Report>();
+        let _handle = spawn_decoupling(&sim.spawner(), "blk", 3, in_rx, out_tx, rep_tx);
+        let progress = Rc::new(Cell::new(0u32));
+        let p = progress.clone();
+        sim.spawn("producer", async move {
+            let mut gate = ReadyGate::blocking(in_tx);
+            for i in 0..100 {
+                gate.offer(i).await;
+                p.set(i + 1);
+            }
+        });
+        sim.run_until_idle();
+        // 3 buffered + 1 in the writer: the 5th offer blocks forever.
+        assert_eq!(progress.get(), 4);
+        assert!(sim.deadlock_report().is_some());
     }
 
     #[test]

@@ -108,7 +108,13 @@ impl Default for Config {
     fn default() -> Self {
         let v = |names: &[&str]| names.iter().map(|s| s.to_string()).collect();
         Config {
-            deterministic_crates: v(&["sim", "buffers", "segment", "audio", "video", "atm"]),
+            // "faults" is listed because its whole contract is seeded
+            // replayability (same plan ⇒ byte-identical FaultTrace):
+            // a stray wall-clock or unseeded RNG there would silently
+            // break every conformance replay.
+            deterministic_crates: v(&[
+                "sim", "buffers", "segment", "audio", "video", "atm", "faults",
+            ]),
             hot_path_crates: v(&["buffers", "sim", "atm"]),
             documented_crates: v(&["segment", "buffers"]),
             // rt.rs is the intentionally-live runtime; bench measures the

@@ -186,6 +186,10 @@ pub struct PlaybackConfig {
     /// "4ms … in the buffering to the codec" on the paper's measured 8 ms
     /// best one-way trip; mixed blocks sit this long before they sound.
     pub codec_output_fifo_ns: u64,
+    /// Principle 1: claim the mix's CPU time at
+    /// [`pandora_sim::PRIO_OUTPUT`]; when `false` the mix competes at
+    /// normal priority (the conformance-suite ablation).
+    pub output_priority: bool,
 }
 
 impl Default for PlaybackConfig {
@@ -201,6 +205,7 @@ impl Default for PlaybackConfig {
             conceal_cap_blocks: 6,
             record_output: false,
             codec_output_fifo_ns: 4_000_000,
+            output_priority: true,
         }
     }
 }
@@ -398,8 +403,12 @@ pub fn spawn_audio_playback(
                 cost += config.costs.interface_per_tick_ns;
             }
             if cost > 0 {
-                cpu.claim_prio(SimDuration::from_nanos(cost), pandora_sim::PRIO_OUTPUT)
-                    .await;
+                let prio = if config.output_priority {
+                    pandora_sim::PRIO_OUTPUT
+                } else {
+                    pandora_sim::PRIO_NORMAL
+                };
+                cpu.claim_prio(SimDuration::from_nanos(cost), prio).await;
             }
             let mixed_inputs = bank.mix_tick();
             let now = pandora_sim::now();

@@ -85,6 +85,24 @@ pub struct BoxConfig {
     pub clock_drift: f64,
     /// Minimum period between reports of one error class (§3.8).
     pub report_min_period: SimDuration,
+    /// Principle 1: output processes claim the CPU at
+    /// [`pandora_sim::PRIO_OUTPUT`]. Disabled, the audio mix competes at
+    /// normal priority — a conformance-suite ablation, not a mode the
+    /// paper supports.
+    pub output_priority: bool,
+    /// Principle 2: the network scheduler drains audio ahead of video.
+    /// Disabled, video is served first and audio waits behind the backlog.
+    pub audio_priority: bool,
+    /// Principle 3: when the video backlog overflows, drop from the
+    /// longest-open stream. Disabled, the newest stream is the victim.
+    pub p3_oldest_first: bool,
+    /// Principle 4: the switch takes commands ahead of data (PRI ALT).
+    /// Disabled, data is polled first and commands starve under load.
+    pub command_priority: bool,
+    /// Principle 5: switch outputs go through *ready-mode* decoupling
+    /// buffers, so a slow output loses its own traffic only. Disabled, the
+    /// gates block on a full buffer and stall the whole switch.
+    pub ready_mode: bool,
 }
 
 impl BoxConfig {
@@ -109,6 +127,11 @@ impl BoxConfig {
             pool_buffers: 256,
             clock_drift: 0.0,
             report_min_period: SimDuration::from_millis(500),
+            output_priority: true,
+            audio_priority: true,
+            p3_oldest_first: true,
+            command_priority: true,
+            ready_mode: true,
         }
     }
 }

@@ -41,7 +41,7 @@ pub use audio_board::{PlaybackConfig, SpeakerSink};
 pub use config::{BoxConfig, TxMode, VideoCosts};
 pub use hostlog::ReportLog;
 pub use msg::{OutputId, SegMsg, StreamKind, SwitchCommand, SwitchEntry};
-pub use network_board::{NetInStats, NetOutStats};
+pub use network_board::{NetInStats, NetOutConfig, NetOutStats};
 pub use pandora_box::{connect_pair, open_audio_shout, open_video_stream, BoxPair, PandoraBox};
 pub use server_board::{NetMsg, SwitchOutputs, SwitchStats};
 pub use video_boards::{Camera, DisplaySink, VideoCaptureHandle};

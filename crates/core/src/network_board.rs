@@ -86,6 +86,33 @@ struct VideoQueue {
     segments: VecDeque<NetMsg>,
 }
 
+/// Policy configuration of the network output process.
+#[derive(Debug, Clone, Copy)]
+pub struct NetOutConfig {
+    /// Transmit scheduling mode.
+    pub mode: TxMode,
+    /// Video backlog cap before the drop policy engages.
+    pub video_backlog_cap: usize,
+    /// Principle 2: drain audio ahead of video. When `false`, audio is
+    /// only served once no video is pending (the conformance ablation).
+    pub audio_priority: bool,
+    /// Principle 3: on overflow, drop from the longest-open stream. When
+    /// `false`, the newest stream is the victim instead.
+    pub p3_oldest_first: bool,
+}
+
+impl NetOutConfig {
+    /// The paper's policies with the given mode and backlog cap.
+    pub fn new(mode: TxMode, video_backlog_cap: usize) -> Self {
+        NetOutConfig {
+            mode,
+            video_backlog_cap,
+            audio_priority: true,
+            p3_oldest_first: true,
+        }
+    }
+}
+
 /// Spawns the network output process.
 ///
 /// `audio` and `video` are the drains of the fig 3.7 decoupling buffers;
@@ -94,8 +121,7 @@ struct VideoQueue {
 pub fn spawn_net_out(
     spawner: &Spawner,
     name: &str,
-    mode: TxMode,
-    video_backlog_cap: usize,
+    config: NetOutConfig,
     audio: Receiver<NetMsg>,
     video: Receiver<NetMsg>,
     link: LinkSender<pandora_atm::Cell>,
@@ -103,6 +129,12 @@ pub fn spawn_net_out(
     reports: Sender<Report>,
     report_min_period: SimDuration,
 ) -> NetOutStats {
+    let NetOutConfig {
+        mode,
+        video_backlog_cap,
+        audio_priority,
+        p3_oldest_first,
+    } = config;
     let stats = NetOutStats::default();
     let s = stats.clone();
     let proc_name = format!("net-out:{name}");
@@ -133,6 +165,7 @@ pub fn spawn_net_out(
                     &mut video_q,
                     &mut video_backlog,
                     video_backlog_cap,
+                    p3_oldest_first,
                     &pool,
                     &s,
                     &reports,
@@ -153,26 +186,31 @@ pub fn spawn_net_out(
                 }
             }
             // Audio next (Principle 2). Audio segments are small (a cell or
-            // two), so they are sent directly in both modes.
-            if let Some((m, queued_at)) = audio_q.pop_front() {
-                let wait = pandora_sim::now() - queued_at;
-                s.inner
-                    .borrow_mut()
-                    .audio_wait_ns
-                    .record(wait.as_nanos() as f64);
-                s.inner.borrow_mut().audio_segments += 1;
-                let bytes = pool.with(m.desc, wire::encode);
-                pool.release(m.desc);
-                let seq = cell_seq.entry(m.vci).or_insert(0);
-                let cells = segment_to_cells(m.vci, &bytes, *seq);
-                *seq = seq.wrapping_add(cells.len() as u32);
-                for cell in cells {
-                    s.inner.borrow_mut().cells += 1;
-                    if link.send(cell).await.is_err() {
-                        return;
+            // two), so they are sent directly in both modes. With the
+            // principle disabled, audio only gets a turn once no video is
+            // staged or queued.
+            let audio_turn = audio_priority || (in_flight.is_empty() && video_backlog == 0);
+            if audio_turn {
+                if let Some((m, queued_at)) = audio_q.pop_front() {
+                    let wait = pandora_sim::now() - queued_at;
+                    s.inner
+                        .borrow_mut()
+                        .audio_wait_ns
+                        .record(wait.as_nanos() as f64);
+                    s.inner.borrow_mut().audio_segments += 1;
+                    let bytes = pool.with(m.desc, wire::encode);
+                    pool.release(m.desc);
+                    let seq = cell_seq.entry(m.vci).or_insert(0);
+                    let cells = segment_to_cells(m.vci, &bytes, *seq);
+                    *seq = seq.wrapping_add(cells.len() as u32);
+                    for cell in cells {
+                        s.inner.borrow_mut().cells += 1;
+                        if link.send(cell).await.is_err() {
+                            return;
+                        }
                     }
+                    continue;
                 }
-                continue;
             }
             // In interleaved mode, staged video cells go out one at a time
             // so audio can cut in between them.
@@ -197,6 +235,7 @@ pub fn spawn_net_out(
                         &mut video_q,
                         &mut video_backlog,
                         video_backlog_cap,
+                        p3_oldest_first,
                         &pool,
                         &s,
                         &reports,
@@ -235,6 +274,7 @@ async fn admit_video(
     video_q: &mut HashMap<StreamId, VideoQueue>,
     backlog: &mut usize,
     cap: usize,
+    oldest_first: bool,
     pool: &Pool<Segment>,
     s: &NetOutStats,
     reports: &Sender<Report>,
@@ -249,12 +289,15 @@ async fn admit_video(
     q.segments.push_back(m);
     *backlog += 1;
     while *backlog > cap {
-        // Principle 3: degrade the stream that has been open the longest.
-        let victim = video_q
-            .iter()
-            .filter(|(_, q)| !q.segments.is_empty())
-            .min_by_key(|(_, q)| q.opened_at)
-            .map(|(&id, _)| id);
+        // Principle 3: degrade the stream that has been open the longest
+        // (disabled: the newest stream takes the hit instead).
+        let candidates = video_q.iter().filter(|(_, q)| !q.segments.is_empty());
+        let victim = if oldest_first {
+            candidates.min_by_key(|(_, q)| q.opened_at)
+        } else {
+            candidates.max_by_key(|(_, q)| q.opened_at)
+        }
+        .map(|(&id, _)| id);
         let Some(victim) = victim else { break };
         let vq = video_q.get_mut(&victim).expect("victim exists");
         if let Some(dropped) = vq.segments.pop_front() {
@@ -270,7 +313,9 @@ async fn admit_video(
                         now,
                         proc_name,
                         ReportClass::Overload,
-                        format!("video backlog over {cap}: degraded oldest stream {victim} ({total} dropped)"),
+                        format!(
+                            "video backlog over {cap}: degraded stream {victim} ({total} dropped)"
+                        ),
                     ))
                     .await;
             }
@@ -457,6 +502,10 @@ mod tests {
     }
 
     fn rig(mode: TxMode, cap: usize, bps: u64) -> Rig {
+        rig_cfg(NetOutConfig::new(mode, cap), bps)
+    }
+
+    fn rig_cfg(config: NetOutConfig, bps: u64) -> Rig {
         let sim = Simulation::new();
         let spawner = sim.spawner();
         let pool = Pool::new(256);
@@ -467,8 +516,7 @@ mod tests {
         let stats = spawn_net_out(
             &spawner,
             "t",
-            mode,
-            cap,
+            config,
             audio_rx,
             video_rx,
             wire_tx,
@@ -664,6 +712,75 @@ mod tests {
             r.pool.free_count(),
             256,
             "dropped segments must be released"
+        );
+    }
+
+    #[test]
+    fn audio_priority_disabled_waits_behind_video() {
+        // Interleaved mode normally lets audio cut in between video cells
+        // (see interleaved_audio_preempts_video); with Principle 2
+        // disabled the audio segment waits for the whole video backlog.
+        let mut r = rig_cfg(
+            NetOutConfig {
+                audio_priority: false,
+                ..NetOutConfig::new(TxMode::Interleaved, 64)
+            },
+            10_000_000,
+        );
+        let pool = r.pool.clone();
+        let (atx, vtx) = (r.audio_tx.clone(), r.video_tx.clone());
+        r.sim.spawn("feed", async move {
+            vtx.send(msg(&pool, 2, video_seg(24_000), 0)).await.unwrap();
+            pandora_sim::delay(SimDuration::from_micros(100)).await;
+            atx.send(msg(&pool, 1, audio_seg(0), 0)).await.unwrap();
+        });
+        let audio_done = Rc::new(std::cell::Cell::new(SimTime::ZERO));
+        let ad = audio_done.clone();
+        let rx = r.wire_rx;
+        r.sim.spawn("wire", async move {
+            while let Ok(c) = rx.recv().await {
+                if c.vci == Vci(1) && c.last {
+                    ad.set(pandora_sim::now());
+                }
+            }
+        });
+        r.sim.run_until_idle();
+        let t = audio_done.get();
+        assert!(
+            t >= SimTime::from_millis(18),
+            "audio must wait behind video with P2 disabled, done at {t}"
+        );
+    }
+
+    #[test]
+    fn p3_disabled_drops_newest_stream_instead() {
+        let mut r = rig_cfg(
+            NetOutConfig {
+                p3_oldest_first: false,
+                ..NetOutConfig::new(TxMode::NonInterleaved, 4)
+            },
+            1_000_000,
+        );
+        let pool = r.pool.clone();
+        let vtx = r.video_tx.clone();
+        r.sim.spawn("feed", async move {
+            for _ in 0..10 {
+                vtx.send(msg(&pool, 10, video_seg(5_000), 0)).await.unwrap(); // Old.
+                vtx.send(msg(&pool, 20, video_seg(5_000), 900))
+                    .await
+                    .unwrap(); // New.
+            }
+        });
+        let rx = r.wire_rx;
+        r.sim
+            .spawn("wire", async move { while rx.recv().await.is_ok() {} });
+        r.sim.run_until_idle();
+        let old_drops = r.stats.p3_drops(StreamId(10));
+        let new_drops = r.stats.p3_drops(StreamId(20));
+        assert!(new_drops > 0, "new stream untouched");
+        assert!(
+            new_drops > old_drops,
+            "new {new_drops} vs old {old_drops} — victim policy inverted"
         );
     }
 

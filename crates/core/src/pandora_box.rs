@@ -25,7 +25,7 @@ use crate::audio_board::{
 use crate::config::BoxConfig;
 use crate::hostlog::ReportLog;
 use crate::msg::{OutputId, SegMsg, StreamKind, SwitchCommand, SwitchEntry};
-use crate::network_board::{spawn_net_in, spawn_net_out, NetInStats, NetOutStats};
+use crate::network_board::{spawn_net_in, spawn_net_out, NetInStats, NetOutConfig, NetOutStats};
 use crate::server_board::{spawn_switch, NetMsg, SwitchOutputs, SwitchStats};
 use crate::video_boards::{
     spawn_video_capture, spawn_video_display, Camera, DisplaySink, VideoCaptureHandle,
@@ -93,19 +93,33 @@ impl PandoraBox {
         let buffer_handles: Rc<RefCell<Vec<pandora_buffers::DecouplingHandle>>> =
             Rc::new(RefCell::new(Vec::new()));
         let bh = buffer_handles.clone();
+        let ready_mode = config.ready_mode;
         let mk_net_gate = move |label: &str, cap: usize| {
             let (in_tx, in_rx) = pandora_sim::channel::<NetMsg>();
             let (out_tx, out_rx) = pandora_sim::channel::<NetMsg>();
-            let (h, ready) = pandora_buffers::spawn_decoupling_ready(
-                spawner,
-                &format!("{name}:{label}"),
-                cap,
-                in_rx,
-                out_tx,
-                reports.clone(),
-            );
-            bh.borrow_mut().push(h);
-            (ReadyGate::new(in_tx, ready), out_rx)
+            if ready_mode {
+                let (h, ready) = pandora_buffers::spawn_decoupling_ready(
+                    spawner,
+                    &format!("{name}:{label}"),
+                    cap,
+                    in_rx,
+                    out_tx,
+                    reports.clone(),
+                );
+                bh.borrow_mut().push(h);
+                (ReadyGate::new(in_tx, ready), out_rx)
+            } else {
+                let h = pandora_buffers::spawn_decoupling(
+                    spawner,
+                    &format!("{name}:{label}"),
+                    cap,
+                    in_rx,
+                    out_tx,
+                    reports.clone(),
+                );
+                bh.borrow_mut().push(h);
+                (ReadyGate::blocking(in_tx), out_rx)
+            }
         };
         let (net_audio_gate, net_audio_rx) = mk_net_gate("net-audio", config.audio_net_buffer);
         let (net_video_gate, net_video_rx) = mk_net_gate("net-video", config.decoupling_capacity);
@@ -115,16 +129,29 @@ impl PandoraBox {
         let mk_seg_gate = move |label: &str, cap: usize| {
             let (in_tx, in_rx) = pandora_sim::channel::<SegMsg>();
             let (out_tx, out_rx) = pandora_sim::channel::<SegMsg>();
-            let (h, ready) = pandora_buffers::spawn_decoupling_ready(
-                spawner,
-                &format!("{name}:{label}"),
-                cap,
-                in_rx,
-                out_tx,
-                reports.clone(),
-            );
-            bh.borrow_mut().push(h);
-            (ReadyGate::new(in_tx, ready), out_rx)
+            if ready_mode {
+                let (h, ready) = pandora_buffers::spawn_decoupling_ready(
+                    spawner,
+                    &format!("{name}:{label}"),
+                    cap,
+                    in_rx,
+                    out_tx,
+                    reports.clone(),
+                );
+                bh.borrow_mut().push(h);
+                (ReadyGate::new(in_tx, ready), out_rx)
+            } else {
+                let h = pandora_buffers::spawn_decoupling(
+                    spawner,
+                    &format!("{name}:{label}"),
+                    cap,
+                    in_rx,
+                    out_tx,
+                    reports.clone(),
+                );
+                bh.borrow_mut().push(h);
+                (ReadyGate::blocking(in_tx), out_rx)
+            }
         };
         let (audio_gate, audio_out_rx) = mk_seg_gate("audio-out", config.decoupling_capacity);
         let (mixer_gate, mixer_out_rx) = mk_seg_gate("mixer-out", config.decoupling_capacity);
@@ -147,6 +174,7 @@ impl PandoraBox {
             name,
             switch_in_rx,
             switch_cmd_rx,
+            config.command_priority,
             outputs,
             pool.clone(),
             server_cpu.clone(),
@@ -159,8 +187,12 @@ impl PandoraBox {
         let net_out_stats = spawn_net_out(
             spawner,
             name,
-            config.tx_mode,
-            config.video_backlog_cap,
+            NetOutConfig {
+                mode: config.tx_mode,
+                video_backlog_cap: config.video_backlog_cap,
+                audio_priority: config.audio_priority,
+                p3_oldest_first: config.p3_oldest_first,
+            },
             net_audio_rx,
             net_video_rx,
             net_tx,
@@ -234,6 +266,7 @@ impl PandoraBox {
             conceal_cap_blocks: 6,
             record_output: false,
             codec_output_fifo_ns: 4_000_000,
+            output_priority: config.output_priority,
         };
         let speaker = spawn_audio_playback(
             spawner,
@@ -603,9 +636,17 @@ pub struct BoxPair {
     pub a_to_b: Vec<pandora_atm::StageStats>,
     /// Loss stats of the b→a path hops.
     pub b_to_a: Vec<pandora_atm::StageStats>,
+    /// Fault-injection control of the a→b path (links and egress stage).
+    pub a_to_b_ctrl: pandora_atm::PathControl,
+    /// Fault-injection control of the b→a path.
+    pub b_to_a_ctrl: pandora_atm::PathControl,
 }
 
 /// Connects two boxes with the given hop profile in each direction.
+///
+/// The paths are built with fault-injection controls (left inert unless
+/// driven); an untouched control leaves behaviour identical to the plain
+/// [`pandora_atm::build_path`] wiring.
 pub fn connect_pair(
     spawner: &Spawner,
     cfg_a: BoxConfig,
@@ -613,8 +654,10 @@ pub fn connect_pair(
     hops: &[pandora_atm::HopConfig],
     seed: u64,
 ) -> BoxPair {
-    let (a_tx, b_in, a_to_b) = pandora_atm::build_path(spawner, "a-b", hops, seed);
-    let (b_tx, a_in, b_to_a) = pandora_atm::build_path(spawner, "b-a", hops, seed ^ 0xDEAD);
+    let (a_tx, b_in, a_to_b, a_to_b_ctrl) =
+        pandora_atm::build_path_controlled(spawner, "a-b", hops, seed);
+    let (b_tx, a_in, b_to_a, b_to_a_ctrl) =
+        pandora_atm::build_path_controlled(spawner, "b-a", hops, seed ^ 0xDEAD);
     let a = PandoraBox::new(spawner, cfg_a, a_tx, a_in);
     let b = PandoraBox::new(spawner, cfg_b, b_tx, b_in);
     BoxPair {
@@ -622,6 +665,8 @@ pub fn connect_pair(
         b,
         a_to_b,
         b_to_a,
+        a_to_b_ctrl,
+        b_to_a_ctrl,
     }
 }
 

@@ -115,6 +115,9 @@ impl SwitchStats {
 ///
 /// * `input` — merged descriptor stream from all input device handlers;
 /// * `commands` — the host/interface command channel (highest priority);
+/// * `command_priority` — Principle 4: take commands ahead of data by PRI
+///   ALT; when `false` data is polled first (the conformance ablation,
+///   under which commands starve while inputs stay busy);
 /// * `outputs` — ready-gates into the per-output decoupling buffers;
 /// * `pool` — the server board's segment buffer pool;
 /// * `cpu` — the server transputer (each segment pays a switching cost).
@@ -124,6 +127,7 @@ pub fn spawn_switch(
     name: &str,
     input: Receiver<SegMsg>,
     commands: Receiver<SwitchCommand>,
+    command_priority: bool,
     mut outputs: SwitchOutputs,
     pool: Pool<Segment>,
     cpu: Cpu,
@@ -139,11 +143,25 @@ pub fn spawn_switch(
         let mut table: HashMap<StreamId, SwitchEntry> = HashMap::new();
         let mut limiter = RateLimiter::new(report_min_period.as_nanos());
         loop {
-            match alt2(&commands, &input).await {
-                Some(Ok(Either2::A(cmd))) => {
-                    apply_command(&mut table, cmd, &reports, &proc_name).await
+            // PRI ALT: commands first (Principle 4). With the principle
+            // disabled, data is polled first and a busy input starves the
+            // command channel.
+            let next = if command_priority {
+                match alt2(&commands, &input).await {
+                    Some(Ok(Either2::A(cmd))) => (Some(cmd), None),
+                    Some(Ok(Either2::B(msg))) => (None, Some(msg)),
+                    _ => return,
                 }
-                Some(Ok(Either2::B(msg))) => {
+            } else {
+                match alt2(&input, &commands).await {
+                    Some(Ok(Either2::A(msg))) => (None, Some(msg)),
+                    Some(Ok(Either2::B(cmd))) => (Some(cmd), None),
+                    _ => return,
+                }
+            };
+            match next {
+                (Some(cmd), _) => apply_command(&mut table, cmd, &reports, &proc_name).await,
+                (_, Some(msg)) => {
                     cpu.claim(per_segment_cost).await;
                     let Some(entry) = table.get(&msg.stream) else {
                         s.inner.borrow_mut().no_route += 1;
@@ -189,7 +207,7 @@ pub fn spawn_switch(
                         }
                     }
                 }
-                _ => return,
+                (None, None) => unreachable!("alt2 always yields one side"),
             }
         }
     });
@@ -363,6 +381,7 @@ mod tests {
             "t",
             in_rx,
             cmd_rx,
+            true,
             outputs,
             pool.clone(),
             cpu,

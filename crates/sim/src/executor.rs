@@ -61,6 +61,10 @@ struct Slot {
     waker: Option<Waker>,
     name: Rc<str>,
     priority: Priority,
+    /// Fault-injection hold: a paused task is never polled; wake-ups are
+    /// remembered in `pending_wake` and replayed on resume.
+    paused: bool,
+    pending_wake: bool,
 }
 
 struct WakeEntry {
@@ -150,6 +154,8 @@ impl Inner {
                     waker: None,
                     name: Rc::from(""),
                     priority,
+                    paused: false,
+                    pending_wake: false,
                 });
                 tasks.len() - 1
             }
@@ -163,6 +169,8 @@ impl Inner {
         slot.future = Some(Box::pin(future));
         slot.name = Rc::from(name);
         slot.priority = priority;
+        slot.paused = false;
+        slot.pending_wake = false;
         slot.waker = Some(Waker::from(Arc::new(WakeEntry {
             id,
             woken: self.woken.clone(),
@@ -201,6 +209,11 @@ impl Inner {
             if slot.gen != id.gen || slot.state != TaskState::Idle {
                 continue;
             }
+            if slot.paused {
+                // Remember the wake-up; `set_paused(.., false)` replays it.
+                slot.pending_wake = true;
+                continue;
+            }
             slot.state = TaskState::Queued;
             let priority = slot.priority;
             drop(tasks);
@@ -225,6 +238,13 @@ impl Inner {
                 return;
             };
             if slot.gen != id.gen || slot.state == TaskState::Done {
+                return;
+            }
+            if slot.paused {
+                // Paused after it was already queued: park it again and
+                // keep the wake-up for resume time.
+                slot.state = TaskState::Idle;
+                slot.pending_wake = true;
                 return;
             }
             slot.state = TaskState::Running;
@@ -261,6 +281,45 @@ impl Inner {
                 slot.state = TaskState::Idle;
             }
         }
+    }
+
+    /// Pauses (`paused = true`) or resumes every live task whose name
+    /// starts with `prefix`; returns how many tasks changed state. The
+    /// fault-injection primitive behind consumer stalls and box crashes.
+    fn set_paused(self: &Rc<Self>, prefix: &str, paused: bool) -> usize {
+        let mut requeue: Vec<(TaskId, Priority)> = Vec::new();
+        let mut changed = 0;
+        {
+            let mut tasks = self.tasks.borrow_mut();
+            for (index, slot) in tasks.iter_mut().enumerate() {
+                if slot.state == TaskState::Done
+                    || slot.paused == paused
+                    || !slot.name.starts_with(prefix)
+                {
+                    continue;
+                }
+                slot.paused = paused;
+                changed += 1;
+                if !paused && slot.pending_wake && slot.state == TaskState::Idle {
+                    slot.pending_wake = false;
+                    slot.state = TaskState::Queued;
+                    requeue.push((
+                        TaskId {
+                            index,
+                            gen: slot.gen,
+                        },
+                        slot.priority,
+                    ));
+                }
+            }
+        }
+        for (id, priority) in requeue {
+            match priority {
+                Priority::High => self.run_high.borrow_mut().push_back(id),
+                Priority::Low => self.run_low.borrow_mut().push_back(id),
+            }
+        }
+        changed
     }
 
     /// Runs until `deadline`; returns the reason the loop stopped.
@@ -508,6 +567,21 @@ impl Simulation {
             .collect()
     }
 
+    /// Pauses every live task whose name starts with `prefix` (box task
+    /// names share their box's name as a prefix, so a whole box can be
+    /// "crashed" this way). Returns how many tasks were paused. Wake-ups
+    /// arriving while paused are remembered and replayed on resume.
+    pub fn pause_matching(&mut self, prefix: &str) -> usize {
+        self.inner.set_paused(prefix, true)
+    }
+
+    /// Resumes tasks paused by [`Self::pause_matching`]; pending wake-ups
+    /// (channel data, expired timers) fire immediately. Returns how many
+    /// tasks were resumed.
+    pub fn resume_matching(&mut self, prefix: &str) -> usize {
+        self.inner.set_paused(prefix, false)
+    }
+
     /// Handle for spawning from outside a task without `&mut self`.
     pub fn spawner(&self) -> Spawner {
         Spawner {
@@ -592,6 +666,25 @@ pub fn spawn_prio(
     with_current(|i| i.spawn(name, priority, future))
 }
 
+/// Pauses tasks by name prefix from inside a running task — see
+/// [`Simulation::pause_matching`]. Only valid inside a simulation.
+///
+/// # Panics
+///
+/// Panics when called outside a running simulation.
+pub fn pause_matching(prefix: &str) -> usize {
+    with_current(|i| i.set_paused(prefix, true))
+}
+
+/// Resumes tasks paused by [`pause_matching`] from inside a running task.
+///
+/// # Panics
+///
+/// Panics when called outside a running simulation.
+pub fn resume_matching(prefix: &str) -> usize {
+    with_current(|i| i.set_paused(prefix, false))
+}
+
 /// Future that completes at an absolute virtual time.
 pub fn delay_until(deadline: SimTime) -> Delay {
     Delay {
@@ -661,4 +754,107 @@ pub async fn yield_now() {
         }
     }
     YieldNow(false).await
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn paused_task_stops_and_resumes_with_pending_wake() {
+        let mut sim = Simulation::new();
+        let count = Rc::new(Cell::new(0u64));
+        let c = count.clone();
+        sim.spawn("worker:pump", async move {
+            loop {
+                crate::delay(SimDuration::from_millis(1)).await;
+                c.set(c.get() + 1);
+            }
+        });
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(count.get(), 10);
+        assert_eq!(sim.pause_matching("worker:"), 1);
+        sim.run_until(SimTime::from_millis(20));
+        assert_eq!(count.get(), 10, "paused task must not make progress");
+        // The 11ms timer fired while paused; resume replays that wake-up.
+        assert_eq!(sim.resume_matching("worker:"), 1);
+        sim.run_until(SimTime::from_millis(30));
+        assert!(
+            count.get() >= 19,
+            "resumed task caught up to {}",
+            count.get()
+        );
+    }
+
+    #[test]
+    fn pause_prefix_selects_by_name() {
+        let mut sim = Simulation::new();
+        let a = Rc::new(Cell::new(0u64));
+        let b = Rc::new(Cell::new(0u64));
+        for (name, n) in [("boxa:feed", a.clone()), ("boxb:feed", b.clone())] {
+            sim.spawn(name, async move {
+                loop {
+                    crate::delay(SimDuration::from_millis(1)).await;
+                    n.set(n.get() + 1);
+                }
+            });
+        }
+        sim.run_until(SimTime::from_millis(5));
+        assert_eq!(sim.pause_matching("boxa"), 1);
+        sim.run_until(SimTime::from_millis(15));
+        assert_eq!(a.get(), 5);
+        assert_eq!(b.get(), 15);
+    }
+
+    #[test]
+    fn pause_from_inside_a_task() {
+        let mut sim = Simulation::new();
+        let hits = Rc::new(Cell::new(0u64));
+        let h = hits.clone();
+        sim.spawn("victim:loop", async move {
+            loop {
+                crate::delay(SimDuration::from_millis(1)).await;
+                h.set(h.get() + 1);
+            }
+        });
+        sim.spawn("driver", async move {
+            // Off the victim's tick boundary so the pause instant is
+            // unambiguous.
+            crate::delay(SimDuration::from_micros(3_500)).await;
+            assert_eq!(pause_matching("victim:"), 1);
+            crate::delay(SimDuration::from_millis(5)).await;
+            assert_eq!(resume_matching("victim:"), 1);
+        });
+        sim.run_until(SimTime::from_millis(4));
+        assert_eq!(hits.get(), 3);
+        sim.run_until(SimTime::from_millis(20));
+        assert!(hits.get() >= 14, "hits = {}", hits.get());
+    }
+
+    #[test]
+    fn rendezvous_blocked_task_survives_pause_resume() {
+        let mut sim = Simulation::new();
+        let (tx, rx) = crate::channel::<u32>();
+        let got = Rc::new(Cell::new(0u32));
+        let g = got.clone();
+        sim.spawn("sink:recv", async move {
+            while let Ok(v) = rx.recv().await {
+                g.set(g.get() + v);
+            }
+        });
+        sim.spawn("source", async move {
+            crate::delay(SimDuration::from_millis(2)).await;
+            let _ = tx.send(1).await;
+            let _ = tx.send(2).await;
+        });
+        sim.run_until(SimTime::from_millis(1));
+        sim.pause_matching("sink:");
+        sim.run_until(SimTime::from_millis(5));
+        assert_eq!(got.get(), 0);
+        sim.resume_matching("sink:");
+        sim.run_until_idle();
+        assert_eq!(got.get(), 3);
+        assert!(sim.deadlock_report().is_none());
+    }
 }

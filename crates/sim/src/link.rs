@@ -8,6 +8,12 @@
 //! this back-pressure is how overload propagates toward the source
 //! (Principle 5's failure mode, handled by decoupling buffers).
 
+use std::cell::{Cell, RefCell};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
 use crate::channel::{buffered, Receiver, SendError, Sender};
 use crate::executor::{delay, spawn_prio, Priority, Spawner};
 use crate::time::{SimDuration, SimTime};
@@ -170,6 +176,164 @@ pub fn link<T: 'static>(spawner: &Spawner, config: LinkConfig) -> (LinkSender<T>
     (LinkSender { tx }, out_rx)
 }
 
+struct LinkCtlState {
+    up: Cell<bool>,
+    rate_permille: Cell<u64>,
+    wakers: RefCell<Vec<Waker>>,
+    downs: Cell<u64>,
+}
+
+/// Runtime control handle for a [`link_controlled`] link.
+///
+/// Fault injection uses it to flap the link (`set_up`) or collapse its
+/// effective bandwidth (`set_rate_permille`). While the link is down no new
+/// transfer starts and no delivery completes; traffic already handed to the
+/// engine queues behind the outage and drains on recovery, exactly the
+/// back-pressure path Principle 5's decoupling buffers exist to absorb.
+#[derive(Clone)]
+pub struct LinkControl {
+    state: Rc<LinkCtlState>,
+}
+
+impl LinkControl {
+    fn new() -> Self {
+        LinkControl {
+            state: Rc::new(LinkCtlState {
+                up: Cell::new(true),
+                rate_permille: Cell::new(1000),
+                wakers: RefCell::new(Vec::new()),
+                downs: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Takes the link down (`false`) or brings it back up (`true`).
+    pub fn set_up(&self, up: bool) {
+        let was = self.state.up.replace(up);
+        if up && !was {
+            for w in self.state.wakers.borrow_mut().drain(..) {
+                w.wake();
+            }
+        } else if !up && was {
+            self.state.downs.set(self.state.downs.get() + 1);
+        }
+    }
+
+    /// Whether the link is currently up.
+    pub fn is_up(&self) -> bool {
+        self.state.up.get()
+    }
+
+    /// Scales the effective bandwidth: 1000 is nominal, 250 collapses the
+    /// link to a quarter rate. Clamped to at least 1 (never free-running).
+    pub fn set_rate_permille(&self, permille: u64) {
+        self.state.rate_permille.set(permille.max(1));
+    }
+
+    /// Current bandwidth scale factor in permille of nominal.
+    pub fn rate_permille(&self) -> u64 {
+        self.state.rate_permille.get()
+    }
+
+    /// Number of up→down transitions so far.
+    pub fn flaps(&self) -> u64 {
+        self.state.downs.get()
+    }
+
+    fn scaled(&self, d: SimDuration) -> SimDuration {
+        let p = self.state.rate_permille.get();
+        if p == 1000 {
+            d
+        } else {
+            SimDuration((d.as_nanos() as u128 * 1000 / p as u128) as u64)
+        }
+    }
+
+    fn wait_up(&self) -> WaitUp {
+        WaitUp {
+            state: self.state.clone(),
+        }
+    }
+}
+
+struct WaitUp {
+    state: Rc<LinkCtlState>,
+}
+
+impl Future for WaitUp {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.state.up.get() {
+            Poll::Ready(())
+        } else {
+            self.state.wakers.borrow_mut().push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Like [`link`], but returns a [`LinkControl`] so a fault plan can flap
+/// the link or collapse its bandwidth mid-run.
+///
+/// With the control untouched the link behaves identically to [`link`]:
+/// the up-check resolves immediately and the nominal rate is unscaled, so
+/// schedules (and determinism) are unchanged.
+pub fn link_controlled<T: 'static>(
+    spawner: &Spawner,
+    config: LinkConfig,
+) -> (LinkSender<T>, Receiver<T>, LinkControl) {
+    let ctrl = LinkControl::new();
+    let (tx, pump_rx) = buffered::<(T, usize)>(1);
+    let (out_tx, out_rx) = crate::channel::channel::<T>();
+    let c = ctrl.clone();
+    if config.latency.as_nanos() == 0 {
+        spawner.spawn_prio(
+            &format!("link:{}", config.name),
+            Priority::High,
+            async move {
+                while let Ok((value, bytes)) = pump_rx.recv().await {
+                    c.wait_up().await;
+                    delay(c.scaled(config.transfer_time(bytes))).await;
+                    c.wait_up().await;
+                    if out_tx.send(value).await.is_err() {
+                        return;
+                    }
+                }
+            },
+        );
+    } else {
+        let (prop_tx, prop_rx) = buffered::<(crate::time::SimTime, T)>(256);
+        spawner.spawn_prio(
+            &format!("link:{}", config.name),
+            Priority::High,
+            async move {
+                while let Ok((value, bytes)) = pump_rx.recv().await {
+                    c.wait_up().await;
+                    delay(c.scaled(config.transfer_time(bytes))).await;
+                    c.wait_up().await;
+                    let due = crate::executor::now() + config.latency;
+                    if prop_tx.send((due, value)).await.is_err() {
+                        return;
+                    }
+                }
+            },
+        );
+        spawner.spawn_prio(
+            &format!("link:{}:prop", config.name),
+            Priority::High,
+            async move {
+                while let Ok((due, value)) = prop_rx.recv().await {
+                    crate::executor::delay_until(due).await;
+                    if out_tx.send(value).await.is_err() {
+                        return;
+                    }
+                }
+            },
+        );
+    }
+    (LinkSender { tx }, out_rx, ctrl)
+}
+
 /// Creates a link from inside a running task (zero-latency serial form).
 pub fn link_here<T: 'static>(config: LinkConfig) -> (LinkSender<T>, Receiver<T>) {
     let (tx, pump_rx) = buffered::<(T, usize)>(1);
@@ -305,6 +469,77 @@ mod tests {
         // the third must wait for the receiver's 10ms cadence.
         assert_eq!(sent[0].1, 0);
         assert!(sent[2].1 >= 10, "third send at {}ms", sent[2].1);
+    }
+
+    #[test]
+    fn controlled_link_matches_plain_link_when_untouched() {
+        let mut sim = Simulation::new();
+        let (tx, rx, ctrl) =
+            link_controlled::<Vec<u8>>(&sim.spawner(), LinkConfig::new("l", 8_000_000));
+        assert!(ctrl.is_up());
+        sim.spawn("sender", async move {
+            tx.send(vec![0u8; 1000]).await.unwrap(); // 1ms at 8Mbit/s
+        });
+        let at = Rc::new(RefCell::new(SimTime::ZERO));
+        let a = at.clone();
+        sim.spawn("receiver", async move {
+            rx.recv().await.unwrap();
+            *a.borrow_mut() = crate::now();
+        });
+        sim.run_until_idle();
+        assert_eq!(*at.borrow(), SimTime::from_millis(1));
+        assert_eq!(ctrl.flaps(), 0);
+    }
+
+    #[test]
+    fn link_flap_holds_traffic_until_recovery() {
+        let mut sim = Simulation::new();
+        let (tx, rx, ctrl) =
+            link_controlled::<Vec<u8>>(&sim.spawner(), LinkConfig::new("l", 8_000_000));
+        sim.spawn("sender", async move {
+            for _ in 0..3 {
+                let _ = tx.send(vec![0u8; 1000]).await; // 1ms each
+            }
+        });
+        let times = Rc::new(RefCell::new(Vec::new()));
+        let t = times.clone();
+        sim.spawn("receiver", async move {
+            while rx.recv().await.is_ok() {
+                t.borrow_mut().push(crate::now().as_millis());
+            }
+        });
+        sim.run_until(SimTime::from_micros(500));
+        ctrl.set_up(false); // down mid-first-transfer
+        sim.run_until(SimTime::from_millis(10));
+        assert!(times.borrow().is_empty(), "no delivery while down");
+        ctrl.set_up(true);
+        sim.run_until(SimTime::from_millis(20));
+        // First transfer had already clocked its bytes; it delivers on
+        // recovery at 10ms, then the queue drains at the 1ms wire rate.
+        assert_eq!(*times.borrow(), vec![10, 11, 12]);
+        assert_eq!(ctrl.flaps(), 1);
+    }
+
+    #[test]
+    fn bandwidth_collapse_stretches_transfers() {
+        let mut sim = Simulation::new();
+        let (tx, rx, ctrl) =
+            link_controlled::<Vec<u8>>(&sim.spawner(), LinkConfig::new("l", 8_000_000));
+        ctrl.set_rate_permille(250); // quarter rate: 1ms messages take 4ms
+        sim.spawn("sender", async move {
+            for _ in 0..2 {
+                let _ = tx.send(vec![0u8; 1000]).await;
+            }
+        });
+        let times = Rc::new(RefCell::new(Vec::new()));
+        let t = times.clone();
+        sim.spawn("receiver", async move {
+            while rx.recv().await.is_ok() {
+                t.borrow_mut().push(crate::now().as_millis());
+            }
+        });
+        sim.run_until_idle();
+        assert_eq!(*times.borrow(), vec![4, 8]);
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Integration coverage for the dynamic misbehaviour detectors: the
+//! executor's deadlock reporter ([`Simulation::deadlock_report`]) and
+//! the segment pool's drop-time leak audit
+//! ([`pandora_buffers::take_leak_report`]), each driven by a scenario
+//! that actually misbehaves rather than a synthetic unit call.
+
+use pandora_buffers::{take_leak_report, Pool};
+use pandora_sim::{SimDuration, SimTime, Simulation};
+
+#[test]
+fn rendezvous_cycle_yields_named_deadlock_report() {
+    let mut sim = Simulation::new();
+    // A working handoff first: the detector must stay quiet on it.
+    let (ok_tx, ok_rx) = pandora_sim::channel::<u32>();
+    sim.spawn("warmup:send", async move {
+        let _ = ok_tx.send(7).await;
+    });
+    sim.spawn("warmup:recv", async move {
+        let _ = ok_rx.recv().await;
+    });
+    sim.run_until_idle();
+    assert!(sim.deadlock_report().is_none(), "clean run flagged");
+
+    // The classic occam cycle: two stages joined by rendezvous channels,
+    // each insisting on sending before receiving.
+    let (ab_tx, ab_rx) = pandora_sim::channel::<u32>();
+    let (ba_tx, ba_rx) = pandora_sim::channel::<u32>();
+    sim.spawn("stage:east", async move {
+        pandora_sim::delay(SimDuration::from_millis(3)).await;
+        if ab_tx.send(1).await.is_ok() {
+            let _ = ba_rx.recv().await;
+        }
+    });
+    sim.spawn("stage:west", async move {
+        pandora_sim::delay(SimDuration::from_millis(3)).await;
+        if ba_tx.send(2).await.is_ok() {
+            let _ = ab_rx.recv().await;
+        }
+    });
+    sim.run_until_idle();
+    let report = sim.deadlock_report().expect("cycle must be detected");
+    assert_eq!(report.at, SimTime::from_millis(3));
+    assert!(
+        report.blocked.iter().any(|n| n == "stage:east"),
+        "east missing from {report}"
+    );
+    assert!(
+        report.blocked.iter().any(|n| n == "stage:west"),
+        "west missing from {report}"
+    );
+}
+
+#[test]
+fn leaked_descriptor_is_audited_on_pool_drop() {
+    let _ = take_leak_report(); // clear any report from another test
+    {
+        // Declared before the simulation so it is the last pool handle
+        // to drop — that is when the audit fires.
+        let pool: Pool<u32> = Pool::new(8);
+        let mut sim = Simulation::new();
+        let (tx, rx) = pandora_sim::channel::<pandora_buffers::Descriptor>();
+        {
+            let pool = pool.clone();
+            sim.spawn("producer", async move {
+                for i in 0..5u32 {
+                    let Ok(d) = pool.try_alloc(i) else { return };
+                    if tx.send(d).await.is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        {
+            let pool = pool.clone();
+            sim.spawn("consumer", async move {
+                let mut n = 0;
+                while let Ok(d) = rx.recv().await {
+                    n += 1;
+                    if n == 3 {
+                        // The bug under test: an early `continue` path
+                        // that forgets to release its descriptor.
+                        continue;
+                    }
+                    pool.release(d);
+                }
+            });
+        }
+        sim.run_until_idle();
+        assert!(sim.deadlock_report().is_none());
+        assert_eq!(pool.free_count(), 7, "exactly one descriptor leaked");
+    }
+    let report = take_leak_report().expect("leak audit must fire");
+    assert_eq!(report.capacity, 8);
+    assert_eq!(report.leaked.len(), 1, "leaked {:?}", report.leaked);
+}

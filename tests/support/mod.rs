@@ -1,0 +1,62 @@
+//! Shared helpers for the fault-injection conformance suite.
+
+use pandora::BoxPair;
+use pandora_faults::FaultTargets;
+use pandora_video::dpcm::LineMode;
+use pandora_video::{CaptureConfig, RateFraction, Rect};
+
+/// Registers the standard fault targets of a connected pair under stable
+/// names: both path directions ("a-b"/"b-a") and all eight transputers
+/// (by their CPU names, e.g. "boxb.audio").
+pub fn pair_targets(pair: &BoxPair) -> FaultTargets {
+    let mut t = FaultTargets::new();
+    t.register_path("a-b", pair.a_to_b_ctrl.clone());
+    t.register_path("b-a", pair.b_to_a_ctrl.clone());
+    for b in [&pair.a, &pair.b] {
+        for cpu in [&b.audio_cpu, &b.server_cpu, &b.capture_cpu, &b.mixer_cpu] {
+            t.register_cpu(cpu.name(), cpu.clone());
+        }
+    }
+    t
+}
+
+/// The conformance suite's small videophone capture window.
+pub fn video_cfg() -> CaptureConfig {
+    CaptureConfig {
+        rect: Rect::new(16, 16, 128, 96),
+        rate: RateFraction::new(2, 5),
+        lines_per_segment: 32,
+        mode: LineMode::Dpcm,
+    }
+}
+
+/// A deterministic, human-readable metric snapshot of a finished run —
+/// integer counters only, so two replays of the same seed must produce
+/// byte-identical strings.
+pub fn snapshot(pair: &BoxPair) -> String {
+    let mut out = String::new();
+    for (label, b) in [("a", &pair.a), ("b", &pair.b)] {
+        out.push_str(&format!(
+            "{label}: fwd={} sw_drop={} no_route={} p3={} tx_audio={} tx_video={} cells={} \
+             rx_seg={} rx_discard={} rx_decode_err={} pool_exh={} \
+             spk_recv={} spk_lost={} spk_late={} concealed={} disp_frames={}\n",
+            b.switch_stats.forwarded(),
+            b.switch_stats.dropped_total(),
+            b.switch_stats.no_route(),
+            b.net_out_stats.p3_drops_total(),
+            b.net_out_stats.audio_segments(),
+            b.net_out_stats.video_segments(),
+            b.net_out_stats.cells(),
+            b.net_in_stats.segments(),
+            b.net_in_stats.frames_discarded(),
+            b.net_in_stats.decode_errors(),
+            b.net_in_stats.pool_exhausted(),
+            b.speaker.segments_received(),
+            b.speaker.segments_lost(),
+            b.speaker.late_ticks(),
+            b.speaker.concealed(),
+            b.display.frames_shown(),
+        ));
+    }
+    out
+}
