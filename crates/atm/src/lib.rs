@@ -7,6 +7,9 @@
 //!   carries the destination's stream number in the VCI;
 //! * [`segment_to_cells`] / [`Reassembler`] — frame segmentation and
 //!   reassembly with whole-frame discard on cell loss;
+//! * [`cells_gather`] / [`SlabReassembler`] — the zero-copy variants:
+//!   scatter-gather segmentation straight from a header region plus a
+//!   slab payload, and reassembly directly into slab regions;
 //! * [`build_path`] / [`HopConfig`] — multi-hop paths with bandwidth,
 //!   latency, seeded [`JitterModel`]s (including the paper's
 //!   "2 ms usually, 20 ms under video load" bursty shape) and Bernoulli
@@ -18,7 +21,7 @@ mod aal;
 mod cell;
 mod network;
 
-pub use aal::{segment_to_cells, Reassembler};
+pub use aal::{cells_gather, segment_to_cells, Reassembler, SlabReassembler};
 pub use cell::{Cell, Vci, CELL_BYTES, CELL_PAYLOAD};
 pub use network::{
     build_path, build_path_controlled, cell_time, jitter_stage, loss_stage, HopConfig, JitterModel,

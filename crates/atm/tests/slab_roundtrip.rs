@@ -1,0 +1,131 @@
+//! Seeded equivalence: the zero-copy slab transport must deliver
+//! byte-identical segments to the legacy owned path for every segment
+//! shape — audio of one, two and twelve blocks, and sliced video frames
+//! with randomized geometry. Both paths run the same segment through
+//! their full encode → cells → reassemble → decode chain and must agree
+//! with each other and with the original.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use pandora_atm::{cells_gather, segment_to_cells, Reassembler, SlabReassembler, Vci};
+use pandora_segment::{
+    wire, AudioSegment, PixelFormat, Segment, SequenceNumber, SlabSegment, Timestamp,
+    VideoCompression, VideoHeader, VideoSegment, BLOCK_BYTES,
+};
+use pandora_slab::ByteSlab;
+
+/// Drives `seg` through the legacy owned path: encode to one `Vec`,
+/// segment into cells, reassemble into a fresh `Vec`, decode.
+fn legacy_round_trip(seg: &Segment, vci: Vci, seq: u32) -> Segment {
+    let bytes = wire::encode(seg);
+    let cells = segment_to_cells(vci, &bytes, seq);
+    let mut r = Reassembler::new();
+    let mut out = None;
+    for cell in cells {
+        out = r.push(cell).or(out);
+    }
+    let (got_vci, frame) = out.expect("legacy frame completes");
+    assert_eq!(got_vci, vci);
+    wire::decode(&frame).expect("legacy frame decodes")
+}
+
+/// Drives `seg` through the slab path: payload into the arena, header
+/// into a scratch region, cells gathered straight from the slab,
+/// reassembled into one slab region and decoded in place.
+fn slab_round_trip(seg: &Segment, vci: Vci, seq: u32) -> Segment {
+    // `slab` outlives every region reference below (drop order is
+    // reverse declaration order).
+    let slab = ByteSlab::new(8, 64 * 1024);
+    let sseg = SlabSegment::from_segment(seg, &slab).expect("payload fits");
+    let mut scratch = vec![0u8; sseg.header.header_wire_bytes()];
+    wire::encode_header_into(&sseg.header, &mut scratch);
+    let cells = sseg
+        .payload
+        .copy_out_with(|p| cells_gather(vci, &scratch, p, seq));
+    let mut r = SlabReassembler::new(slab.clone());
+    let mut out = None;
+    for cell in cells {
+        out = r.push(cell).or(out);
+    }
+    let (got_vci, frame) = out.expect("slab frame completes");
+    assert_eq!(got_vci, vci);
+    wire::decode_slab(&frame)
+        .expect("slab frame decodes")
+        .to_segment()
+}
+
+/// Both paths must reproduce the original exactly.
+fn assert_paths_agree(seg: &Segment, vci: Vci, seq: u32) {
+    let legacy = legacy_round_trip(seg, vci, seq);
+    let slab = slab_round_trip(seg, vci, seq);
+    assert_eq!(&legacy, seg, "legacy path altered the segment");
+    assert_eq!(slab, legacy, "slab path diverged from the legacy path");
+}
+
+fn random_audio(rng: &mut SmallRng, blocks: usize) -> Segment {
+    let data: Vec<u8> = (0..blocks * BLOCK_BYTES)
+        .map(|_| rng.gen_range(0u32..256) as u8)
+        .collect();
+    Segment::Audio(AudioSegment::from_blocks(
+        SequenceNumber(rng.gen_range(0u32..1 << 30)),
+        Timestamp(rng.gen_range(0u32..1 << 30)),
+        data,
+    ))
+}
+
+#[test]
+fn audio_segments_round_trip_identically() {
+    let mut rng = SmallRng::seed_from_u64(0x5eed_a11d);
+    // One block fits a single cell; two blocks is the standard 68-byte
+    // shout segment; twelve blocks spans several cells.
+    for blocks in [1usize, 2, 12] {
+        for case in 0..20u32 {
+            let seg = random_audio(&mut rng, blocks);
+            let vci = Vci(rng.gen_range(1u32..1024));
+            assert_paths_agree(&seg, vci, case.wrapping_mul(977));
+        }
+    }
+}
+
+fn random_video_slice(rng: &mut SmallRng) -> Segment {
+    let width = rng.gen_range(2u32..16) * 16;
+    let lines = rng.gen_range(1u32..48);
+    let segments_in_frame = rng.gen_range(1u32..8);
+    let args: Vec<u32> = (0..rng.gen_range(0u32..4))
+        .map(|_| rng.gen_range(0u32..1 << 16))
+        .collect();
+    let data: Vec<u8> = (0..(width * lines) as usize)
+        .map(|_| rng.gen_range(0u32..256) as u8)
+        .collect();
+    let header = VideoHeader {
+        frame_number: rng.gen_range(0u32..1 << 20),
+        segments_in_frame,
+        segment_number: rng.gen_range(0..segments_in_frame),
+        x_offset: rng.gen_range(0u32..512),
+        y_offset: rng.gen_range(0u32..512),
+        pixel_format: PixelFormat::Mono8,
+        compression: VideoCompression::Dpcm,
+        compression_args: args,
+        width,
+        start_line: rng.gen_range(0u32..512),
+        lines,
+        data_length: 0,
+    };
+    Segment::Video(VideoSegment::new(
+        SequenceNumber(rng.gen_range(0u32..1 << 30)),
+        Timestamp(rng.gen_range(0u32..1 << 30)),
+        header,
+        data,
+    ))
+}
+
+#[test]
+fn sliced_video_frames_round_trip_identically() {
+    let mut rng = SmallRng::seed_from_u64(0x51de0);
+    for case in 0..40u32 {
+        let seg = random_video_slice(&mut rng);
+        let vci = Vci(rng.gen_range(1u32..1024));
+        assert_paths_agree(&seg, vci, case.wrapping_mul(131));
+    }
+}

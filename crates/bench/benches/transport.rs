@@ -1,0 +1,94 @@
+//! Microbenchmarks of the zero-copy transport path against the legacy
+//! owned path: wire codec, AAL segmentation/reassembly, and slab/pool
+//! churn. The tracked numbers live in `BENCH_transport.json` (see the
+//! `bench-json` binary); these are the interactive `cargo bench` view.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pandora_atm::{cells_gather, segment_to_cells, Reassembler, SlabReassembler, Vci};
+use pandora_buffers::{ByteSlab, Pool};
+use pandora_segment::{wire, AudioSegment, Segment, SequenceNumber, SlabSegment, Timestamp};
+
+fn audio_segment() -> Segment {
+    Segment::Audio(AudioSegment::from_blocks(
+        SequenceNumber(7),
+        Timestamp(1234),
+        vec![0x55; 32],
+    ))
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let seg = audio_segment();
+    let bytes = wire::encode(&seg);
+    c.bench_function("transport/wire_encode_audio", |b| {
+        b.iter(|| black_box(wire::encode(black_box(&seg))))
+    });
+    c.bench_function("transport/wire_decode_view_audio", |b| {
+        b.iter(|| black_box(wire::decode_view(black_box(&bytes)).unwrap().header))
+    });
+    c.bench_function("transport/wire_decode_owned_audio", |b| {
+        b.iter(|| black_box(wire::decode(black_box(&bytes)).unwrap()))
+    });
+}
+
+fn bench_aal(c: &mut Criterion) {
+    let seg = audio_segment();
+    let vci = Vci(9);
+    c.bench_function("transport/aal_round_trip_legacy", |b| {
+        let mut r = Reassembler::new();
+        let mut seq = 0u32;
+        b.iter(|| {
+            let bytes = wire::encode(&seg);
+            let cells = segment_to_cells(vci, &bytes, seq);
+            seq = seq.wrapping_add(cells.len() as u32);
+            let mut out = None;
+            for cell in cells {
+                out = r.push(cell).or(out);
+            }
+            let (_, frame) = out.unwrap();
+            black_box(wire::decode(&frame).unwrap())
+        })
+    });
+    c.bench_function("transport/aal_round_trip_slab", |b| {
+        // `slab` stays bound so the arena handle outlives `sseg`'s region.
+        let slab = ByteSlab::new(8, 64 * 1024);
+        let sseg = SlabSegment::from_segment(&seg, &slab).unwrap();
+        let mut r = SlabReassembler::new(slab.clone());
+        let mut seq = 0u32;
+        let mut scratch = vec![0u8; sseg.header.header_wire_bytes()];
+        b.iter(|| {
+            wire::encode_header_into(&sseg.header, &mut scratch);
+            let cells = sseg
+                .payload
+                .copy_out_with(|p| cells_gather(vci, &scratch, p, seq));
+            seq = seq.wrapping_add(cells.len() as u32);
+            let mut out = None;
+            for cell in cells {
+                out = r.push(cell).or(out);
+            }
+            let (_, frame) = out.unwrap();
+            black_box(wire::decode_slab(&frame).unwrap())
+        })
+    });
+}
+
+fn bench_arena(c: &mut Criterion) {
+    let payload = vec![0xA5u8; 1024];
+    c.bench_function("transport/slab_alloc_free", |b| {
+        let slab = ByteSlab::new(8, 64 * 1024);
+        b.iter(|| black_box(slab.try_alloc_copy(&payload).unwrap()))
+    });
+    c.bench_function("transport/pool_alloc_release", |b| {
+        let slab = ByteSlab::new(8, 64 * 1024);
+        let pool: Pool<SlabSegment> = Pool::new(64);
+        let sseg = SlabSegment::from_segment(&audio_segment(), &slab).unwrap();
+        b.iter(|| {
+            let d = pool.try_alloc(sseg.clone()).unwrap();
+            black_box(pool.release(d))
+        })
+    });
+}
+
+criterion_group!(benches, bench_wire, bench_aal, bench_arena);
+criterion_main!(benches);

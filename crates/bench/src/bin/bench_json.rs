@@ -1,0 +1,327 @@
+//! `bench-json`: the tracked transport throughput suite.
+//!
+//! A hand-rolled wall-clock harness (the criterion shim prints rather
+//! than records): each case is warmed up, then sampled as calibrated
+//! batches; the median ns/op and derived ops/sec land in
+//! `BENCH_transport.json` at the current directory — run it from the
+//! workspace root, as CI's `bench-smoke` step does:
+//!
+//! ```text
+//! cargo run --release -p pandora-bench --bin bench-json            # full
+//! cargo run --release -p pandora-bench --bin bench-json -- --quick # smoke
+//! ```
+//!
+//! The file also records the AAL legacy-vs-slab comparison the zero-copy
+//! rework is tracked by. The binary exits nonzero when the suite is
+//! malformed (fewer than four cases, or either AAL case missing).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use pandora_atm::{cells_gather, segment_to_cells, Reassembler, SlabReassembler, Vci};
+use pandora_buffers::{ByteSlab, Pool};
+use pandora_segment::{
+    wire, AudioSegment, PixelFormat, Segment, SequenceNumber, SlabSegment, Timestamp,
+    VideoCompression, VideoHeader, VideoSegment,
+};
+
+/// Per-sample budget and sample count for one measurement pass.
+#[derive(Clone, Copy)]
+struct Budget {
+    sample_ns: u128,
+    samples: usize,
+}
+
+impl Budget {
+    fn full() -> Budget {
+        Budget {
+            sample_ns: 2_000_000,
+            samples: 31,
+        }
+    }
+
+    fn quick() -> Budget {
+        Budget {
+            sample_ns: 200_000,
+            samples: 7,
+        }
+    }
+}
+
+struct Case {
+    name: &'static str,
+    median_ns: f64,
+    ops_per_sec: f64,
+}
+
+/// Times `f` in calibrated batches and returns the median ns per call.
+fn measure(name: &'static str, budget: Budget, mut f: impl FnMut()) -> Case {
+    // Probe once to size the batch so each sample fills its budget.
+    let t0 = Instant::now();
+    f();
+    let probe = t0.elapsed().as_nanos().max(1);
+    let batch = (budget.sample_ns / probe).clamp(1, 1_000_000) as u32;
+    // Warm-up: one unrecorded sample.
+    for _ in 0..batch {
+        f();
+    }
+    let mut per_op: Vec<f64> = Vec::with_capacity(budget.samples);
+    for _ in 0..budget.samples {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        per_op.push(t0.elapsed().as_nanos() as f64 / f64::from(batch));
+    }
+    per_op.sort_by(|a, b| a.total_cmp(b));
+    let median_ns = per_op[per_op.len() / 2];
+    Case {
+        name,
+        median_ns,
+        ops_per_sec: 1e9 / median_ns,
+    }
+}
+
+/// Times two bodies as alternating samples in the same window, so slow
+/// drift (frequency scaling, thermal state) hits both equally and the
+/// ratio between them is meaningful. Returns the two cases in order.
+fn measure_paired(
+    names: (&'static str, &'static str),
+    budget: Budget,
+    mut f1: impl FnMut(),
+    mut f2: impl FnMut(),
+) -> (Case, Case) {
+    let batch_for = |probe: u128| (budget.sample_ns / probe.max(1)).clamp(1, 1_000_000) as u32;
+    let t0 = Instant::now();
+    f1();
+    let b1 = batch_for(t0.elapsed().as_nanos());
+    let t0 = Instant::now();
+    f2();
+    let b2 = batch_for(t0.elapsed().as_nanos());
+    // Warm-up: one unrecorded sample each.
+    for _ in 0..b1 {
+        f1();
+    }
+    for _ in 0..b2 {
+        f2();
+    }
+    let mut per1: Vec<f64> = Vec::with_capacity(budget.samples);
+    let mut per2: Vec<f64> = Vec::with_capacity(budget.samples);
+    for _ in 0..budget.samples {
+        let t0 = Instant::now();
+        for _ in 0..b1 {
+            f1();
+        }
+        per1.push(t0.elapsed().as_nanos() as f64 / f64::from(b1));
+        let t0 = Instant::now();
+        for _ in 0..b2 {
+            f2();
+        }
+        per2.push(t0.elapsed().as_nanos() as f64 / f64::from(b2));
+    }
+    let case = |name, mut per: Vec<f64>| {
+        per.sort_by(|a: &f64, b: &f64| a.total_cmp(b));
+        let median_ns = per[per.len() / 2];
+        Case {
+            name,
+            median_ns,
+            ops_per_sec: 1e9 / median_ns,
+        }
+    };
+    (case(names.0, per1), case(names.1, per2))
+}
+
+fn audio_segment() -> Segment {
+    Segment::Audio(AudioSegment::from_blocks(
+        SequenceNumber(7),
+        Timestamp(1234),
+        vec![0x55; 32],
+    ))
+}
+
+fn video_segment() -> Segment {
+    let header = VideoHeader {
+        frame_number: 3,
+        segments_in_frame: 4,
+        segment_number: 1,
+        x_offset: 16,
+        y_offset: 16,
+        pixel_format: PixelFormat::Mono8,
+        compression: VideoCompression::Dpcm,
+        compression_args: vec![2],
+        width: 384,
+        start_line: 32,
+        lines: 32,
+        data_length: 0,
+    };
+    Segment::Video(VideoSegment::new(
+        SequenceNumber(11),
+        Timestamp(5678),
+        header,
+        vec![0x3Cu8; 12_288],
+    ))
+}
+
+/// One legacy AAL round trip: encode owned, segment, reassemble, decode.
+fn legacy_round_trip(seg: &Segment, vci: Vci, r: &mut Reassembler, seq: &mut u32) {
+    let bytes = wire::encode(seg);
+    let cells = segment_to_cells(vci, &bytes, *seq);
+    *seq = seq.wrapping_add(cells.len() as u32);
+    let mut out = None;
+    for cell in cells {
+        out = r.push(cell).or(out);
+    }
+    let (_, frame) = out.expect("frame completes");
+    std::hint::black_box(wire::decode(&frame).expect("decodes"));
+}
+
+/// One slab AAL round trip: header into scratch, gather cells straight
+/// from the slab, reassemble into the slab, decode in place.
+fn slab_round_trip(
+    sseg: &SlabSegment,
+    vci: Vci,
+    r: &mut SlabReassembler,
+    seq: &mut u32,
+    scratch: &mut [u8],
+) {
+    wire::encode_header_into(&sseg.header, scratch);
+    let cells = sseg
+        .payload
+        .copy_out_with(|p| cells_gather(vci, scratch, p, *seq));
+    *seq = seq.wrapping_add(cells.len() as u32);
+    let mut out = None;
+    for cell in cells {
+        out = r.push(cell).or(out);
+    }
+    let (_, frame) = out.expect("frame completes");
+    std::hint::black_box(wire::decode_slab(&frame).expect("decodes"));
+}
+
+fn run_cases(budget: Budget) -> Vec<Case> {
+    let mut cases = Vec::new();
+    let audio = audio_segment();
+    let video = video_segment();
+    let wire_bytes = wire::encode(&audio);
+
+    cases.push(measure("wire_encode_audio", budget, || {
+        std::hint::black_box(wire::encode(&audio));
+    }));
+    cases.push(measure("wire_decode_view_audio", budget, || {
+        std::hint::black_box(wire::decode_view(&wire_bytes).expect("decodes"));
+    }));
+    cases.push(measure("wire_decode_owned_audio", budget, || {
+        std::hint::black_box(wire::decode(&wire_bytes).expect("decodes"));
+    }));
+
+    // The legacy-vs-slab comparisons are measured as alternating samples
+    // in a shared window, so the recorded speedup is drift-free.
+    for (seg, names) in [
+        (&audio, ("aal_round_trip_legacy", "aal_round_trip_slab")),
+        (
+            &video,
+            ("aal_round_trip_legacy_video", "aal_round_trip_slab_video"),
+        ),
+    ] {
+        let mut lr = Reassembler::new();
+        let mut lseq = 0u32;
+        // `slab` stays bound here so the arena handle outlives `sseg`'s
+        // region reference (drop order is reverse declaration order).
+        let slab = ByteSlab::new(8, 64 * 1024);
+        let sseg = SlabSegment::from_segment(seg, &slab).expect("fits");
+        let mut sr = SlabReassembler::new(slab.clone());
+        let mut sseq = 0u32;
+        let mut scratch = vec![0u8; sseg.header.header_wire_bytes()];
+        let (legacy, slab_case) = measure_paired(
+            names,
+            budget,
+            || legacy_round_trip(seg, Vci(9), &mut lr, &mut lseq),
+            || slab_round_trip(&sseg, Vci(9), &mut sr, &mut sseq, &mut scratch),
+        );
+        cases.push(legacy);
+        cases.push(slab_case);
+    }
+
+    {
+        let slab = ByteSlab::new(8, 64 * 1024);
+        let payload = vec![0xA5u8; 1024];
+        cases.push(measure("slab_alloc_free", budget, || {
+            std::hint::black_box(slab.try_alloc_copy(&payload).expect("free region"));
+        }));
+    }
+    {
+        let slab = ByteSlab::new(8, 64 * 1024);
+        let pool: Pool<SlabSegment> = Pool::new(64);
+        let sseg = SlabSegment::from_segment(&audio, &slab).expect("fits");
+        cases.push(measure("pool_alloc_release", budget, || {
+            let d = pool.try_alloc(sseg.clone()).expect("free buffer");
+            std::hint::black_box(pool.release(d));
+        }));
+    }
+    cases
+}
+
+fn median_of(cases: &[Case], name: &str) -> Option<f64> {
+    cases.iter().find(|c| c.name == name).map(|c| c.median_ns)
+}
+
+fn render_json(cases: &[Case], mode: &str) -> Option<String> {
+    if cases.len() < 4 {
+        eprintln!("bench-json: only {} cases, need at least 4", cases.len());
+        return None;
+    }
+    let legacy = median_of(cases, "aal_round_trip_legacy")?;
+    let slab = median_of(cases, "aal_round_trip_slab")?;
+    let mut out = String::from("{\n");
+    out.push_str("  \"suite\": \"transport\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let sep = if i + 1 == cases.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"ops_per_sec\": {:.0}}}{sep}\n",
+            c.name, c.median_ns, c.ops_per_sec
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"aal_comparison\": {{\"legacy_ns\": {:.1}, \"slab_ns\": {:.1}, \"speedup\": {:.2}, \"improved\": {}}}\n",
+        legacy,
+        slab,
+        legacy / slab,
+        slab < legacy
+    ));
+    out.push_str("}\n");
+    Some(out)
+}
+
+fn main() -> ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (budget, mode) = if quick {
+        (Budget::quick(), "quick")
+    } else {
+        (Budget::full(), "full")
+    };
+    let cases = run_cases(budget);
+    for c in &cases {
+        println!(
+            "{:<28} {:>12.1} ns/op {:>14.0} ops/s",
+            c.name, c.median_ns, c.ops_per_sec
+        );
+    }
+    let Some(json) = render_json(&cases, mode) else {
+        eprintln!("bench-json: suite malformed, not writing BENCH_transport.json");
+        return ExitCode::FAILURE;
+    };
+    if let Err(e) = std::fs::write("BENCH_transport.json", &json) {
+        eprintln!("bench-json: cannot write BENCH_transport.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    let legacy = median_of(&cases, "aal_round_trip_legacy").unwrap_or(0.0);
+    let slab = median_of(&cases, "aal_round_trip_slab").unwrap_or(0.0);
+    println!(
+        "aal audio round trip: legacy {legacy:.1} ns -> slab {slab:.1} ns ({:.2}x)",
+        legacy / slab
+    );
+    println!("wrote BENCH_transport.json ({mode} mode)");
+    ExitCode::SUCCESS
+}

@@ -17,6 +17,10 @@
 //!   minimum contents (level in block·seconds, default 20);
 //! * [`Pool`] — the reference-counting buffer allocator of §3.4, whose
 //!   descriptors are what actually flow through the server switch;
+//! * [`ByteSlab`] / [`SlabRef`] (re-exported from `pandora-slab`) — the
+//!   byte-level half of the same allocator: refcounted slab regions that
+//!   own payload bytes end to end, making the paper's two-copy invariant
+//!   checkable via copy counters;
 //! * [`Report`] — the report messages all of these emit.
 
 mod clawback;
@@ -33,3 +37,7 @@ pub use decoupling::{
 };
 pub use pool::{take_leak_report, Alloc, Descriptor, LeakReport, Pool};
 pub use report::{Report, ReportClass};
+
+pub use pandora_slab::{
+    take_slab_leak_report, ByteSlab, SlabError, SlabLeakReport, SlabRef, SlabWriter,
+};

@@ -9,7 +9,9 @@
 //! * the hot-path crates must not panic via `unwrap`/`expect` outside
 //!   test code — buffer exhaustion and channel closure are *reported*
 //!   conditions in the paper, not crashes;
-//! * the public wire-format and allocator APIs must stay documented.
+//! * the public wire-format and allocator APIs must stay documented;
+//! * files that declare themselves transport hot paths must not allocate
+//!   per segment — payload bytes live in the slab arena (DESIGN.md §9).
 //!
 //! The analyzer is a token-level pass (see [`mask`]) over every `.rs`
 //! file in the workspace — pure `std`, no registry dependencies. Run it
@@ -42,6 +44,10 @@ pub enum Rule {
     NoUnwrap,
     /// Public item without a doc comment in a documented crate.
     MissingDocs,
+    /// `Vec::new`/`to_vec()` outside test code in a file that opted into
+    /// the hot-path marker — the transport data path allocates from the
+    /// slab arena, never per segment.
+    HotPathAlloc,
 }
 
 impl Rule {
@@ -53,6 +59,7 @@ impl Rule {
             Rule::OsThread => "os-thread",
             Rule::NoUnwrap => "no-unwrap",
             Rule::MissingDocs => "missing-docs",
+            Rule::HotPathAlloc => "hot-path-alloc",
         }
     }
 }
@@ -113,10 +120,10 @@ impl Default for Config {
             // a stray wall-clock or unseeded RNG there would silently
             // break every conformance replay.
             deterministic_crates: v(&[
-                "sim", "buffers", "segment", "audio", "video", "atm", "faults",
+                "sim", "buffers", "segment", "audio", "video", "atm", "faults", "slab",
             ]),
-            hot_path_crates: v(&["buffers", "sim", "atm"]),
-            documented_crates: v(&["segment", "buffers"]),
+            hot_path_crates: v(&["buffers", "sim", "atm", "slab"]),
+            documented_crates: v(&["segment", "buffers", "slab"]),
             // rt.rs is the intentionally-live runtime; bench measures the
             // host. Everything else under crates/ must stay virtual-time.
             wall_clock_allowlist: v(&["crates/core/src/rt.rs", "crates/bench"]),
@@ -156,6 +163,7 @@ mod tests {
             Rule::OsThread,
             Rule::NoUnwrap,
             Rule::MissingDocs,
+            Rule::HotPathAlloc,
         ] {
             let name = rule.name();
             assert!(name.chars().all(|c| c.is_ascii_lowercase() || c == '-'));

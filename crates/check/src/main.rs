@@ -31,7 +31,8 @@ fn main() -> ExitCode {
                        wall-clock      no Instant::now/SystemTime outside the allowlist\n\
                        os-thread       no thread::spawn/thread::sleep outside the allowlist\n\
                        no-unwrap       no unwrap/expect outside tests in hot-path crates\n\
-                       missing-docs    public items documented in segment/buffers\n\
+                       missing-docs    public items documented in segment/buffers/slab\n\
+                       hot-path-alloc  no Vec::new/to_vec in files marked check:hot-path\n\
                      \n\
                      Waive a finding in place with: // check:allow(rule-name): reason\n\
                      Exits 0 when clean, 1 when any rule fires."

@@ -19,6 +19,7 @@ pub fn check_file(rel: &Path, file: &MaskedFile, config: &Config, out: &mut Vec<
     determinism_rules(&ctx, file, config, out);
     no_unwrap_rule(&ctx, file, config, out);
     missing_docs_rule(&ctx, file, config, out);
+    hot_path_alloc_rule(&ctx, file, out);
 }
 
 struct FileContext<'a> {
@@ -292,6 +293,44 @@ fn missing_docs_rule(
     }
 }
 
+/// The comment marker by which a file opts into [`hot_path_alloc_rule`].
+/// Kept as a string literal so the analyzer never trips over its own
+/// source: the marker scan reads the comment channel only.
+const HOT_PATH_MARKER: &str = "check:hot-path";
+
+/// Rule `hot-path-alloc`: a file whose comments carry the hot-path
+/// marker promises to allocate payload bytes from the slab arena only.
+/// `Vec::new(` and `.to_vec()` outside test code break that promise —
+/// each is a per-segment heap allocation (and usually a copy) on the
+/// data path the two-copy invariant (§3.4) protects. Waivable where the
+/// copy *is* the contract (the legacy owned decode, `copy_to_vec`).
+fn hot_path_alloc_rule(ctx: &FileContext<'_>, file: &MaskedFile, out: &mut Vec<Diagnostic>) {
+    if ctx.testish {
+        return;
+    }
+    let marked = (0..file.len()).any(|l| file.comment[l].contains(HOT_PATH_MARKER));
+    if !marked {
+        return;
+    }
+    for line in 0..file.len() {
+        if file.in_test[line] {
+            continue;
+        }
+        let code = &file.code[line];
+        for pattern in ["Vec::new(", ".to_vec()"] {
+            if code.contains(pattern) && !waived(file, line, Rule::HotPathAlloc) {
+                push(
+                    out,
+                    ctx,
+                    line,
+                    Rule::HotPathAlloc,
+                    format!("`{pattern}` allocates on a declared hot path; use the slab arena"),
+                );
+            }
+        }
+    }
+}
+
 fn is_documented(file: &MaskedFile, item_line: usize) -> bool {
     let mut l = item_line;
     while l > 0 {
@@ -484,6 +523,51 @@ mod tests {
     #[test]
     fn missing_docs_ignored_outside_documented_crates() {
         let out = diags("crates/video/src/x.rs", "pub fn undocumented() {}\n");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn hot_path_alloc_fires_in_marked_file() {
+        let src = "// check:hot-path: the data path.\nfn f() { let v: Vec<u8> = Vec::new(); }\n";
+        let out = diags("crates/core/src/x.rs", src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, Rule::HotPathAlloc);
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn hot_path_alloc_flags_to_vec() {
+        let src = "// check:hot-path\nfn f(b: &[u8]) -> Vec<u8> { b.to_vec() }\n";
+        let out = diags("crates/core/src/x.rs", src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, Rule::HotPathAlloc);
+    }
+
+    #[test]
+    fn hot_path_alloc_silent_without_marker() {
+        let src = "fn f() { let v: Vec<u8> = Vec::new(); g(v.to_vec()); }\n";
+        let out = diags("crates/core/src/x.rs", src);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn hot_path_alloc_ignores_test_code_and_vecdeque() {
+        let src = "// check:hot-path\nfn f(q: &mut std::collections::VecDeque<u8>) { q.clear(); }\n#[cfg(test)]\nmod tests {\n    fn t() { let v: Vec<u8> = Vec::new(); }\n}\n";
+        let out = diags("crates/core/src/x.rs", src);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn hot_path_alloc_waiver_suppresses() {
+        let src = "// check:hot-path\n// check:allow(hot-path-alloc): the copy is the contract here.\nfn f(b: &[u8]) -> Vec<u8> { b.to_vec() }\n";
+        let out = diags("crates/core/src/x.rs", src);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn hot_path_marker_in_string_does_not_arm() {
+        let src = "fn f() { g(\"check:hot-path\"); let v: Vec<u8> = Vec::new(); }\n";
+        let out = diags("crates/core/src/x.rs", src);
         assert!(out.is_empty(), "{out:?}");
     }
 }

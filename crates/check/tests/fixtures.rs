@@ -27,6 +27,8 @@ fn fixtures_report_every_seeded_violation() {
     let expected = vec![
         ("crates/atm/src/cell.rs".to_string(), 4, Rule::OsThread),
         ("crates/atm/src/cell.rs".to_string(), 8, Rule::WallClock),
+        ("crates/atm/src/hot.rs".to_string(), 3, Rule::HotPathAlloc),
+        ("crates/atm/src/hot.rs".to_string(), 14, Rule::HotPathAlloc),
         (
             "crates/buffers/src/lib.rs".to_string(),
             3,
@@ -67,6 +69,8 @@ fn binary_exits_nonzero_on_fixtures() {
         "crates/sim/src/bad.rs:13: no-unwrap:",
         "crates/video/src/raw.rs:4: safety-comment:",
         "crates/segment/src/wire.rs:3: missing-docs:",
+        "crates/atm/src/hot.rs:3: hot-path-alloc:",
+        "crates/atm/src/hot.rs:14: hot-path-alloc:",
     ] {
         assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
     }

@@ -1,0 +1,15 @@
+// check:hot-path: fixture data path.
+pub fn stage(n: usize) -> Vec<u8> {
+    let mut out: Vec<u8> = Vec::new();
+    out.resize(n, 0);
+    out
+}
+
+pub fn contracted_copy(b: &[u8]) -> Vec<u8> {
+    // check:allow(hot-path-alloc): the copy is this helper's contract.
+    b.to_vec()
+}
+
+pub fn sneaky_copy(b: &[u8]) -> Vec<u8> {
+    b.to_vec()
+}

@@ -81,6 +81,12 @@ pub struct BoxConfig {
     pub tx_mode: TxMode,
     /// Segment buffer pool size on the server board.
     pub pool_buffers: usize,
+    /// Byte slabs in the payload arena (a little above `pool_buffers`:
+    /// reassembly writers hold regions before a descriptor exists).
+    pub slab_buffers: usize,
+    /// Fixed capacity of one payload slab, in bytes. Must hold the
+    /// largest whole received frame (headers + payload).
+    pub slab_bytes: usize,
     /// Relative crystal drift of this box's clocks (e.g. `1e-5`).
     pub clock_drift: f64,
     /// Minimum period between reports of one error class (§3.8).
@@ -125,6 +131,8 @@ impl BoxConfig {
             video_backlog_cap: 24,
             tx_mode: TxMode::NonInterleaved,
             pool_buffers: 256,
+            slab_buffers: 288,
+            slab_bytes: 64 * 1024,
             clock_drift: 0.0,
             report_min_period: SimDuration::from_millis(500),
             output_priority: true,

@@ -12,14 +12,16 @@
 //!   following audio segments, introducing up to 20ms of jitter";
 //!   [`TxMode::Interleaved`] is the cell-level round-robin ablation.
 
+// check:hot-path: every transmitted and received segment passes through here.
+
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
-use pandora_atm::{segment_to_cells, Reassembler, Vci};
-use pandora_buffers::{Pool, Report, ReportClass};
+use pandora_atm::{cells_gather, SlabReassembler, Vci};
+use pandora_buffers::{ByteSlab, Pool, Report, ReportClass};
 use pandora_metrics::{Histogram, RateLimiter};
-use pandora_segment::{wire, Segment, StreamId};
+use pandora_segment::{wire, SlabSegment, StreamId};
 use pandora_sim::{alt2, Either2, LinkSender, Receiver, Sender, SimDuration, SimTime, Spawner};
 
 use crate::config::TxMode;
@@ -125,7 +127,7 @@ pub fn spawn_net_out(
     audio: Receiver<NetMsg>,
     video: Receiver<NetMsg>,
     link: LinkSender<pandora_atm::Cell>,
-    pool: Pool<Segment>,
+    pool: Pool<SlabSegment>,
     reports: Sender<Report>,
     report_min_period: SimDuration,
 ) -> NetOutStats {
@@ -141,6 +143,10 @@ pub fn spawn_net_out(
     let task_name = proc_name.clone();
     spawner.spawn(&task_name, async move {
         let mut cell_seq: HashMap<Vci, u32> = HashMap::new();
+        // Reusable header scratch region: headers are encoded here and
+        // scatter-gathered with the slab payload, so no contiguous wire
+        // image of the segment is ever built.
+        let mut scratch: Vec<u8> = Vec::with_capacity(128);
         let mut audio_q: VecDeque<(NetMsg, SimTime)> = VecDeque::new();
         let mut video_q: HashMap<StreamId, VideoQueue> = HashMap::new();
         let mut video_backlog = 0usize;
@@ -198,11 +204,7 @@ pub fn spawn_net_out(
                         .audio_wait_ns
                         .record(wait.as_nanos() as f64);
                     s.inner.borrow_mut().audio_segments += 1;
-                    let bytes = pool.with(m.desc, wire::encode);
-                    pool.release(m.desc);
-                    let seq = cell_seq.entry(m.vci).or_insert(0);
-                    let cells = segment_to_cells(m.vci, &bytes, *seq);
-                    *seq = seq.wrapping_add(cells.len() as u32);
+                    let cells = segment_cells(&m, &pool, &mut cell_seq, &mut scratch);
                     for cell in cells {
                         s.inner.borrow_mut().cells += 1;
                         if link.send(cell).await.is_err() {
@@ -223,7 +225,7 @@ pub fn spawn_net_out(
             }
             if let Some(m) = pop_video(&mut video_q, &mut video_backlog) {
                 s.inner.borrow_mut().video_segments += 1;
-                stage_segment(&m, &pool, &mut cell_seq, &mut in_flight);
+                in_flight.extend(segment_cells(&m, &pool, &mut cell_seq, &mut scratch));
                 continue;
             }
             // Nothing pending: block until either input produces.
@@ -251,21 +253,30 @@ pub fn spawn_net_out(
     stats
 }
 
-/// Stages one segment's cells for transmission by the main loop (which
-/// emits them one at a time, draining arrivals between cells so hold-up is
-/// measured faithfully).
-fn stage_segment(
+/// Turns one pooled segment into its cells and releases the descriptor.
+///
+/// This is the paper's *output* copy and the only place TX bytes move:
+/// the headers are encoded into `scratch` and scatter-gathered with the
+/// payload, still in its slab, directly into cell payloads.
+fn segment_cells(
     m: &NetMsg,
-    pool: &Pool<Segment>,
+    pool: &Pool<SlabSegment>,
     cell_seq: &mut HashMap<Vci, u32>,
-    in_flight: &mut VecDeque<pandora_atm::Cell>,
-) {
-    let bytes = pool.with(m.desc, wire::encode);
+    scratch: &mut Vec<u8>,
+) -> Vec<pandora_atm::Cell> {
+    let cells = pool.with(m.desc, |seg| {
+        let hdr = seg.header.header_wire_bytes();
+        scratch.resize(hdr, 0);
+        wire::encode_header_into(&seg.header, scratch);
+        let seq = cell_seq.entry(m.vci).or_insert(0);
+        let cells = seg
+            .payload
+            .copy_out_with(|payload| cells_gather(m.vci, scratch, payload, *seq));
+        *seq = seq.wrapping_add(cells.len() as u32);
+        cells
+    });
     pool.release(m.desc);
-    let seq = cell_seq.entry(m.vci).or_insert(0);
-    let cells = segment_to_cells(m.vci, &bytes, *seq);
-    *seq = seq.wrapping_add(cells.len() as u32);
-    in_flight.extend(cells);
+    cells
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -275,7 +286,7 @@ async fn admit_video(
     backlog: &mut usize,
     cap: usize,
     oldest_first: bool,
-    pool: &Pool<Segment>,
+    pool: &Pool<SlabSegment>,
     s: &NetOutStats,
     reports: &Sender<Report>,
     limiter: &mut RateLimiter,
@@ -377,15 +388,20 @@ impl NetInStats {
 
 /// Spawns the network input handler: cells → frames → segments → switch.
 ///
-/// The input handler is lossless up to the switch (drops happen at the
-/// decoupling buffers downstream, §3.7.1); only pool exhaustion — the
-/// paper's "serious fault" — discards here, with a report.
+/// Cells are reassembled directly into regions of `slab` (the box's one
+/// *input* copy); decoding then only parses headers, leaving the payload
+/// in place as a refcounted slice. The input handler is lossless up to
+/// the switch (drops happen at the decoupling buffers downstream,
+/// §3.7.1); only pool or slab exhaustion — the paper's "serious fault" —
+/// discards here, with a report.
+#[allow(clippy::too_many_arguments)]
 pub fn spawn_net_in(
     spawner: &Spawner,
     name: &str,
     cells: Receiver<pandora_atm::Cell>,
     to_switch: Sender<SegMsg>,
-    pool: Pool<Segment>,
+    pool: Pool<SlabSegment>,
+    slab: ByteSlab,
     reports: Sender<Report>,
     report_min_period: SimDuration,
 ) -> NetInStats {
@@ -394,13 +410,31 @@ pub fn spawn_net_in(
     let proc_name = format!("net-in:{name}");
     let task_name = proc_name.clone();
     spawner.spawn(&task_name, async move {
-        let mut reasm = Reassembler::new();
+        let mut reasm = SlabReassembler::new(slab);
         let mut limiter = RateLimiter::new(report_min_period.as_nanos());
         let mut last_discarded = 0u64;
+        let mut last_alloc_failures = 0u64;
         while let Ok(cell) = cells.recv().await {
             let Some((vci, frame)) = reasm.push(cell) else {
                 let d = reasm.frames_discarded();
-                if d != last_discarded {
+                let af = reasm.alloc_failures();
+                if af != last_alloc_failures {
+                    last_alloc_failures = af;
+                    last_discarded = d;
+                    s.inner.borrow_mut().frames_discarded = d;
+                    s.inner.borrow_mut().pool_exhausted += 1;
+                    let now = pandora_sim::now();
+                    if limiter.allow("pool", now.as_nanos()) {
+                        let _ = reports
+                            .send(Report::new(
+                                now,
+                                &proc_name,
+                                ReportClass::Fault,
+                                "reassembly slab exhausted, discarding",
+                            ))
+                            .await;
+                    }
+                } else if d != last_discarded {
                     last_discarded = d;
                     s.inner.borrow_mut().frames_discarded = d;
                     let now = pandora_sim::now();
@@ -417,7 +451,7 @@ pub fn spawn_net_in(
                 }
                 continue;
             };
-            let segment = match wire::decode(&frame) {
+            let segment = match wire::decode_slab(&frame) {
                 Ok(seg) => seg,
                 Err(e) => {
                     s.inner.borrow_mut().decode_errors += 1;
@@ -472,8 +506,8 @@ pub fn spawn_net_in(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pandora_atm::Cell;
-    use pandora_segment::{AudioSegment, SequenceNumber, Timestamp};
+    use pandora_atm::{segment_to_cells, Cell};
+    use pandora_segment::{AudioSegment, Segment, SequenceNumber, Timestamp};
     use pandora_sim::{channel, link, unbounded, LinkConfig, Simulation};
 
     fn audio_seg(seq: u32) -> Segment {
@@ -494,7 +528,8 @@ mod tests {
 
     struct Rig {
         sim: Simulation,
-        pool: Pool<Segment>,
+        pool: Pool<SlabSegment>,
+        slab: ByteSlab,
         audio_tx: Sender<NetMsg>,
         video_tx: Sender<NetMsg>,
         wire_rx: Receiver<Cell>,
@@ -509,6 +544,7 @@ mod tests {
         let sim = Simulation::new();
         let spawner = sim.spawner();
         let pool = Pool::new(256);
+        let slab = ByteSlab::new(64, 32 * 1024);
         let (audio_tx, audio_rx) = channel::<NetMsg>();
         let (video_tx, video_rx) = channel::<NetMsg>();
         let (rep_tx, _rep_rx) = unbounded::<Report>();
@@ -527,6 +563,7 @@ mod tests {
         Rig {
             sim,
             pool,
+            slab,
             audio_tx,
             video_tx,
             wire_rx,
@@ -534,11 +571,19 @@ mod tests {
         }
     }
 
-    fn msg(pool: &Pool<Segment>, stream: u32, seg: Segment, opened_ms: u64) -> NetMsg {
+    fn msg(
+        pool: &Pool<SlabSegment>,
+        slab: &ByteSlab,
+        stream: u32,
+        seg: Segment,
+        opened_ms: u64,
+    ) -> NetMsg {
         NetMsg {
             stream: StreamId(stream),
             vci: Vci(stream),
-            desc: pool.try_alloc(seg).unwrap(),
+            desc: pool
+                .try_alloc(SlabSegment::from_segment(&seg, slab).unwrap())
+                .unwrap(),
             opened_at: SimTime::from_millis(opened_ms),
         }
     }
@@ -547,9 +592,12 @@ mod tests {
     fn audio_goes_out_as_cells() {
         let mut r = rig(TxMode::NonInterleaved, 16, 100_000_000);
         let pool = r.pool.clone();
+        let slab = r.slab.clone();
         let tx = r.audio_tx.clone();
         r.sim.spawn("feed", async move {
-            tx.send(msg(&pool, 1, audio_seg(0), 0)).await.unwrap();
+            tx.send(msg(&pool, &slab, 1, audio_seg(0), 0))
+                .await
+                .unwrap();
         });
         let got = Rc::new(RefCell::new(Vec::new()));
         let g = got.clone();
@@ -583,6 +631,7 @@ mod tests {
             cell_rx,
             sw_tx,
             pool.clone(),
+            ByteSlab::new(8, 4096),
             rep_tx,
             SimDuration::from_millis(100),
         );
@@ -597,7 +646,7 @@ mod tests {
         let pool2 = pool.clone();
         sim.spawn("switch", async move {
             if let Ok(m) = sw_rx.recv().await {
-                *g.borrow_mut() = Some((m.stream, pool2.get_clone(m.desc)));
+                *g.borrow_mut() = Some((m.stream, pool2.with(m.desc, |s| s.to_segment())));
                 pool2.release(m.desc);
             }
         });
@@ -614,12 +663,17 @@ mod tests {
         // must wait for all its cells (the §4.2 jitter source).
         let mut r = rig(TxMode::NonInterleaved, 64, 10_000_000);
         let pool = r.pool.clone();
+        let slab = r.slab.clone();
         let (atx, vtx) = (r.audio_tx.clone(), r.video_tx.clone());
         r.sim.spawn("feed", async move {
             // 24kB video at 10Mbit/s ≈ 19.6ms of cells.
-            vtx.send(msg(&pool, 2, video_seg(24_000), 0)).await.unwrap();
+            vtx.send(msg(&pool, &slab, 2, video_seg(24_000), 0))
+                .await
+                .unwrap();
             pandora_sim::delay(SimDuration::from_micros(100)).await;
-            atx.send(msg(&pool, 1, audio_seg(0), 0)).await.unwrap();
+            atx.send(msg(&pool, &slab, 1, audio_seg(0), 0))
+                .await
+                .unwrap();
         });
         let audio_done = Rc::new(std::cell::Cell::new(SimTime::ZERO));
         let ad = audio_done.clone();
@@ -645,11 +699,16 @@ mod tests {
     fn interleaved_audio_preempts_video() {
         let mut r = rig(TxMode::Interleaved, 64, 10_000_000);
         let pool = r.pool.clone();
+        let slab = r.slab.clone();
         let (atx, vtx) = (r.audio_tx.clone(), r.video_tx.clone());
         r.sim.spawn("feed", async move {
-            vtx.send(msg(&pool, 2, video_seg(24_000), 0)).await.unwrap();
+            vtx.send(msg(&pool, &slab, 2, video_seg(24_000), 0))
+                .await
+                .unwrap();
             pandora_sim::delay(SimDuration::from_micros(100)).await;
-            atx.send(msg(&pool, 1, audio_seg(0), 0)).await.unwrap();
+            atx.send(msg(&pool, &slab, 1, audio_seg(0), 0))
+                .await
+                .unwrap();
         });
         let audio_done = Rc::new(std::cell::Cell::new(SimTime::ZERO));
         let ad = audio_done.clone();
@@ -675,11 +734,14 @@ mod tests {
         // slow link; drops must hit the old stream.
         let mut r = rig(TxMode::NonInterleaved, 4, 1_000_000);
         let pool = r.pool.clone();
+        let slab = r.slab.clone();
         let vtx = r.video_tx.clone();
         r.sim.spawn("feed", async move {
             for _ in 0..10 {
-                vtx.send(msg(&pool, 10, video_seg(5_000), 0)).await.unwrap(); // Old.
-                vtx.send(msg(&pool, 20, video_seg(5_000), 900))
+                vtx.send(msg(&pool, &slab, 10, video_seg(5_000), 0))
+                    .await
+                    .unwrap(); // Old.
+                vtx.send(msg(&pool, &slab, 20, video_seg(5_000), 900))
                     .await
                     .unwrap(); // New.
             }
@@ -728,11 +790,16 @@ mod tests {
             10_000_000,
         );
         let pool = r.pool.clone();
+        let slab = r.slab.clone();
         let (atx, vtx) = (r.audio_tx.clone(), r.video_tx.clone());
         r.sim.spawn("feed", async move {
-            vtx.send(msg(&pool, 2, video_seg(24_000), 0)).await.unwrap();
+            vtx.send(msg(&pool, &slab, 2, video_seg(24_000), 0))
+                .await
+                .unwrap();
             pandora_sim::delay(SimDuration::from_micros(100)).await;
-            atx.send(msg(&pool, 1, audio_seg(0), 0)).await.unwrap();
+            atx.send(msg(&pool, &slab, 1, audio_seg(0), 0))
+                .await
+                .unwrap();
         });
         let audio_done = Rc::new(std::cell::Cell::new(SimTime::ZERO));
         let ad = audio_done.clone();
@@ -762,11 +829,14 @@ mod tests {
             1_000_000,
         );
         let pool = r.pool.clone();
+        let slab = r.slab.clone();
         let vtx = r.video_tx.clone();
         r.sim.spawn("feed", async move {
             for _ in 0..10 {
-                vtx.send(msg(&pool, 10, video_seg(5_000), 0)).await.unwrap(); // Old.
-                vtx.send(msg(&pool, 20, video_seg(5_000), 900))
+                vtx.send(msg(&pool, &slab, 10, video_seg(5_000), 0))
+                    .await
+                    .unwrap(); // Old.
+                vtx.send(msg(&pool, &slab, 20, video_seg(5_000), 900))
                     .await
                     .unwrap(); // New.
             }
@@ -798,6 +868,7 @@ mod tests {
             cell_rx,
             sw_tx,
             pool.clone(),
+            ByteSlab::new(8, 4096),
             rep_tx,
             SimDuration::from_millis(1),
         );

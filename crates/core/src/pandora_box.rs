@@ -13,8 +13,8 @@ use std::rc::Rc;
 
 use pandora_atm::Vci;
 use pandora_audio::{gen::Signal, Muting};
-use pandora_buffers::{Pool, ReadyGate, Report, ReportClass};
-use pandora_segment::{AudioSegment, Segment, StreamId, VideoSegment};
+use pandora_buffers::{ByteSlab, Descriptor, Pool, ReadyGate, Report, ReportClass};
+use pandora_segment::{AudioSegment, Segment, SlabSegment, StreamId, VideoSegment};
 use pandora_sim::{link, Cpu, LinkConfig, LinkSender, Receiver, Sender, SimTime, Spawner};
 use pandora_video::CaptureConfig;
 
@@ -30,6 +30,18 @@ use crate::server_board::{spawn_switch, NetMsg, SwitchOutputs, SwitchStats};
 use crate::video_boards::{
     spawn_video_capture, spawn_video_display, Camera, DisplaySink, VideoCaptureHandle,
 };
+
+/// Copies an input device's segment into the slab (the hop's single input
+/// copy, §3.4) and pools a descriptor over it. `None` means the slab or
+/// the pool is exhausted — the caller reports and discards.
+fn alloc_slab_segment(
+    pool: &Pool<SlabSegment>,
+    slab: &ByteSlab,
+    segment: &Segment,
+) -> Option<Descriptor> {
+    let slabseg = SlabSegment::from_segment(segment, slab).ok()?;
+    pool.try_alloc(slabseg).ok()
+}
 
 /// One Pandora's Box: boards, switch, buffers, instrumentation.
 pub struct PandoraBox {
@@ -49,8 +61,11 @@ pub struct PandoraBox {
     pub display: DisplaySink,
     /// The camera shared by capture streams.
     pub camera: Camera,
-    /// The server board's segment pool.
-    pub pool: Pool<Segment>,
+    /// The server board's segment pool: descriptors over slab-backed
+    /// payloads. Only indices move between boards (§3.4).
+    pub pool: Pool<SlabSegment>,
+    /// The payload byte arena every pooled segment points into.
+    pub slab: ByteSlab,
     /// The audio transputer.
     pub audio_cpu: Cpu,
     /// The server transputer.
@@ -82,7 +97,8 @@ impl PandoraBox {
         let name = config.name;
         let log = ReportLog::spawn(spawner, name);
         let reports = log.sender();
-        let pool: Pool<Segment> = Pool::new(config.pool_buffers);
+        let pool: Pool<SlabSegment> = Pool::new(config.pool_buffers);
+        let slab = ByteSlab::new(config.slab_buffers, config.slab_bytes);
 
         let audio_cpu = Cpu::new(&format!("{name}.audio"), config.switch_cost);
         let server_cpu = Cpu::new(&format!("{name}.server"), config.switch_cost);
@@ -206,6 +222,7 @@ impl PandoraBox {
             net_rx,
             to_switch.clone(),
             pool.clone(),
+            slab.clone(),
             reports.clone(),
             config.report_min_period,
         );
@@ -228,7 +245,9 @@ impl PandoraBox {
             let reports = reports.clone();
             spawner.spawn(&format!("{name}:audio-out-handler"), async move {
                 while let Ok(m) = audio_out_rx.recv().await {
-                    let seg = pool.get_clone(m.desc);
+                    // Device output: the second (and last) payload copy of
+                    // the hop leaves the slab here.
+                    let seg = pool.with(m.desc, |s| s.to_segment());
                     pool.release(m.desc);
                     match seg {
                         Segment::Audio(a) => {
@@ -291,7 +310,7 @@ impl PandoraBox {
             let reports = reports.clone();
             spawner.spawn(&format!("{name}:mixer-out-handler"), async move {
                 while let Ok(m) = mixer_out_rx.recv().await {
-                    let seg = pool.get_clone(m.desc);
+                    let seg = pool.with(m.desc, |s| s.to_segment());
                     pool.release(m.desc);
                     match seg {
                         Segment::Video(v) => {
@@ -334,7 +353,7 @@ impl PandoraBox {
             let pool = pool.clone();
             spawner.spawn(&format!("{name}:repo-out-handler"), async move {
                 while let Ok(m) = repo_out_rx.recv().await {
-                    let seg = pool.get_clone(m.desc);
+                    let seg = pool.with(m.desc, |s| s.to_segment());
                     pool.release(m.desc);
                     if repo_tx.send((m.stream, seg)).await.is_err() {
                         return;
@@ -361,6 +380,7 @@ impl PandoraBox {
             display,
             camera,
             pool,
+            slab,
             audio_cpu,
             server_cpu,
             capture_cpu,
@@ -468,6 +488,7 @@ impl PandoraBox {
                 let (seg_tx, seg_rx) = pandora_sim::channel::<AudioSegment>();
                 let to_switch = self.to_switch.clone();
                 let pool = self.pool.clone();
+                let slab = self.slab.clone();
                 let reports = self.log.sender();
                 self.spawner
                     .spawn(&format!("{name}:audio-in-handler:{stream}"), async move {
@@ -483,14 +504,14 @@ impl PandoraBox {
                     .spawn(&format!("{name}:server-audio-in:{stream}"), async move {
                         while let Ok(seg) = mic_link_rx.recv().await {
                             // Input handlers run lossless to the switch; only
-                            // pool exhaustion (serious fault) discards.
-                            match pool.try_alloc(Segment::Audio(seg)) {
-                                Ok(desc) => {
+                            // pool/slab exhaustion (serious fault) discards.
+                            match alloc_slab_segment(&pool, &slab, &Segment::Audio(seg)) {
+                                Some(desc) => {
                                     if to_switch.send(SegMsg { stream, desc }).await.is_err() {
                                         return;
                                     }
                                 }
-                                Err(_) => {
+                                None => {
                                     let now = pandora_sim::now();
                                     let _ = reports2
                                         .send(Report::new(
@@ -545,17 +566,18 @@ impl PandoraBox {
         {
             let to_switch = self.to_switch.clone();
             let pool = self.pool.clone();
+            let slab = self.slab.clone();
             let reports = self.log.sender();
             self.spawner
                 .spawn(&format!("{name}:server-video-in:{stream}"), async move {
                     while let Ok((sid, seg)) = fifo_rx.recv().await {
-                        match pool.try_alloc(Segment::Video(seg)) {
-                            Ok(desc) => {
+                        match alloc_slab_segment(&pool, &slab, &Segment::Video(seg)) {
+                            Some(desc) => {
                                 if to_switch.send(SegMsg { stream: sid, desc }).await.is_err() {
                                     return;
                                 }
                             }
-                            Err(_) => {
+                            None => {
                                 let now = pandora_sim::now();
                                 let _ = reports
                                     .send(Report::new(
@@ -582,9 +604,9 @@ impl PandoraBox {
     /// Injects a test segment directly into the switch (the `test in`
     /// handler of figure 3.3).
     pub async fn inject_segment(&self, stream: StreamId, segment: Segment) -> bool {
-        match self.pool.try_alloc(segment) {
-            Ok(desc) => self.to_switch.send(SegMsg { stream, desc }).await.is_ok(),
-            Err(_) => false,
+        match alloc_slab_segment(&self.pool, &self.slab, &segment) {
+            Some(desc) => self.to_switch.send(SegMsg { stream, desc }).await.is_ok(),
+            None => false,
         }
     }
 
@@ -594,11 +616,12 @@ impl PandoraBox {
     pub fn injector(&self) -> Sender<(StreamId, Segment)> {
         let (tx, rx) = pandora_sim::channel::<(StreamId, Segment)>();
         let pool = self.pool.clone();
+        let slab = self.slab.clone();
         let to_switch = self.to_switch.clone();
         let name = self.config.name;
         self.spawner.spawn(&format!("{name}:injector"), async move {
             while let Ok((stream, segment)) = rx.recv().await {
-                if let Ok(desc) = pool.try_alloc(segment) {
+                if let Some(desc) = alloc_slab_segment(&pool, &slab, &segment) {
                     if to_switch.send(SegMsg { stream, desc }).await.is_err() {
                         return;
                     }

@@ -22,7 +22,7 @@ use std::rc::Rc;
 use pandora_atm::Vci;
 use pandora_buffers::{Descriptor, Pool, ReadyGate, Report, ReportClass};
 use pandora_metrics::{CounterSet, RateLimiter};
-use pandora_segment::{Segment, StreamId};
+use pandora_segment::StreamId;
 use pandora_sim::{alt2, Cpu, Either2, Receiver, Sender, SimDuration, Spawner};
 
 use crate::msg::{OutputId, SegMsg, StreamKind, SwitchCommand, SwitchEntry};
@@ -119,17 +119,19 @@ impl SwitchStats {
 ///   ALT; when `false` data is polled first (the conformance ablation,
 ///   under which commands starve while inputs stay busy);
 /// * `outputs` — ready-gates into the per-output decoupling buffers;
-/// * `pool` — the server board's segment buffer pool;
+/// * `pool` — the server board's segment buffer pool (the switch never
+///   inspects segment contents, so it works over any pooled type —
+///   descriptors move, bytes do not);
 /// * `cpu` — the server transputer (each segment pays a switching cost).
 #[allow(clippy::too_many_arguments)]
-pub fn spawn_switch(
+pub fn spawn_switch<T: 'static>(
     spawner: &Spawner,
     name: &str,
     input: Receiver<SegMsg>,
     commands: Receiver<SwitchCommand>,
     command_priority: bool,
     mut outputs: SwitchOutputs,
-    pool: Pool<Segment>,
+    pool: Pool<T>,
     cpu: Cpu,
     per_segment_cost: SimDuration,
     reports: Sender<Report>,
@@ -168,18 +170,20 @@ pub fn spawn_switch(
                         pool.release(msg.desc);
                         continue;
                     };
-                    let dests = entry.dests.clone();
-                    if dests.is_empty() {
+                    if entry.dests.is_empty() {
                         pool.release(msg.desc);
                         continue;
                     }
                     // One reference already exists; each extra copy needs one.
-                    if dests.len() > 1 {
-                        pool.add_refs(msg.desc, dests.len() as u32 - 1);
+                    if entry.dests.len() > 1 {
+                        pool.add_refs(msg.desc, entry.dests.len() as u32 - 1);
                     }
                     let kind = entry.kind;
                     let opened_at = entry.opened_at;
-                    for dest in dests {
+                    // Fan-out borrows the table entry in place: Principle 6
+                    // guarantees no command lands mid-segment, so no
+                    // per-segment snapshot of the destination list is needed.
+                    for &dest in &entry.dests {
                         let delivered =
                             offer(&mut outputs, dest, kind, opened_at, msg.stream, msg.desc).await;
                         match delivered {
@@ -324,7 +328,7 @@ async fn apply_command(
 mod tests {
     use super::*;
     use pandora_buffers::{spawn_decoupling_ready, ClawbackConfig};
-    use pandora_segment::{AudioSegment, SequenceNumber, Timestamp};
+    use pandora_segment::{AudioSegment, Segment, SequenceNumber, Timestamp};
     use pandora_sim::{channel, unbounded, SimTime, Simulation};
 
     fn seg() -> Segment {

@@ -415,6 +415,15 @@ impl Segment {
         }
     }
 
+    /// The payload bytes (sample data, pixel data or opaque test data).
+    pub fn payload(&self) -> &[u8] {
+        match self {
+            Segment::Audio(s) => &s.data,
+            Segment::Video(s) => &s.data,
+            Segment::Test(s) => &s.data,
+        }
+    }
+
     /// Returns the audio segment, if this is one.
     pub fn as_audio(&self) -> Option<&AudioSegment> {
         match self {
@@ -428,6 +437,103 @@ impl Segment {
         match self {
             Segment::Video(s) => Some(s),
             _ => None,
+        }
+    }
+}
+
+/// The headers of a segment, split from its payload bytes.
+///
+/// This is the unit the zero-copy transport moves around: headers are
+/// small and owned, while the payload stays behind a refcounted
+/// `SlabRef` (see [`crate::SlabSegment`]). All length bookkeeping
+/// (`common.length`, per-format `data_length`) is carried through
+/// verbatim, so converting a [`Segment`] to a header and back is exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SegmentHeader {
+    /// Headers of an audio segment.
+    Audio {
+        /// Common header fields.
+        common: CommonHeader,
+        /// Audio-specific header fields.
+        audio: AudioHeader,
+    },
+    /// Headers of a video segment.
+    Video {
+        /// Common header fields.
+        common: CommonHeader,
+        /// Video-specific header fields (including compression args).
+        video: VideoHeader,
+    },
+    /// Header of a test segment (common fields only).
+    Test {
+        /// Common header fields.
+        common: CommonHeader,
+    },
+}
+
+impl SegmentHeader {
+    /// Extracts (clones) the headers of a segment.
+    pub fn of_segment(segment: &Segment) -> SegmentHeader {
+        match segment {
+            Segment::Audio(s) => SegmentHeader::Audio {
+                common: s.common,
+                audio: s.audio,
+            },
+            Segment::Video(s) => SegmentHeader::Video {
+                common: s.common,
+                video: s.video.clone(),
+            },
+            Segment::Test(s) => SegmentHeader::Test { common: s.common },
+        }
+    }
+
+    /// The common header fields.
+    pub fn common(&self) -> &CommonHeader {
+        match self {
+            SegmentHeader::Audio { common, .. } => common,
+            SegmentHeader::Video { common, .. } => common,
+            SegmentHeader::Test { common } => common,
+        }
+    }
+
+    /// Bytes these headers occupy on the wire (before the payload).
+    pub fn header_wire_bytes(&self) -> usize {
+        match self {
+            SegmentHeader::Audio { .. } => AUDIO_FULL_HEADER_BYTES,
+            SegmentHeader::Video { video, .. } => {
+                COMMON_HEADER_BYTES + VIDEO_FIXED_HEADER_BYTES + 4 * video.compression_args.len()
+            }
+            SegmentHeader::Test { .. } => COMMON_HEADER_BYTES,
+        }
+    }
+
+    /// Payload bytes that follow the headers on the wire.
+    pub fn payload_wire_bytes(&self) -> usize {
+        self.common().length as usize - self.header_wire_bytes()
+    }
+
+    /// Total size on the wire, headers plus payload.
+    pub fn wire_bytes(&self) -> usize {
+        self.common().length as usize
+    }
+
+    /// Reattaches a payload, rebuilding the owned [`Segment`].
+    ///
+    /// All header fields are preserved verbatim; `data` must be the
+    /// payload the headers describe (`payload_wire_bytes` long).
+    pub fn into_segment(self, data: Vec<u8>) -> Segment {
+        match self {
+            SegmentHeader::Audio { common, audio } => Segment::Audio(AudioSegment {
+                common,
+                audio,
+                data,
+            }),
+            SegmentHeader::Video { common, video } => Segment::Video(VideoSegment {
+                common,
+                video,
+                data,
+            }),
+            SegmentHeader::Test { common } => Segment::Test(TestSegment { common, data }),
         }
     }
 }
@@ -517,6 +623,50 @@ mod tests {
         assert!(a.as_audio().is_some());
         assert!(a.as_video().is_none());
         assert_eq!(a.common().sequence, SequenceNumber(1));
+    }
+
+    #[test]
+    fn header_split_and_rejoin_is_exact() {
+        let header = VideoHeader {
+            frame_number: 1,
+            segments_in_frame: 4,
+            segment_number: 2,
+            x_offset: 10,
+            y_offset: 20,
+            pixel_format: PixelFormat::Mono8,
+            compression: VideoCompression::Dpcm,
+            compression_args: vec![2, 1],
+            width: 64,
+            start_line: 0,
+            lines: 8,
+            data_length: 0,
+        };
+        let video = Segment::Video(VideoSegment::new(
+            SequenceNumber(5),
+            Timestamp(9),
+            header,
+            vec![7u8; 100],
+        ));
+        let audio = Segment::Audio(AudioSegment::from_blocks(
+            SequenceNumber(1),
+            Timestamp(2),
+            vec![3u8; 32],
+        ));
+        let test = Segment::Test(TestSegment::new(
+            SequenceNumber(8),
+            Timestamp(4),
+            vec![1, 2],
+        ));
+        for seg in [video, audio, test] {
+            let split = SegmentHeader::of_segment(&seg);
+            assert_eq!(split.wire_bytes(), seg.wire_bytes());
+            assert_eq!(
+                split.header_wire_bytes() + split.payload_wire_bytes(),
+                seg.wire_bytes()
+            );
+            assert_eq!(split.payload_wire_bytes(), seg.payload().len());
+            assert_eq!(split.into_segment(seg.payload().to_vec()), seg);
+        }
     }
 
     #[test]

@@ -13,20 +13,24 @@
 //! * [`VideoSegment`] — rectangular frame pieces with placement geometry
 //!   and variable-length compression arguments;
 //! * [`wire`] — big-endian wire codec, with the in-box stream-number tag;
+//! * [`SlabSegment`] — the zero-copy form: owned headers plus a
+//!   refcounted slab slice for the payload (§3.4's two-copy discipline);
 //! * [`SeqTracker`] — sequence-number loss detection (§3.8);
 //! * [`reseg`] — the repository's 2 ms-block → 40 ms-segment rewriter.
 
 mod format;
 mod ids;
 pub mod reseg;
+mod slabseg;
 pub mod wire;
 
 pub use format::{
-    AudioFormat, AudioHeader, AudioSegment, CommonHeader, PixelFormat, Segment, SegmentType,
-    TestSegment, VideoCompression, VideoHeader, VideoSegment, AUDIO_FULL_HEADER_BYTES,
+    AudioFormat, AudioHeader, AudioSegment, CommonHeader, PixelFormat, Segment, SegmentHeader,
+    SegmentType, TestSegment, VideoCompression, VideoHeader, VideoSegment, AUDIO_FULL_HEADER_BYTES,
     AUDIO_HEADER_BYTES, AUDIO_SAMPLE_RATE, BLOCK_BYTES, BLOCK_DURATION_NANOS, COMMON_HEADER_BYTES,
     DEFAULT_BLOCKS_PER_SEGMENT, REPOSITORY_BLOCKS_PER_SEGMENT, SAMPLES_PER_BLOCK, VERSION_ID,
     VIDEO_FIXED_HEADER_BYTES,
 };
 pub use ids::{SeqEvent, SeqTracker, SequenceNumber, StreamId, Timestamp};
-pub use wire::WireError;
+pub use slabseg::SlabSegment;
+pub use wire::{SegmentView, WireError};

@@ -1,0 +1,93 @@
+//! Slab-backed segments: parsed headers plus a refcounted payload slice.
+//!
+//! [`SlabSegment`] is what actually flows through the box in the
+//! zero-copy transport. The headers (tens of bytes) are owned and cheap
+//! to clone; the payload stays in the byte slab it was first copied
+//! into, shared by reference count. Converting from and to the owned
+//! [`Segment`] performs exactly one counted payload copy each way —
+//! the paper's input copy and output copy.
+
+use pandora_slab::{ByteSlab, SlabError, SlabRef};
+
+use crate::format::{Segment, SegmentHeader};
+
+/// A segment whose payload bytes live in a [`ByteSlab`] region.
+///
+/// Cloning bumps the slab reference count; no payload bytes move until
+/// [`SlabSegment::to_segment`] (or another counted copy-out) is called.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlabSegment {
+    /// The parsed, owned headers.
+    pub header: SegmentHeader,
+    /// The payload, refcounted in its slab.
+    pub payload: SlabRef,
+}
+
+impl SlabSegment {
+    /// Moves a segment's payload into `slab` — the sanctioned *input*
+    /// copy, counted against [`ByteSlab::copied_in_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the slab is exhausted or the payload exceeds one slab
+    /// region.
+    pub fn from_segment(segment: &Segment, slab: &ByteSlab) -> Result<SlabSegment, SlabError> {
+        let payload = slab.try_alloc_copy(segment.payload())?;
+        Ok(SlabSegment {
+            header: SegmentHeader::of_segment(segment),
+            payload,
+        })
+    }
+
+    /// Rebuilds the owned [`Segment`] — the sanctioned *output* copy,
+    /// counted against [`ByteSlab::copied_out_bytes`].
+    pub fn to_segment(&self) -> Segment {
+        self.header.clone().into_segment(self.payload.copy_to_vec())
+    }
+
+    /// Total size on the wire, headers plus payload.
+    pub fn wire_bytes(&self) -> usize {
+        self.header.wire_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::AudioSegment;
+    use crate::ids::{SequenceNumber, Timestamp};
+
+    #[test]
+    fn round_trip_is_one_copy_each_way() {
+        let slab = ByteSlab::new(4, 1024);
+        let seg = Segment::Audio(AudioSegment::from_blocks(
+            SequenceNumber(3),
+            Timestamp(64),
+            (0u8..32).collect(),
+        ));
+        let ss = SlabSegment::from_segment(&seg, &slab).unwrap();
+        assert_eq!(slab.copied_in_bytes(), 32);
+        assert_eq!(slab.copied_out_bytes(), 0);
+        assert_eq!(ss.wire_bytes(), seg.wire_bytes());
+        // Fan-out shares, it does not copy.
+        let fanout = ss.clone();
+        assert_eq!(slab.copied_in_bytes(), 32);
+        assert_eq!(fanout.payload.ref_count(), 2);
+        assert_eq!(ss.to_segment(), seg);
+        assert_eq!(slab.copied_out_bytes(), 32);
+    }
+
+    #[test]
+    fn oversized_payload_is_refused() {
+        let slab = ByteSlab::new(1, 16);
+        let seg = Segment::Audio(AudioSegment::from_blocks(
+            SequenceNumber(0),
+            Timestamp(0),
+            vec![0u8; 32],
+        ));
+        assert!(matches!(
+            SlabSegment::from_segment(&seg, &slab),
+            Err(SlabError::TooLarge { needed: 32, .. })
+        ));
+    }
+}

@@ -6,15 +6,26 @@
 //! pass the stream number in an extra field preceding the segment
 //! header", §3.4); [`encode_tagged`] / [`decode_tagged`] handle that
 //! framing.
+//!
+//! The zero-copy entry points are [`encode_header_into`] (headers into a
+//! caller-provided region, so the payload can be scatter-gathered from
+//! its slab) and [`decode_view`] / [`decode_slab`] (headers parsed out,
+//! payload left in place as a borrow or a refcounted [`SlabRef`] slice).
+//! [`encode`] and [`decode`] remain as the owned-`Vec` compatibility
+//! wrappers over the same code.
 
-use bytes::{Buf, BufMut, BytesMut};
+// check:hot-path: the per-segment codec runs for every hop.
+
+use bytes::Buf;
+use pandora_slab::SlabRef;
 
 use crate::format::{
-    AudioFormat, AudioHeader, AudioSegment, CommonHeader, PixelFormat, Segment, SegmentType,
-    TestSegment, VideoCompression, VideoHeader, VideoSegment, AUDIO_FULL_HEADER_BYTES,
-    COMMON_HEADER_BYTES, VERSION_ID, VIDEO_FIXED_HEADER_BYTES,
+    AudioFormat, AudioHeader, CommonHeader, PixelFormat, Segment, SegmentHeader, SegmentType,
+    VideoCompression, VideoHeader, AUDIO_FULL_HEADER_BYTES, COMMON_HEADER_BYTES, VERSION_ID,
+    VIDEO_FIXED_HEADER_BYTES,
 };
 use crate::ids::{SequenceNumber, StreamId, Timestamp};
+use crate::slabseg::SlabSegment;
 
 /// Errors produced while decoding a segment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,36 +75,72 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-/// Encodes a segment to its wire representation.
-pub fn encode(segment: &Segment) -> Vec<u8> {
-    let mut buf = BytesMut::with_capacity(segment.wire_bytes());
-    put_common(&mut buf, segment.common());
-    match segment {
-        Segment::Audio(s) => {
-            put_audio_header(&mut buf, &s.audio);
-            buf.put_slice(&s.data);
-        }
-        Segment::Video(s) => {
-            put_video_header(&mut buf, &s.video);
-            buf.put_slice(&s.data);
-        }
-        Segment::Test(s) => {
-            buf.put_slice(&s.data);
-        }
+/// Encodes the segment headers into the front of `buf`, returning the
+/// number of bytes written ([`SegmentHeader::header_wire_bytes`]).
+///
+/// This is the zero-copy encoder: the caller scatter-gathers the payload
+/// from its slab after the headers instead of materialising a contiguous
+/// wire image.
+///
+/// # Panics
+///
+/// Panics if `buf` is shorter than the headers.
+pub fn encode_header_into(header: &SegmentHeader, buf: &mut [u8]) -> usize {
+    let hdr = header.header_wire_bytes();
+    assert!(
+        buf.len() >= hdr,
+        "header region of {} bytes cannot hold {hdr} header bytes",
+        buf.len()
+    );
+    let mut at = 0;
+    put_common(buf, &mut at, header.common());
+    match header {
+        SegmentHeader::Audio { audio, .. } => put_audio_header(buf, &mut at, audio),
+        SegmentHeader::Video { video, .. } => put_video_header(buf, &mut at, video),
+        SegmentHeader::Test { .. } => {}
     }
-    buf.to_vec()
+    debug_assert_eq!(at, hdr);
+    at
+}
+
+/// Encodes a segment to its wire representation (owned-`Vec` wrapper
+/// over [`encode_header_into`]; the single copy is the payload move into
+/// the output buffer).
+pub fn encode(segment: &Segment) -> Vec<u8> {
+    let header = SegmentHeader::of_segment(segment);
+    let mut out = vec![0u8; segment.wire_bytes()];
+    let hdr = encode_header_into(&header, &mut out);
+    out[hdr..].copy_from_slice(segment.payload());
+    out
 }
 
 /// Encodes a segment preceded by its in-box stream number word.
 pub fn encode_tagged(stream: StreamId, segment: &Segment) -> Vec<u8> {
-    let mut out = Vec::with_capacity(4 + segment.wire_bytes());
-    out.extend_from_slice(&stream.0.to_be_bytes());
-    out.extend_from_slice(&encode(segment));
+    let header = SegmentHeader::of_segment(segment);
+    let mut out = vec![0u8; 4 + segment.wire_bytes()];
+    out[..4].copy_from_slice(&stream.0.to_be_bytes());
+    let hdr = 4 + encode_header_into(&header, &mut out[4..]);
+    out[hdr..].copy_from_slice(segment.payload());
     out
 }
 
-/// Decodes one segment from `data`, which must contain the whole segment.
-pub fn decode(data: &[u8]) -> Result<Segment, WireError> {
+/// A decoded segment whose payload still lives in the input buffer.
+///
+/// The headers are parsed and owned; the payload is a borrow, so
+/// decoding costs O(header) regardless of payload size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentView<'a> {
+    /// The parsed, validated headers.
+    pub header: SegmentHeader,
+    /// The payload bytes, borrowed from the input.
+    pub payload: &'a [u8],
+}
+
+/// Decodes one segment from `data` without copying the payload.
+///
+/// Performs exactly the validation of [`decode`]; the returned
+/// [`SegmentView`] borrows its payload from `data`.
+pub fn decode_view(data: &[u8]) -> Result<SegmentView<'_>, WireError> {
     let mut buf = data;
     if buf.len() < COMMON_HEADER_BYTES {
         return Err(WireError::Truncated {
@@ -145,16 +192,18 @@ pub fn decode(data: &[u8]) -> Result<Segment, WireError> {
             if data_length as usize != body.len() {
                 return Err(WireError::BadLength { field: data_length });
             }
-            Ok(Segment::Audio(AudioSegment {
-                common,
-                audio: AudioHeader {
-                    sampling_rate,
-                    format,
-                    compression,
-                    data_length,
+            Ok(SegmentView {
+                header: SegmentHeader::Audio {
+                    common,
+                    audio: AudioHeader {
+                        sampling_rate,
+                        format,
+                        compression,
+                        data_length,
+                    },
                 },
-                data: body.to_vec(),
-            }))
+                payload: body,
+            })
         }
         SegmentType::Video => {
             if body.len() < VIDEO_FIXED_HEADER_BYTES {
@@ -189,30 +238,53 @@ pub fn decode(data: &[u8]) -> Result<Segment, WireError> {
             if data_length as usize != body.len() {
                 return Err(WireError::BadLength { field: data_length });
             }
-            Ok(Segment::Video(VideoSegment {
-                common,
-                video: VideoHeader {
-                    frame_number,
-                    segments_in_frame,
-                    segment_number,
-                    x_offset,
-                    y_offset,
-                    pixel_format,
-                    compression,
-                    compression_args,
-                    width,
-                    start_line,
-                    lines,
-                    data_length,
+            Ok(SegmentView {
+                header: SegmentHeader::Video {
+                    common,
+                    video: VideoHeader {
+                        frame_number,
+                        segments_in_frame,
+                        segment_number,
+                        x_offset,
+                        y_offset,
+                        pixel_format,
+                        compression,
+                        compression_args,
+                        width,
+                        start_line,
+                        lines,
+                        data_length,
+                    },
                 },
-                data: body.to_vec(),
-            }))
+                payload: body,
+            })
         }
-        SegmentType::Test => Ok(Segment::Test(TestSegment {
-            common,
-            data: body.to_vec(),
-        })),
+        SegmentType::Test => Ok(SegmentView {
+            header: SegmentHeader::Test { common },
+            payload: body,
+        }),
     }
+}
+
+/// Decodes one segment from `data`, which must contain the whole segment
+/// (owned wrapper over [`decode_view`]; the single copy is the payload
+/// move out of `data`).
+pub fn decode(data: &[u8]) -> Result<Segment, WireError> {
+    let view = decode_view(data)?;
+    // check:allow(hot-path-alloc): the legacy owned path copies here by contract.
+    Ok(view.header.into_segment(view.payload.to_vec()))
+}
+
+/// Decodes a whole received frame that lives in a slab, leaving the
+/// payload in place.
+///
+/// The headers are parsed (and validated exactly as [`decode`] does) via
+/// an uncounted read; the payload becomes an O(1) [`SlabRef`] subslice of
+/// `frame` — no payload bytes move.
+pub fn decode_slab(frame: &SlabRef) -> Result<SlabSegment, WireError> {
+    let header = frame.with(|bytes| decode_view(bytes).map(|view| view.header))?;
+    let payload = frame.slice(header.header_wire_bytes(), header.payload_wire_bytes());
+    Ok(SlabSegment { header, payload })
 }
 
 /// Decodes a stream-number-tagged segment.
@@ -228,42 +300,49 @@ pub fn decode_tagged(data: &[u8]) -> Result<(StreamId, Segment), WireError> {
     Ok((stream, segment))
 }
 
-fn put_common(buf: &mut BytesMut, h: &CommonHeader) {
-    buf.put_u32(h.version);
-    buf.put_u32(h.sequence.0);
-    buf.put_u32(h.timestamp.0);
-    buf.put_u32(h.segment_type.code());
-    buf.put_u32(h.length);
+fn put_u32(buf: &mut [u8], at: &mut usize, value: u32) {
+    buf[*at..*at + 4].copy_from_slice(&value.to_be_bytes());
+    *at += 4;
 }
 
-fn put_audio_header(buf: &mut BytesMut, h: &AudioHeader) {
-    buf.put_u32(h.sampling_rate);
-    buf.put_u32(h.format.code());
-    buf.put_u32(h.compression);
-    buf.put_u32(h.data_length);
+fn put_common(buf: &mut [u8], at: &mut usize, h: &CommonHeader) {
+    put_u32(buf, at, h.version);
+    put_u32(buf, at, h.sequence.0);
+    put_u32(buf, at, h.timestamp.0);
+    put_u32(buf, at, h.segment_type.code());
+    put_u32(buf, at, h.length);
 }
 
-fn put_video_header(buf: &mut BytesMut, h: &VideoHeader) {
-    buf.put_u32(h.frame_number);
-    buf.put_u32(h.segments_in_frame);
-    buf.put_u32(h.segment_number);
-    buf.put_u32(h.x_offset);
-    buf.put_u32(h.y_offset);
-    buf.put_u32(h.pixel_format.code());
-    buf.put_u32(h.compression.code());
-    buf.put_u32(h.compression_args.len() as u32);
+fn put_audio_header(buf: &mut [u8], at: &mut usize, h: &AudioHeader) {
+    put_u32(buf, at, h.sampling_rate);
+    put_u32(buf, at, h.format.code());
+    put_u32(buf, at, h.compression);
+    put_u32(buf, at, h.data_length);
+}
+
+fn put_video_header(buf: &mut [u8], at: &mut usize, h: &VideoHeader) {
+    put_u32(buf, at, h.frame_number);
+    put_u32(buf, at, h.segments_in_frame);
+    put_u32(buf, at, h.segment_number);
+    put_u32(buf, at, h.x_offset);
+    put_u32(buf, at, h.y_offset);
+    put_u32(buf, at, h.pixel_format.code());
+    put_u32(buf, at, h.compression.code());
+    put_u32(buf, at, h.compression_args.len() as u32);
     for a in &h.compression_args {
-        buf.put_u32(*a);
+        put_u32(buf, at, *a);
     }
-    buf.put_u32(h.width);
-    buf.put_u32(h.start_line);
-    buf.put_u32(h.lines);
-    buf.put_u32(h.data_length);
+    put_u32(buf, at, h.width);
+    put_u32(buf, at, h.start_line);
+    put_u32(buf, at, h.lines);
+    put_u32(buf, at, h.data_length);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::format::{AudioSegment, TestSegment, VideoSegment};
+    use pandora_slab::ByteSlab;
 
     fn sample_audio() -> Segment {
         Segment::Audio(AudioSegment::from_blocks(
@@ -328,6 +407,53 @@ mod tests {
         let (stream, out) = decode_tagged(&bytes).unwrap();
         assert_eq!(stream, StreamId(17));
         assert_eq!(out, seg);
+    }
+
+    #[test]
+    fn view_decodes_header_and_borrows_payload() {
+        for seg in [sample_audio(), sample_video()] {
+            let bytes = encode(&seg);
+            let view = decode_view(&bytes).unwrap();
+            assert_eq!(view.header, SegmentHeader::of_segment(&seg));
+            assert_eq!(view.payload, seg.payload());
+            // The payload really is a borrow into the wire image.
+            let hdr = view.header.header_wire_bytes();
+            assert!(std::ptr::eq(view.payload.as_ptr(), bytes[hdr..].as_ptr()));
+        }
+    }
+
+    #[test]
+    fn header_encoder_matches_owned_encoder() {
+        for seg in [sample_audio(), sample_video()] {
+            let header = SegmentHeader::of_segment(&seg);
+            let mut region = vec![0u8; header.header_wire_bytes()];
+            let written = encode_header_into(&header, &mut region);
+            assert_eq!(written, header.header_wire_bytes());
+            assert_eq!(region, encode(&seg)[..written]);
+        }
+    }
+
+    #[test]
+    fn slab_decode_leaves_payload_in_place() {
+        let slab = ByteSlab::new(2, 1024);
+        let seg = sample_video();
+        let frame = slab.try_alloc_copy(&encode(&seg)).unwrap();
+        let out = decode_slab(&frame).unwrap();
+        assert_eq!(out.header, SegmentHeader::of_segment(&seg));
+        out.payload.with(|p| assert_eq!(p, seg.payload()));
+        // The subslice shares the frame's slab: decoding copied nothing.
+        assert_eq!(out.payload.slab_index(), frame.slab_index());
+        assert_eq!(frame.ref_count(), 2);
+        assert_eq!(out.to_segment(), seg);
+    }
+
+    #[test]
+    fn slab_decode_rejects_what_decode_rejects() {
+        let slab = ByteSlab::new(2, 1024);
+        let mut bytes = encode(&sample_audio());
+        bytes[0] ^= 0xFF;
+        let frame = slab.try_alloc_copy(&bytes).unwrap();
+        assert!(matches!(decode_slab(&frame), Err(WireError::BadVersion(_))));
     }
 
     #[test]

@@ -1,0 +1,675 @@
+//! # pandora-slab — slab-backed refcounted byte regions
+//!
+//! The byte-level half of the §3.4 allocator. Where [`pandora-buffers`]'
+//! `Pool` reference-counts *descriptors* (indices of typed values), this
+//! crate owns the payload *bytes* themselves: a contiguous arena carved
+//! into fixed-capacity slabs at construction, handed out as refcounted
+//! [`SlabRef`] slices. Cloning a `SlabRef` bumps a counter; subslicing is
+//! O(1); nothing is memcpy'd until a device boundary is crossed.
+//!
+//! The paper's two-copy invariant — segment data is "copied once on input
+//! and once on output", everything in between moves buffer indices — is
+//! made *checkable* here: every byte that crosses into the arena
+//! ([`ByteSlab::try_alloc_copy`], [`SlabWriter::append`]) or out of it
+//! ([`SlabRef::copy_to_vec`], [`SlabRef::copy_out_with`]) is counted, so a
+//! test can assert the steady-state copies per hop. Reads that do not copy
+//! ([`SlabRef::with`]) are free.
+//!
+//! Like the descriptor pool, the arena audits itself: when the last
+//! [`ByteSlab`] handle drops while `SlabRef`s are still outstanding, the
+//! leaked slab indices are reported on stderr and recorded for
+//! [`take_slab_leak_report`].
+
+// check:hot-path: the transport data path allocates from this arena only.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::rc::Rc;
+
+/// Errors produced by slab allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlabError {
+    /// Every slab is in use — the §3.4 "serious fault".
+    Exhausted,
+    /// The data does not fit one slab region.
+    TooLarge {
+        /// Bytes the caller needed.
+        needed: usize,
+        /// Fixed capacity of one slab.
+        slab_bytes: usize,
+    },
+}
+
+impl fmt::Display for SlabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlabError::Exhausted => write!(f, "byte slab exhausted"),
+            SlabError::TooLarge { needed, slab_bytes } => {
+                write!(
+                    f,
+                    "payload of {needed} bytes exceeds slab size {slab_bytes}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SlabError {}
+
+struct Slot {
+    refs: u32,
+    len: usize,
+}
+
+struct SlabInner {
+    storage: RefCell<Box<[u8]>>,
+    slots: RefCell<Vec<Slot>>,
+    free: RefCell<Vec<usize>>,
+    slab_bytes: usize,
+    /// Live `ByteSlab` handles; the leak audit fires when the last drops
+    /// (`SlabRef`s keep the `Rc` alive, so `Drop` of the inner cannot be
+    /// the trigger as it is for the descriptor pool).
+    handles: Cell<usize>,
+    allocations: Cell<u64>,
+    alloc_failures: Cell<u64>,
+    copied_in: Cell<u64>,
+    copied_out: Cell<u64>,
+}
+
+impl SlabInner {
+    #[inline]
+    fn base(&self, index: usize) -> usize {
+        index * self.slab_bytes
+    }
+
+    #[inline]
+    fn incref(&self, index: usize) {
+        self.slots.borrow_mut()[index].refs += 1;
+    }
+
+    #[inline]
+    fn decref(&self, index: usize) {
+        let mut slots = self.slots.borrow_mut();
+        let slot = &mut slots[index];
+        debug_assert!(slot.refs > 0, "decref of a free slab {index}");
+        slot.refs -= 1;
+        if slot.refs == 0 {
+            slot.len = 0;
+            drop(slots);
+            self.free.borrow_mut().push(index);
+        }
+    }
+}
+
+/// Drop-time audit record: slabs still referenced when the last
+/// [`ByteSlab`] handle went away. See [`take_slab_leak_report`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlabLeakReport {
+    /// Total slabs in the audited arena.
+    pub capacity: usize,
+    /// Leaked slabs: index and outstanding reference count.
+    pub leaked: Vec<(usize, u32)>,
+}
+
+thread_local! {
+    static LAST_SLAB_LEAK: RefCell<Option<SlabLeakReport>> = const { RefCell::new(None) };
+}
+
+/// Takes (and clears) the leak report from the most recently dropped
+/// leaking [`ByteSlab`] on this thread, if any. Dropping a balanced arena
+/// leaves it `None`.
+pub fn take_slab_leak_report() -> Option<SlabLeakReport> {
+    LAST_SLAB_LEAK.with(|l| l.borrow_mut().take())
+}
+
+/// A fixed arena of `count` byte slabs of `slab_bytes` each, allocated
+/// once at construction. Cloning the handle shares the same arena.
+pub struct ByteSlab {
+    inner: Rc<SlabInner>,
+}
+
+impl Clone for ByteSlab {
+    fn clone(&self) -> Self {
+        self.inner.handles.set(self.inner.handles.get() + 1);
+        ByteSlab {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl Drop for ByteSlab {
+    /// Audits the arena when the last handle goes away: any slab with a
+    /// live reference count is reported on stderr and recorded for
+    /// [`take_slab_leak_report`].
+    fn drop(&mut self) {
+        let handles = self.inner.handles.get() - 1;
+        self.inner.handles.set(handles);
+        if handles > 0 {
+            return;
+        }
+        let slots = self.inner.slots.borrow();
+        let leaked: Vec<(usize, u32)> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.refs > 0)
+            .map(|(i, s)| (i, s.refs))
+            .collect();
+        if leaked.is_empty() {
+            return;
+        }
+        eprintln!(
+            "pandora-slab: arena dropped with {} referenced slab(s) of {}:",
+            leaked.len(),
+            slots.len()
+        );
+        for (i, refs) in &leaked {
+            eprintln!("  slab {i} with {refs} outstanding reference(s)");
+        }
+        LAST_SLAB_LEAK.with(|l| {
+            *l.borrow_mut() = Some(SlabLeakReport {
+                capacity: slots.len(),
+                leaked,
+            });
+        });
+    }
+}
+
+impl fmt::Debug for ByteSlab {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ByteSlab")
+            .field("capacity", &self.capacity())
+            .field("slab_bytes", &self.inner.slab_bytes)
+            .field("free", &self.free_count())
+            .finish()
+    }
+}
+
+impl ByteSlab {
+    /// Creates an arena of `count` slabs of `slab_bytes` bytes each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(count: usize, slab_bytes: usize) -> ByteSlab {
+        assert!(count > 0, "slab count must be non-zero");
+        assert!(slab_bytes > 0, "slab size must be non-zero");
+        let mut slots = Vec::with_capacity(count);
+        for _ in 0..count {
+            slots.push(Slot { refs: 0, len: 0 });
+        }
+        ByteSlab {
+            inner: Rc::new(SlabInner {
+                storage: RefCell::new(vec![0u8; count * slab_bytes].into_boxed_slice()),
+                slots: RefCell::new(slots),
+                free: RefCell::new((0..count).rev().collect()),
+                slab_bytes,
+                handles: Cell::new(1),
+                allocations: Cell::new(0),
+                alloc_failures: Cell::new(0),
+                copied_in: Cell::new(0),
+                copied_out: Cell::new(0),
+            }),
+        }
+    }
+
+    #[inline]
+    fn grab_slot(&self) -> Result<usize, SlabError> {
+        match self.inner.free.borrow_mut().pop() {
+            Some(index) => {
+                let mut slots = self.inner.slots.borrow_mut();
+                slots[index] = Slot { refs: 1, len: 0 };
+                self.inner.allocations.set(self.inner.allocations.get() + 1);
+                Ok(index)
+            }
+            None => {
+                self.inner
+                    .alloc_failures
+                    .set(self.inner.alloc_failures.get() + 1);
+                Err(SlabError::Exhausted)
+            }
+        }
+    }
+
+    /// Allocates a slab and copies `data` into it — an *input* copy,
+    /// counted against [`ByteSlab::copied_in_bytes`].
+    pub fn try_alloc_copy(&self, data: &[u8]) -> Result<SlabRef, SlabError> {
+        if data.len() > self.inner.slab_bytes {
+            self.inner
+                .alloc_failures
+                .set(self.inner.alloc_failures.get() + 1);
+            return Err(SlabError::TooLarge {
+                needed: data.len(),
+                slab_bytes: self.inner.slab_bytes,
+            });
+        }
+        let index = self.grab_slot()?;
+        let base = self.inner.base(index);
+        self.inner.storage.borrow_mut()[base..base + data.len()].copy_from_slice(data);
+        self.inner.slots.borrow_mut()[index].len = data.len();
+        self.inner
+            .copied_in
+            .set(self.inner.copied_in.get() + data.len() as u64);
+        Ok(SlabRef {
+            inner: self.inner.clone(),
+            index,
+            offset: 0,
+            len: data.len(),
+        })
+    }
+
+    /// Allocates an empty slab for incremental filling (reassembly).
+    #[inline]
+    pub fn try_writer(&self) -> Result<SlabWriter, SlabError> {
+        let index = self.grab_slot()?;
+        Ok(SlabWriter {
+            inner: self.inner.clone(),
+            index,
+            written: 0,
+            frozen: false,
+        })
+    }
+
+    /// Fixed byte capacity of one slab.
+    pub fn slab_bytes(&self) -> usize {
+        self.inner.slab_bytes
+    }
+
+    /// Total slabs in the arena.
+    pub fn capacity(&self) -> usize {
+        self.inner.slots.borrow().len()
+    }
+
+    /// Slabs currently free.
+    pub fn free_count(&self) -> usize {
+        self.inner.free.borrow().len()
+    }
+
+    /// Total successful slab allocations.
+    pub fn allocations(&self) -> u64 {
+        self.inner.allocations.get()
+    }
+
+    /// Allocations refused (exhausted or oversized).
+    pub fn alloc_failures(&self) -> u64 {
+        self.inner.alloc_failures.get()
+    }
+
+    /// Bytes copied *into* the arena (the input copies).
+    pub fn copied_in_bytes(&self) -> u64 {
+        self.inner.copied_in.get()
+    }
+
+    /// Bytes copied *out of* the arena (the output copies).
+    pub fn copied_out_bytes(&self) -> u64 {
+        self.inner.copied_out.get()
+    }
+
+    /// Zeroes both copy counters (for scoped measurements in tests).
+    pub fn reset_copy_counters(&self) {
+        self.inner.copied_in.set(0);
+        self.inner.copied_out.set(0);
+    }
+}
+
+/// A refcounted slice of one slab. Clone bumps the slab's reference
+/// count; drop decrements it and frees the slab at zero.
+pub struct SlabRef {
+    inner: Rc<SlabInner>,
+    index: usize,
+    offset: usize,
+    len: usize,
+}
+
+impl Clone for SlabRef {
+    fn clone(&self) -> Self {
+        self.inner.incref(self.index);
+        SlabRef {
+            inner: self.inner.clone(),
+            index: self.index,
+            offset: self.offset,
+            len: self.len,
+        }
+    }
+}
+
+impl Drop for SlabRef {
+    fn drop(&mut self) {
+        self.inner.decref(self.index);
+    }
+}
+
+impl fmt::Debug for SlabRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SlabRef")
+            .field("slab", &self.index)
+            .field("offset", &self.offset)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl PartialEq for SlabRef {
+    /// Content equality (two refs may alias different slabs).
+    fn eq(&self, other: &SlabRef) -> bool {
+        self.with(|a| other.with(|b| a == b))
+    }
+}
+
+impl Eq for SlabRef {}
+
+impl SlabRef {
+    /// Bytes in this slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The slab index backing this slice (for leak-audit assertions).
+    pub fn slab_index(&self) -> usize {
+        self.index
+    }
+
+    /// Current reference count of the backing slab.
+    pub fn ref_count(&self) -> u32 {
+        self.inner.slots.borrow()[self.index].refs
+    }
+
+    /// An O(1) subslice sharing the same slab (reference count +1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + len` exceeds this slice.
+    #[inline]
+    pub fn slice(&self, offset: usize, len: usize) -> SlabRef {
+        assert!(
+            offset + len <= self.len,
+            "slice {offset}+{len} out of bounds of {}",
+            self.len
+        );
+        self.inner.incref(self.index);
+        SlabRef {
+            inner: self.inner.clone(),
+            index: self.index,
+            offset: self.offset + offset,
+            len,
+        }
+    }
+
+    /// Reads the bytes without copying (parsing, checksums, size math).
+    #[inline]
+    pub fn with<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        let storage = self.inner.storage.borrow();
+        let base = self.inner.base(self.index) + self.offset;
+        f(&storage[base..base + self.len])
+    }
+
+    /// Reads the bytes for a copy *out* of the arena; counts `len` bytes
+    /// against [`ByteSlab::copied_out_bytes`]. Use this (not
+    /// [`SlabRef::with`]) wherever the callee duplicates the data.
+    #[inline]
+    pub fn copy_out_with<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        self.inner
+            .copied_out
+            .set(self.inner.copied_out.get() + self.len as u64);
+        self.with(f)
+    }
+
+    /// Copies the bytes into a fresh `Vec` — the sanctioned *output* copy.
+    pub fn copy_to_vec(&self) -> Vec<u8> {
+        // check:allow(hot-path-alloc): this IS the counted output copy.
+        self.copy_out_with(|b| b.to_vec())
+    }
+}
+
+/// Exclusive write access to one freshly allocated slab; bytes are
+/// appended (each append is a counted input copy) and the region is then
+/// frozen into an immutable [`SlabRef`]. Dropping an unfrozen writer
+/// frees the slab.
+pub struct SlabWriter {
+    inner: Rc<SlabInner>,
+    index: usize,
+    written: usize,
+    frozen: bool,
+}
+
+impl fmt::Debug for SlabWriter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SlabWriter")
+            .field("slab", &self.index)
+            .field("written", &self.written)
+            .finish()
+    }
+}
+
+impl SlabWriter {
+    /// Appends `data`. The bytes count against
+    /// [`ByteSlab::copied_in_bytes`] when the region is frozen (abandoned
+    /// regions never became a frame, so their bytes are not charged).
+    ///
+    /// Fails with [`SlabError::TooLarge`] when the slab would overflow;
+    /// the bytes written so far stay intact.
+    #[inline]
+    pub fn append(&mut self, data: &[u8]) -> Result<(), SlabError> {
+        if self.written + data.len() > self.inner.slab_bytes {
+            return Err(SlabError::TooLarge {
+                needed: self.written + data.len(),
+                slab_bytes: self.inner.slab_bytes,
+            });
+        }
+        let base = self.inner.base(self.index) + self.written;
+        self.inner.storage.borrow_mut()[base..base + data.len()].copy_from_slice(data);
+        self.written += data.len();
+        Ok(())
+    }
+
+    /// Bytes appended so far.
+    pub fn len(&self) -> usize {
+        self.written
+    }
+
+    /// True when nothing has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.written == 0
+    }
+
+    /// Bytes still available in the slab.
+    pub fn remaining(&self) -> usize {
+        self.inner.slab_bytes - self.written
+    }
+
+    /// Freezes the written region into an immutable [`SlabRef`],
+    /// charging the appended bytes as the region's input copy.
+    #[inline]
+    pub fn freeze(mut self) -> SlabRef {
+        self.frozen = true;
+        self.inner.slots.borrow_mut()[self.index].len = self.written;
+        self.inner
+            .copied_in
+            .set(self.inner.copied_in.get() + self.written as u64);
+        SlabRef {
+            inner: self.inner.clone(),
+            index: self.index,
+            offset: 0,
+            len: self.written,
+        }
+    }
+}
+
+impl Drop for SlabWriter {
+    fn drop(&mut self) {
+        if !self.frozen {
+            self.inner.decref(self.index);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_copy_and_drop_cycle() {
+        let slab = ByteSlab::new(2, 64);
+        let r = slab.try_alloc_copy(&[1, 2, 3]).unwrap();
+        assert_eq!(slab.free_count(), 1);
+        assert_eq!(r.len(), 3);
+        r.with(|b| assert_eq!(b, &[1, 2, 3]));
+        drop(r);
+        assert_eq!(slab.free_count(), 2);
+    }
+
+    #[test]
+    fn clone_bumps_refcount_and_last_drop_frees() {
+        let slab = ByteSlab::new(1, 16);
+        let a = slab.try_alloc_copy(&[9]).unwrap();
+        let b = a.clone();
+        assert_eq!(a.ref_count(), 2);
+        drop(a);
+        assert_eq!(slab.free_count(), 0);
+        drop(b);
+        assert_eq!(slab.free_count(), 1);
+    }
+
+    #[test]
+    fn subslice_is_a_view_with_its_own_reference() {
+        let slab = ByteSlab::new(1, 64);
+        let whole = slab.try_alloc_copy(&[0, 1, 2, 3, 4, 5]).unwrap();
+        let mid = whole.slice(2, 3);
+        mid.with(|b| assert_eq!(b, &[2, 3, 4]));
+        assert_eq!(whole.ref_count(), 2);
+        drop(whole);
+        // The subslice alone keeps the slab alive.
+        assert_eq!(slab.free_count(), 0);
+        mid.with(|b| assert_eq!(b, &[2, 3, 4]));
+        drop(mid);
+        assert_eq!(slab.free_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oversized_subslice_panics() {
+        let slab = ByteSlab::new(1, 64);
+        let r = slab.try_alloc_copy(&[1, 2]).unwrap();
+        let _ = r.slice(1, 2);
+    }
+
+    #[test]
+    fn exhaustion_and_oversize_fail() {
+        let slab = ByteSlab::new(1, 4);
+        assert_eq!(
+            slab.try_alloc_copy(&[0u8; 5]).unwrap_err(),
+            SlabError::TooLarge {
+                needed: 5,
+                slab_bytes: 4
+            }
+        );
+        let _held = slab.try_alloc_copy(&[1]).unwrap();
+        assert_eq!(slab.try_alloc_copy(&[2]).unwrap_err(), SlabError::Exhausted);
+        assert_eq!(slab.alloc_failures(), 2);
+        assert_eq!(slab.allocations(), 1);
+    }
+
+    #[test]
+    fn writer_appends_and_freezes() {
+        let slab = ByteSlab::new(1, 8);
+        let mut w = slab.try_writer().unwrap();
+        w.append(&[1, 2, 3]).unwrap();
+        w.append(&[4]).unwrap();
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.remaining(), 4);
+        let r = w.freeze();
+        r.with(|b| assert_eq!(b, &[1, 2, 3, 4]));
+        drop(r);
+        assert_eq!(slab.free_count(), 1);
+    }
+
+    #[test]
+    fn writer_overflow_keeps_prefix() {
+        let slab = ByteSlab::new(1, 4);
+        let mut w = slab.try_writer().unwrap();
+        w.append(&[1, 2, 3]).unwrap();
+        assert!(matches!(
+            w.append(&[4, 5]),
+            Err(SlabError::TooLarge { needed: 5, .. })
+        ));
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn abandoned_writer_frees_its_slab() {
+        let slab = ByteSlab::new(1, 8);
+        {
+            let mut w = slab.try_writer().unwrap();
+            w.append(&[1]).unwrap();
+        }
+        assert_eq!(slab.free_count(), 1);
+    }
+
+    #[test]
+    fn copy_counters_track_in_and_out() {
+        let slab = ByteSlab::new(2, 64);
+        let a = slab.try_alloc_copy(&[0u8; 10]).unwrap();
+        let mut w = slab.try_writer().unwrap();
+        w.append(&[0u8; 7]).unwrap();
+        let b = w.freeze();
+        assert_eq!(slab.copied_in_bytes(), 17);
+        // Uncounted read…
+        a.with(|bytes| assert_eq!(bytes.len(), 10));
+        assert_eq!(slab.copied_out_bytes(), 0);
+        // …counted copy-outs.
+        let v = b.copy_to_vec();
+        assert_eq!(v.len(), 7);
+        a.copy_out_with(|bytes| assert_eq!(bytes.len(), 10));
+        assert_eq!(slab.copied_out_bytes(), 17);
+        slab.reset_copy_counters();
+        assert_eq!(slab.copied_in_bytes(), 0);
+        assert_eq!(slab.copied_out_bytes(), 0);
+    }
+
+    #[test]
+    fn leak_audit_reports_outstanding_slabs_by_index() {
+        let _ = take_slab_leak_report();
+        let leaked;
+        {
+            let slab = ByteSlab::new(3, 16);
+            let a = slab.try_alloc_copy(&[1]).unwrap();
+            let b = slab.try_alloc_copy(&[2]).unwrap();
+            let _extra = b.clone();
+            leaked = b.slab_index();
+            drop(a);
+            // `b` (2 refs) deliberately outlives every ByteSlab handle.
+            std::mem::forget(b);
+            std::mem::forget(_extra);
+        }
+        let report = take_slab_leak_report().expect("slab leak audit must fire");
+        assert_eq!(report.capacity, 3);
+        assert_eq!(report.leaked, vec![(leaked, 2)]);
+    }
+
+    #[test]
+    fn balanced_drop_leaves_no_leak_report() {
+        let _ = take_slab_leak_report();
+        {
+            let slab = ByteSlab::new(2, 16);
+            let a = slab.try_alloc_copy(&[1]).unwrap();
+            let clone = slab.clone();
+            drop(slab);
+            drop(a);
+            drop(clone);
+        }
+        assert!(take_slab_leak_report().is_none());
+    }
+
+    #[test]
+    fn content_equality() {
+        let slab = ByteSlab::new(2, 16);
+        let a = slab.try_alloc_copy(&[1, 2, 3]).unwrap();
+        let b = slab.try_alloc_copy(&[9, 1, 2, 3]).unwrap();
+        assert_eq!(a, b.slice(1, 3));
+        assert_ne!(a, b);
+    }
+}
