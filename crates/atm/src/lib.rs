@@ -24,6 +24,6 @@ mod network;
 pub use aal::{cells_gather, segment_to_cells, Reassembler, SlabReassembler};
 pub use cell::{Cell, Vci, CELL_BYTES, CELL_PAYLOAD};
 pub use network::{
-    build_path, build_path_controlled, cell_time, jitter_stage, loss_stage, HopConfig, JitterModel,
-    PathControl, StageStats, Switch,
+    build_duplex_path, build_path, build_path_controlled, cell_time, jitter_stage, loss_stage,
+    DuplexPath, HopConfig, JitterModel, PathControl, StageStats, Switch,
 };

@@ -360,6 +360,54 @@ pub fn build_path_controlled(
     (ingress, rx, stats, ctrl)
 }
 
+/// The two directions of a [`build_duplex_path`] connection, from the
+/// perspective of one endpoint: `a` holds the A-side ingress/egress,
+/// `b` the B-side, with per-direction hop stats and fault controls.
+pub struct DuplexPath {
+    /// A-side sender (into the a→b direction).
+    pub a_tx: LinkSender<Cell>,
+    /// A-side receiver (egress of the b→a direction).
+    pub a_rx: Receiver<Cell>,
+    /// B-side sender (into the b→a direction).
+    pub b_tx: LinkSender<Cell>,
+    /// B-side receiver (egress of the a→b direction).
+    pub b_rx: Receiver<Cell>,
+    /// Per-hop loss stats of the a→b direction.
+    pub a_to_b: Vec<StageStats>,
+    /// Per-hop loss stats of the b→a direction.
+    pub b_to_a: Vec<StageStats>,
+    /// Fault-injection control of the a→b direction.
+    pub a_to_b_ctrl: PathControl,
+    /// Fault-injection control of the b→a direction.
+    pub b_to_a_ctrl: PathControl,
+}
+
+/// Builds a full-duplex connection: two independent controlled paths with
+/// the same hop profile, one per direction. The b→a direction derives its
+/// seed from `seed` so a single seed reproduces the whole connection, yet
+/// the two directions see independent disturbance processes.
+pub fn build_duplex_path(
+    spawner: &Spawner,
+    name: &str,
+    hops: &[HopConfig],
+    seed: u64,
+) -> DuplexPath {
+    let (a_tx, b_rx, a_to_b, a_to_b_ctrl) =
+        build_path_controlled(spawner, &format!("{name}.ab"), hops, seed);
+    let (b_tx, a_rx, b_to_a, b_to_a_ctrl) =
+        build_path_controlled(spawner, &format!("{name}.ba"), hops, seed ^ 0xDEAD);
+    DuplexPath {
+        a_tx,
+        a_rx,
+        b_tx,
+        b_rx,
+        a_to_b,
+        b_to_a,
+        a_to_b_ctrl,
+        b_to_a_ctrl,
+    }
+}
+
 /// The controllable egress disturbance of [`build_path_controlled`]:
 /// seeded Bernoulli loss, payload corruption (one byte XORed, so the frame
 /// fails to decode downstream rather than vanishing) and a constant extra
@@ -456,15 +504,21 @@ fn leak_name(s: String) -> &'static str {
     Box::leak(s.into_boxed_str())
 }
 
+// Each routed VCI carries a list of copy destinations: (output port,
+// rewritten VCI).
+type RouteTable = Rc<RefCell<std::collections::HashMap<Vci, Vec<(usize, Vci)>>>>;
+
 /// A VCI-routed cell switch (the ATM ring / switch fabric stand-in).
 ///
-/// Cells arriving on any input port are forwarded to the port given by the
-/// routing table, optionally rewriting the VCI. Unroutable cells are
-/// dropped and counted. Output ports have bounded queues: a full port
-/// drops cells (counting them) rather than stalling other ports —
-/// Principle 5 at the fabric level.
+/// Cells arriving on any input port are forwarded to the ports given by the
+/// routing table, optionally rewriting the VCI. A VCI may carry several
+/// copy destinations (fabric-level tannoy splitting): each installed copy
+/// is forwarded independently. Unroutable cells are dropped and counted.
+/// Output ports have bounded queues: a full port drops cells (counting
+/// them) rather than stalling other ports — Principle 5 at the fabric
+/// level, and Principle 5 again between the copies of a multicast VCI.
 pub struct Switch {
-    table: Rc<RefCell<std::collections::HashMap<Vci, (usize, Vci)>>>,
+    table: RouteTable,
     unroutable: Rc<StdCell<u64>>,
     overflow: Rc<StdCell<u64>>,
     forwarded: Rc<StdCell<u64>>,
@@ -505,14 +559,20 @@ impl Switch {
                 let Some(Ok((_port, cell))) = pandora_sim::alt_many(&guards).await else {
                     return;
                 };
-                let route = table.borrow().get(&cell.vci).copied();
-                match route {
-                    Some((out, new_vci)) if out < port_txs.len() => {
-                        let mut cell = cell;
-                        cell.vci = new_vci;
-                        match port_txs[out].try_send(cell) {
-                            Ok(()) => forwarded.set(forwarded.get() + 1),
-                            Err(_) => overflow.set(overflow.get() + 1),
+                let routes = table.borrow().get(&cell.vci).cloned();
+                match routes {
+                    Some(routes) if !routes.is_empty() => {
+                        for &(out, new_vci) in &routes {
+                            if out >= port_txs.len() {
+                                unroutable.set(unroutable.get() + 1);
+                                continue;
+                            }
+                            let mut copy = cell.clone();
+                            copy.vci = new_vci;
+                            match port_txs[out].try_send(copy) {
+                                Ok(()) => forwarded.set(forwarded.get() + 1),
+                                Err(_) => overflow.set(overflow.get() + 1),
+                            }
                         }
                     }
                     _ => unroutable.set(unroutable.get() + 1),
@@ -522,13 +582,38 @@ impl Switch {
         (sw, port_rxs)
     }
 
-    /// Installs (or replaces) a route: cells on `vci` go to `port` with
-    /// their VCI rewritten to `out_vci`.
+    /// Installs (or replaces) a unicast route: cells on `vci` go to `port`
+    /// with their VCI rewritten to `out_vci`. Any previously installed
+    /// copies of the VCI are dropped.
     pub fn route(&self, vci: Vci, port: usize, out_vci: Vci) {
-        self.table.borrow_mut().insert(vci, (port, out_vci));
+        self.table.borrow_mut().insert(vci, vec![(port, out_vci)]);
     }
 
-    /// Removes a route.
+    /// Adds one more copy destination for `vci` (fabric-level splitting:
+    /// the tannoy grows without touching the VCI's existing copies, so
+    /// ongoing listeners never glitch — Principle 6). Duplicate copies are
+    /// ignored.
+    pub fn route_add(&self, vci: Vci, port: usize, out_vci: Vci) {
+        let mut table = self.table.borrow_mut();
+        let routes = table.entry(vci).or_default();
+        if !routes.contains(&(port, out_vci)) {
+            routes.push((port, out_vci));
+        }
+    }
+
+    /// Removes the copies of `vci` going to `port`; copies toward other
+    /// ports keep flowing undisturbed.
+    pub fn route_remove(&self, vci: Vci, port: usize) {
+        let mut table = self.table.borrow_mut();
+        if let Some(routes) = table.get_mut(&vci) {
+            routes.retain(|&(p, _)| p != port);
+            if routes.is_empty() {
+                table.remove(&vci);
+            }
+        }
+    }
+
+    /// Removes a VCI's routes entirely.
     pub fn unroute(&self, vci: Vci) {
         self.table.borrow_mut().remove(&vci);
     }
@@ -720,6 +805,81 @@ mod tests {
         // Port 1 saw all its cells despite port 0 being wedged.
         assert_eq!(delivered.get(), 10);
         assert_eq!(sw.overflow(), 10 - 2, "port 0 kept 2, dropped 8");
+    }
+
+    #[test]
+    fn switch_multicast_copies_to_every_port() {
+        let mut sim = Simulation::new();
+        let (in_tx, in_rx) = channel::<Cell>();
+        let (sw, mut outs) = Switch::spawn(&sim.spawner(), "s", vec![in_rx], 3, 64);
+        sw.route(Vci(7), 0, Vci(100));
+        sw.route_add(Vci(7), 1, Vci(101));
+        sw.route_add(Vci(7), 2, Vci(102));
+        sw.route_add(Vci(7), 2, Vci(102)); // Duplicate copy: ignored.
+        sim.spawn("send", async move {
+            in_tx.send(Cell::new(Vci(7), 0, true, &[9])).await.unwrap();
+        });
+        sim.run_until_idle();
+        let p2 = outs.remove(2);
+        let p1 = outs.remove(1);
+        let p0 = outs.remove(0);
+        assert_eq!(p0.try_recv().unwrap().vci, Vci(100));
+        assert_eq!(p1.try_recv().unwrap().vci, Vci(101));
+        let c2 = p2.try_recv().unwrap();
+        assert_eq!(c2.vci, Vci(102));
+        assert!(p2.try_recv().is_none(), "duplicate copy forwarded");
+        assert_eq!(sw.forwarded(), 3);
+    }
+
+    #[test]
+    fn switch_route_remove_leaves_other_copies() {
+        let mut sim = Simulation::new();
+        let (in_tx, in_rx) = channel::<Cell>();
+        let (sw, mut outs) = Switch::spawn(&sim.spawner(), "s", vec![in_rx], 2, 64);
+        sw.route(Vci(7), 0, Vci(100));
+        sw.route_add(Vci(7), 1, Vci(101));
+        sw.route_remove(Vci(7), 0);
+        sim.spawn("send", async move {
+            in_tx.send(Cell::new(Vci(7), 0, true, &[])).await.unwrap();
+        });
+        sim.run_until_idle();
+        let p1 = outs.remove(1);
+        let p0 = outs.remove(0);
+        assert!(p0.try_recv().is_none(), "removed copy still forwarded");
+        assert_eq!(p1.try_recv().unwrap().vci, Vci(101));
+        // Removing the last copy drops the VCI entirely.
+        sw.route_remove(Vci(7), 1);
+        assert_eq!(sw.forwarded(), 1);
+    }
+
+    #[test]
+    fn duplex_path_carries_both_directions() {
+        let mut sim = Simulation::new();
+        let d = build_duplex_path(&sim.spawner(), "d", &[HopConfig::clean(100_000_000)], 3);
+        let (a_tx, b_tx) = (d.a_tx, d.b_tx);
+        sim.spawn("a-send", async move {
+            a_tx.send(Cell::new(Vci(1), 0, true, &[1])).await.unwrap();
+        });
+        sim.spawn("b-send", async move {
+            b_tx.send(Cell::new(Vci(2), 0, true, &[2])).await.unwrap();
+        });
+        let got = Rc::new(StdRefCell::new(Vec::new()));
+        let (g1, g2) = (got.clone(), got.clone());
+        let (a_rx, b_rx) = (d.a_rx, d.b_rx);
+        sim.spawn("a-recv", async move {
+            if let Ok(c) = a_rx.recv().await {
+                g1.borrow_mut().push(c.vci);
+            }
+        });
+        sim.spawn("b-recv", async move {
+            if let Ok(c) = b_rx.recv().await {
+                g2.borrow_mut().push(c.vci);
+            }
+        });
+        sim.run_until_idle();
+        let mut got = got.borrow().clone();
+        got.sort();
+        assert_eq!(got, vec![Vci(1), Vci(2)]);
     }
 
     #[test]

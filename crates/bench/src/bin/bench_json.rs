@@ -3,17 +3,20 @@
 //! A hand-rolled wall-clock harness (the criterion shim prints rather
 //! than records): each case is warmed up, then sampled as calibrated
 //! batches; the median ns/op and derived ops/sec land in
-//! `BENCH_transport.json` at the current directory — run it from the
-//! workspace root, as CI's `bench-smoke` step does:
+//! `BENCH_transport.json` and `BENCH_session.json` at the current
+//! directory — run it from the workspace root, as CI's `bench-smoke`
+//! step does:
 //!
 //! ```text
 //! cargo run --release -p pandora-bench --bin bench-json            # full
 //! cargo run --release -p pandora-bench --bin bench-json -- --quick # smoke
 //! ```
 //!
-//! The file also records the AAL legacy-vs-slab comparison the zero-copy
-//! rework is tracked by. The binary exits nonzero when the suite is
-//! malformed (fewer than four cases, or either AAL case missing).
+//! The transport file also records the AAL legacy-vs-slab comparison the
+//! zero-copy rework is tracked by; the session file tracks the control
+//! plane's hot paths (signalling codec, admission charging, directory
+//! lookup). The binary exits nonzero when either suite is malformed
+//! (too few cases, or a tracked case missing).
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -23,6 +26,9 @@ use pandora_buffers::{ByteSlab, Pool};
 use pandora_segment::{
     wire, AudioSegment, PixelFormat, Segment, SequenceNumber, SlabSegment, Timestamp,
     VideoCompression, VideoHeader, VideoSegment,
+};
+use pandora_session::{
+    AdmissionController, Capabilities, Directory, EndpointRecord, SessionMsg, StreamClass,
 };
 
 /// Per-sample budget and sample count for one measurement pass.
@@ -260,6 +266,96 @@ fn run_cases(budget: Budget) -> Vec<Case> {
     cases
 }
 
+/// The session control plane's hot paths, measured without a simulator:
+/// the signalling codec both bare and through the segment wire format,
+/// admission charge/refund cycles, and directory lookup.
+fn session_cases(budget: Budget) -> Vec<Case> {
+    let mut cases = Vec::new();
+    let msg = SessionMsg::OpenSink {
+        txn: 7,
+        session: 3,
+        class: StreamClass::Video { rate_permille: 500 },
+        vci: Vci(0x1234),
+    };
+    cases.push(measure("session_msg_encode_decode", budget, || {
+        let bytes = msg.encode();
+        std::hint::black_box(SessionMsg::decode(&bytes).expect("decodes"));
+    }));
+    cases.push(measure("session_msg_segment_round_trip", budget, || {
+        let seg = msg.to_segment(42);
+        let bytes = wire::encode(&seg);
+        let back = wire::decode(&bytes).expect("decodes");
+        std::hint::black_box(SessionMsg::from_segment(&back).expect("is control"));
+    }));
+    {
+        let mut adm = AdmissionController::new(Capabilities::standard());
+        cases.push(measure("admission_admit_release_audio", budget, || {
+            std::hint::black_box(adm.admit_sink(StreamClass::Audio));
+            adm.release_sink(StreamClass::Audio);
+        }));
+    }
+    {
+        // A link budget sized so full-rate video must degrade: the cycle
+        // measures the halving search plus the refund.
+        let mut adm = AdmissionController::new(Capabilities {
+            audio_sinks_max: 3,
+            video_sinks_max: 2,
+            link_cps: 700,
+        });
+        cases.push(measure("admission_degrade_release_video", budget, || {
+            let granted = match adm.admit_sink(StreamClass::Video {
+                rate_permille: 1000,
+            }) {
+                pandora_session::Decision::Admit => 1000,
+                pandora_session::Decision::Degrade { rate_permille } => rate_permille,
+                pandora_session::Decision::Reject(_) => unreachable!("budget fits the floor"),
+            };
+            adm.release_sink(StreamClass::Video {
+                rate_permille: granted,
+            });
+        }));
+    }
+    {
+        let mut dir = Directory::new();
+        for i in 0..64usize {
+            dir.register(EndpointRecord {
+                name: format!("node{i}"),
+                caps: Capabilities::standard(),
+                port: i,
+                control_vci: Vci(0x7F00 + i as u32),
+                reply_vci: Vci(0x7E00 + i as u32),
+            });
+        }
+        cases.push(measure("directory_find_of_64", budget, || {
+            std::hint::black_box(dir.find("node63").expect("registered"));
+        }));
+    }
+    cases
+}
+
+fn render_session_json(cases: &[Case], mode: &str) -> Option<String> {
+    if cases.len() < 3 || median_of(cases, "session_msg_encode_decode").is_none() {
+        eprintln!(
+            "bench-json: session suite malformed ({} cases)",
+            cases.len()
+        );
+        return None;
+    }
+    let mut out = String::from("{\n");
+    out.push_str("  \"suite\": \"session\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let sep = if i + 1 == cases.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"ops_per_sec\": {:.0}}}{sep}\n",
+            c.name, c.median_ns, c.ops_per_sec
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    Some(out)
+}
+
 fn median_of(cases: &[Case], name: &str) -> Option<f64> {
     cases.iter().find(|c| c.name == name).map(|c| c.median_ns)
 }
@@ -316,12 +412,27 @@ fn main() -> ExitCode {
         eprintln!("bench-json: cannot write BENCH_transport.json: {e}");
         return ExitCode::FAILURE;
     }
+    let session = session_cases(budget);
+    for c in &session {
+        println!(
+            "{:<28} {:>12.1} ns/op {:>14.0} ops/s",
+            c.name, c.median_ns, c.ops_per_sec
+        );
+    }
+    let Some(json) = render_session_json(&session, mode) else {
+        eprintln!("bench-json: session suite malformed, not writing BENCH_session.json");
+        return ExitCode::FAILURE;
+    };
+    if let Err(e) = std::fs::write("BENCH_session.json", &json) {
+        eprintln!("bench-json: cannot write BENCH_session.json: {e}");
+        return ExitCode::FAILURE;
+    }
     let legacy = median_of(&cases, "aal_round_trip_legacy").unwrap_or(0.0);
     let slab = median_of(&cases, "aal_round_trip_slab").unwrap_or(0.0);
     println!(
         "aal audio round trip: legacy {legacy:.1} ns -> slab {slab:.1} ns ({:.2}x)",
         legacy / slab
     );
-    println!("wrote BENCH_transport.json ({mode} mode)");
+    println!("wrote BENCH_transport.json and BENCH_session.json ({mode} mode)");
     ExitCode::SUCCESS
 }

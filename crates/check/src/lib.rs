@@ -120,10 +120,10 @@ impl Default for Config {
             // a stray wall-clock or unseeded RNG there would silently
             // break every conformance replay.
             deterministic_crates: v(&[
-                "sim", "buffers", "segment", "audio", "video", "atm", "faults", "slab",
+                "sim", "buffers", "segment", "audio", "video", "atm", "faults", "slab", "session",
             ]),
             hot_path_crates: v(&["buffers", "sim", "atm", "slab"]),
-            documented_crates: v(&["segment", "buffers", "slab"]),
+            documented_crates: v(&["segment", "buffers", "slab", "session"]),
             // rt.rs is the intentionally-live runtime; bench measures the
             // host. Everything else under crates/ must stay virtual-time.
             wall_clock_allowlist: v(&["crates/core/src/rt.rs", "crates/bench"]),

@@ -40,6 +40,16 @@ fn fixtures_report_every_seeded_violation() {
             3,
             Rule::MissingDocs,
         ),
+        (
+            "crates/session/src/agent.rs".to_string(),
+            3,
+            Rule::MissingDocs,
+        ),
+        (
+            "crates/session/src/agent.rs".to_string(),
+            10,
+            Rule::WallClock,
+        ),
         ("crates/sim/src/bad.rs".to_string(), 4, Rule::WallClock),
         ("crates/sim/src/bad.rs".to_string(), 9, Rule::OsThread),
         ("crates/sim/src/bad.rs".to_string(), 13, Rule::NoUnwrap),
@@ -69,6 +79,8 @@ fn binary_exits_nonzero_on_fixtures() {
         "crates/sim/src/bad.rs:13: no-unwrap:",
         "crates/video/src/raw.rs:4: safety-comment:",
         "crates/segment/src/wire.rs:3: missing-docs:",
+        "crates/session/src/agent.rs:3: missing-docs:",
+        "crates/session/src/agent.rs:10: wall-clock:",
         "crates/atm/src/hot.rs:3: hot-path-alloc:",
         "crates/atm/src/hot.rs:14: hot-path-alloc:",
     ] {

@@ -1,0 +1,12 @@
+//! Seeded violations: missing-docs and wall-clock in `session`.
+
+pub fn undocumented_handshake(_txn: u32) -> bool {
+    true
+}
+
+/// Documented, but stamps the reply with the host clock instead of
+/// virtual time — the control plane must replay deterministically.
+pub fn naughty_stamp() -> u64 {
+    let _t = std::time::SystemTime::now();
+    0
+}

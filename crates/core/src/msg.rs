@@ -12,6 +12,11 @@ pub enum StreamKind {
     Audio,
     /// A video stream.
     Video,
+    /// Session-control signalling. Control segments ride the same paths
+    /// as media but are never starved: toward the network they share the
+    /// audio priority queue, and inside the box they land on the session
+    /// output via the switch's PRI-ALT loop (Principle 4).
+    Control,
     /// Test traffic.
     Test,
 }
@@ -40,6 +45,8 @@ pub enum OutputId {
     Test,
     /// The repository recorder attachment.
     Repository,
+    /// The session agent attachment (inbound control signalling).
+    Session,
 }
 
 /// A descriptor travelling from an input handler through the switch.
@@ -89,8 +96,9 @@ pub enum SwitchCommand {
         /// The destination to drop.
         dest: OutputId,
     },
-    /// Remove the stream's entry entirely.
-    ClearRoute {
+    /// Drop the stream's entry entirely; the table's other streams keep
+    /// flowing byte-identically (Principle 6 at the switch).
+    DropRoute {
         /// The stream to stop routing.
         stream: StreamId,
     },

@@ -84,6 +84,7 @@ pub struct PandoraBox {
     opened: RefCell<HashMap<StreamId, SimTime>>,
     mic_stats: RefCell<Vec<CaptureStats>>,
     repository_rx: RefCell<Option<Receiver<(StreamId, Segment)>>>,
+    session_rx: RefCell<Option<Receiver<(StreamId, Segment)>>>,
 }
 
 impl PandoraBox {
@@ -172,6 +173,7 @@ impl PandoraBox {
         let (audio_gate, audio_out_rx) = mk_seg_gate("audio-out", config.decoupling_capacity);
         let (mixer_gate, mixer_out_rx) = mk_seg_gate("mixer-out", config.decoupling_capacity);
         let (repo_gate, repo_out_rx) = mk_seg_gate("repo-out", config.decoupling_capacity);
+        let (session_gate, session_out_rx) = mk_seg_gate("session-out", config.decoupling_capacity);
         let reports = log.sender();
 
         // --- The switch.
@@ -184,6 +186,7 @@ impl PandoraBox {
             mixer: Some(mixer_gate),
             test: None,
             repository: Some(repo_gate),
+            session: Some(session_gate),
         };
         let switch_stats = spawn_switch(
             spawner,
@@ -362,6 +365,22 @@ impl PandoraBox {
             });
         }
 
+        // --- Session tap: control segments routed to [`OutputId::Session`]
+        // surface here for the box's session agent.
+        let (session_tx, session_rx) = pandora_sim::channel::<(StreamId, Segment)>();
+        {
+            let pool = pool.clone();
+            spawner.spawn(&format!("{name}:session-out-handler"), async move {
+                while let Ok(m) = session_out_rx.recv().await {
+                    let seg = pool.with(m.desc, |s| s.to_segment());
+                    pool.release(m.desc);
+                    if session_tx.send((m.stream, seg)).await.is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+
         // --- Camera.
         let camera = Camera::spawn(
             spawner,
@@ -394,6 +413,7 @@ impl PandoraBox {
             opened: RefCell::new(HashMap::new()),
             mic_stats: RefCell::new(Vec::new()),
             repository_rx: RefCell::new(Some(repo_rx)),
+            session_rx: RefCell::new(Some(session_rx)),
         }
     }
 
@@ -445,7 +465,7 @@ impl PandoraBox {
     /// Tears down a stream's routing.
     pub fn clear_route(&self, stream: StreamId) {
         self.switch_cmd
-            .try_send(SwitchCommand::ClearRoute { stream })
+            .try_send(SwitchCommand::DropRoute { stream })
             .expect("switch command channel unbounded");
     }
 
@@ -601,6 +621,13 @@ impl PandoraBox {
         self.repository_rx.borrow_mut().take()
     }
 
+    /// Takes the session tap (control streams routed to
+    /// [`OutputId::Session`] arrive here). Can be taken once — normally by
+    /// the box's session agent.
+    pub fn take_session_rx(&self) -> Option<Receiver<(StreamId, Segment)>> {
+        self.session_rx.borrow_mut().take()
+    }
+
     /// Injects a test segment directly into the switch (the `test in`
     /// handler of figure 3.3).
     pub async fn inject_segment(&self, stream: StreamId, segment: Segment) -> bool {
@@ -677,19 +704,16 @@ pub fn connect_pair(
     hops: &[pandora_atm::HopConfig],
     seed: u64,
 ) -> BoxPair {
-    let (a_tx, b_in, a_to_b, a_to_b_ctrl) =
-        pandora_atm::build_path_controlled(spawner, "a-b", hops, seed);
-    let (b_tx, a_in, b_to_a, b_to_a_ctrl) =
-        pandora_atm::build_path_controlled(spawner, "b-a", hops, seed ^ 0xDEAD);
-    let a = PandoraBox::new(spawner, cfg_a, a_tx, a_in);
-    let b = PandoraBox::new(spawner, cfg_b, b_tx, b_in);
+    let duplex = pandora_atm::build_duplex_path(spawner, "pair", hops, seed);
+    let a = PandoraBox::new(spawner, cfg_a, duplex.a_tx, duplex.a_rx);
+    let b = PandoraBox::new(spawner, cfg_b, duplex.b_tx, duplex.b_rx);
     BoxPair {
         a,
         b,
-        a_to_b,
-        b_to_a,
-        a_to_b_ctrl,
-        b_to_a_ctrl,
+        a_to_b: duplex.a_to_b,
+        b_to_a: duplex.b_to_a,
+        a_to_b_ctrl: duplex.a_to_b_ctrl,
+        b_to_a_ctrl: duplex.b_to_a_ctrl,
     }
 }
 

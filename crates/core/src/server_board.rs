@@ -57,6 +57,8 @@ pub struct SwitchOutputs {
     pub test: Option<ReadyGate<SegMsg>>,
     /// Repository recorder.
     pub repository: Option<ReadyGate<SegMsg>>,
+    /// Session agent (inbound control signalling).
+    pub session: Option<ReadyGate<SegMsg>>,
 }
 
 impl SwitchOutputs {
@@ -69,6 +71,7 @@ impl SwitchOutputs {
             mixer: None,
             test: None,
             repository: None,
+            session: None,
         }
     }
 }
@@ -233,8 +236,10 @@ async fn offer(
 ) -> Offered {
     match dest {
         OutputId::Network(vci) => {
+            // Control signalling shares the audio queue so the net-out
+            // scheduler's Principle-2 priority also keeps it unstarved.
             let (gate, label) = match kind {
-                StreamKind::Audio => (&mut outputs.net_audio, "net-audio"),
+                StreamKind::Audio | StreamKind::Control => (&mut outputs.net_audio, "net-audio"),
                 _ => (&mut outputs.net_video, "net-video"),
             };
             match gate {
@@ -261,6 +266,7 @@ async fn offer(
         OutputId::Repository => {
             offer_plain(&mut outputs.repository, "repository", stream, desc).await
         }
+        OutputId::Session => offer_plain(&mut outputs.session, "session", stream, desc).await,
     }
 }
 
@@ -304,7 +310,7 @@ async fn apply_command(
                 e.dests.retain(|d| *d != dest);
             }
         }
-        SwitchCommand::ClearRoute { stream } => {
+        SwitchCommand::DropRoute { stream } => {
             table.remove(&stream);
         }
         SwitchCommand::Query { stream } => {
@@ -645,6 +651,78 @@ mod tests {
         assert_eq!(audio_n.get(), 2);
         assert_eq!(test_n.get(), 2);
         assert_eq!(r.pool.free_count(), 64);
+    }
+
+    #[test]
+    fn drop_route_mid_stream_leaves_other_streams_byte_identical() {
+        // Switch-level Principle 6: dropping stream 2's route mid-flow
+        // must leave stream 1's delivered segment bytes exactly as they
+        // would have been with no command at all.
+        let run = |drop: bool| {
+            let mut r = rig(64);
+            let pool = r.pool.clone();
+            let in_tx = r.in_tx.clone();
+            let cmd_tx = r.cmd_tx.clone();
+            r.sim.spawn("drive", async move {
+                cmd_tx
+                    .send(SwitchCommand::SetRoute {
+                        stream: StreamId(1),
+                        entry: entry(vec![OutputId::Audio]),
+                    })
+                    .await
+                    .unwrap();
+                cmd_tx
+                    .send(SwitchCommand::SetRoute {
+                        stream: StreamId(2),
+                        entry: entry(vec![OutputId::Test]),
+                    })
+                    .await
+                    .unwrap();
+                for i in 0..20u32 {
+                    for stream in [StreamId(1), StreamId(2)] {
+                        let seg = Segment::Audio(AudioSegment::from_blocks(
+                            SequenceNumber(i),
+                            Timestamp(i),
+                            vec![(i as u8) ^ (stream.0 as u8); 32],
+                        ));
+                        let d = pool.alloc(seg).await;
+                        in_tx.send(SegMsg { stream, desc: d }).await.unwrap();
+                    }
+                    if drop && i == 9 {
+                        cmd_tx
+                            .send(SwitchCommand::DropRoute {
+                                stream: StreamId(2),
+                            })
+                            .await
+                            .unwrap();
+                    }
+                }
+            });
+            let bytes = Rc::new(RefCell::new(Vec::new()));
+            let b = bytes.clone();
+            let pool = r.pool.clone();
+            let out = r.audio_out;
+            r.sim.spawn("sink", async move {
+                while let Ok(m) = out.recv().await {
+                    let seg = pool.with(m.desc, |s| s.clone());
+                    pool.release(m.desc);
+                    b.borrow_mut()
+                        .push((m.stream, pandora_segment::wire::encode(&seg)));
+                }
+            });
+            r.sim.run_until_idle();
+            // After the drop, stream 2's remaining segments are unrouted.
+            assert_eq!(r.stats.no_route(), if drop { 10 } else { 0 });
+            let delivered = bytes.borrow().clone();
+            delivered
+        };
+        let undisturbed = run(false);
+        let with_drop = run(true);
+        assert_eq!(undisturbed.len(), 20);
+        assert_eq!(
+            undisturbed, with_drop,
+            "stream 1 flow changed across DropRoute"
+        );
     }
 
     #[test]

@@ -83,6 +83,17 @@ impl Fabric {
         self.switch.route(vci, port, vci);
     }
 
+    /// Adds one more copy destination for `vci` (a fabric-level tannoy
+    /// split: existing listeners keep receiving undisturbed, Principle 6).
+    pub fn route_add(&self, vci: Vci, port: usize) {
+        self.switch.route_add(vci, port, vci);
+    }
+
+    /// Removes the copy of `vci` toward `port`; other copies keep flowing.
+    pub fn route_remove(&self, vci: Vci, port: usize) {
+        self.switch.route_remove(vci, port);
+    }
+
     /// Removes a route.
     pub fn unroute(&self, vci: Vci) {
         self.switch.unroute(vci);
@@ -321,6 +332,56 @@ mod tests {
         );
         assert_eq!(sink.segments_lost(), 0);
         assert_eq!(sink.late_ticks(), 0);
+    }
+
+    #[test]
+    fn fabric_tannoy_splits_and_shrinks_without_glitch() {
+        let mut sim = Simulation::new();
+        let spawner = sim.spawner();
+        let mut fabric = Fabric::new(&spawner, 4, 100_000_000);
+        let (rep_tx, _rep_rx) = unbounded::<Report>();
+        // Mic on port 0 announces to speakers on ports 1 and 2 (tannoy).
+        fabric.route(Vci(10), 1);
+        fabric.route_add(Vci(10), 2);
+        spawn_mic_unit(
+            &spawner,
+            "m0",
+            Box::new(Tone::new(440.0, 8_000.0)),
+            2,
+            Vci(10),
+            fabric.port_tx(0),
+        );
+        let (sink1, _cpu) = spawn_speaker_unit(
+            &spawner,
+            "s1",
+            fabric.take_port_rx(1),
+            PlaybackConfig::default(),
+            rep_tx.clone(),
+        );
+        let (sink2, _cpu) = spawn_speaker_unit(
+            &spawner,
+            "s2",
+            fabric.take_port_rx(2),
+            PlaybackConfig::default(),
+            rep_tx,
+        );
+        sim.run_until(SimTime::from_millis(500));
+        // Shrink: drop the port-2 copy; the port-1 copy must not glitch.
+        fabric.route_remove(Vci(10), 2);
+        let sink2_at_cut = sink2.segments_received();
+        assert!(sink2_at_cut > 100, "got {sink2_at_cut}");
+        sim.run_until(SimTime::from_secs(1));
+        assert!(
+            sink1.segments_received() > 200,
+            "got {}",
+            sink1.segments_received()
+        );
+        assert_eq!(sink1.segments_lost(), 0);
+        assert_eq!(sink1.late_ticks(), 0);
+        assert!(
+            sink2.segments_received() <= sink2_at_cut + 2,
+            "port 2 kept receiving after remove"
+        );
     }
 
     #[test]

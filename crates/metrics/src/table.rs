@@ -49,6 +49,22 @@ impl Table {
         self.rows.push(r);
     }
 
+    /// Appends a histogram summary row: label, sample count, p50, p95 and
+    /// max, each value divided by `scale` (e.g. `1e6` to render
+    /// nanosecond samples in milliseconds) and printed with two decimals.
+    /// The table's headers should provide five columns to match.
+    pub fn histogram_row(&mut self, label: &str, h: &mut crate::Histogram, scale: f64) {
+        let count = h.count();
+        let cells = if count == 0 {
+            ["-".to_string(), "-".to_string(), "-".to_string()]
+        } else {
+            [h.percentile(50.0), h.percentile(95.0), h.max()].map(|v| format!("{:.2}", v / scale))
+        };
+        let mut row = vec![label.to_string(), count.to_string()];
+        row.extend(cells);
+        self.row_owned(row);
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -102,6 +118,25 @@ impl std::fmt::Display for Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn histogram_row_summarizes_scaled() {
+        let mut h = crate::Histogram::new();
+        for v in [1_000_000.0, 2_000_000.0, 3_000_000.0, 4_000_000.0] {
+            h.record(v);
+        }
+        let mut t = Table::new("t", &["metric", "n", "p50 ms", "p95 ms", "max ms"]);
+        t.histogram_row("setup", &mut h, 1e6);
+        let s = t.render();
+        assert!(s.contains("setup"), "{s}");
+        assert!(s.contains('4'), "{s}");
+        assert!(s.contains("4.00"), "{s}");
+        // Empty histograms render dashes rather than NaNs.
+        let mut empty = crate::Histogram::new();
+        let mut t2 = Table::new("t", &["metric", "n", "p50", "p95", "max"]);
+        t2.histogram_row("gap", &mut empty, 1e6);
+        assert!(t2.render().contains('-'));
+    }
 
     #[test]
     fn renders_aligned_columns() {

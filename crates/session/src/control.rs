@@ -1,0 +1,751 @@
+//! The session controller and per-box agents.
+//!
+//! One [`Controller`] owns a star fabric's routing table and directory;
+//! each participating box runs an agent task (spawned by
+//! [`spawn_agent`]) that executes control requests locally — admission
+//! through its [`AdmissionController`], route changes through the box's
+//! switch-command channel, which the switch takes via PRI ALT between
+//! segments (Principles 4 and 6).
+//!
+//! ## Reconfiguration ordering (glitch-free growth and shrink)
+//!
+//! Growing a split installs state strictly downstream-first:
+//!
+//! 1. `OpenSink` at the destination — admission, then the sink's switch
+//!    route, before a single cell can arrive;
+//! 2. the fabric VCI route — the path now exists end-to-end, unused;
+//! 3. `AddDest` at the source — the switch table grows between two
+//!    segments, so the new copy starts on a segment boundary and the
+//!    stream's existing copies are untouched (Principle 6) and remain
+//!    upstream-independent (Principle 5).
+//!
+//! Shrinking reverses the order (source first, then fabric, then sink),
+//! so cells are never in flight toward missing state. Requests are
+//! idempotent at the agents, which makes the controller's
+//! timeout-and-retry loop safe under signalling faults (Principle 4
+//! keeps the command path live; retries cover lost cells).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use pandora::{OutputId, PandoraBox, StreamKind};
+use pandora_atm::{segment_to_cells, Cell, Reassembler, Switch, Vci};
+use pandora_metrics::{Histogram, Table};
+use pandora_segment::{wire, StreamId};
+use pandora_sim::{alt2_deadline, Either2, LinkSender, Receiver, Sender, SimDuration, Spawner};
+
+use crate::admission::{AdmissionController, Decision};
+use crate::directory::{Capabilities, Directory, EndpointId};
+use crate::proto::{RejectReason, SessionMsg, StreamClass};
+
+/// A control-plane operation failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionError {
+    /// The remote agent refused admission.
+    Rejected(RejectReason),
+    /// No reply within the configured timeout, after retries.
+    Timeout,
+    /// The session id is not registered.
+    UnknownSession,
+    /// The endpoint id is not in the directory.
+    UnknownEndpoint,
+    /// The named destination has no sink in this session.
+    UnknownListener,
+    /// The signalling attachment is closed.
+    Closed,
+    /// The agent replied with an unexpected message.
+    Protocol,
+}
+
+/// A granted sink: where the stream will arrive and at what rate.
+#[derive(Debug, Clone, Copy)]
+pub struct Admitted {
+    /// The fabric VCI carrying the stream to the new listener.
+    pub vci: Vci,
+    /// Granted rate in thousandths of full rate (1000 unless the video
+    /// was degraded at admission).
+    pub rate_permille: u32,
+}
+
+/// Controller tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ControllerConfig {
+    /// How long to wait for an agent's reply before retrying.
+    pub reply_timeout: SimDuration,
+    /// Retries after the first attempt times out.
+    pub retries: u32,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            reply_timeout: SimDuration::from_millis(500),
+            retries: 2,
+        }
+    }
+}
+
+struct SinkRec {
+    dst: EndpointId,
+    vci: Vci,
+    rate_permille: u32,
+}
+
+struct SessionRec {
+    src: EndpointId,
+    src_stream: StreamId,
+    class: StreamClass,
+    sinks: Vec<SinkRec>,
+}
+
+#[derive(Default)]
+struct ControlStats {
+    setups: u64,
+    reconfigs: u64,
+    rejections: u64,
+    timeouts: u64,
+    setup_latency_ns: Histogram,
+    reconfig_gap_ns: Histogram,
+}
+
+struct CtlInner {
+    directory: Directory,
+    sessions: HashMap<u32, SessionRec>,
+    pending: HashMap<u32, Sender<SessionMsg>>,
+    cell_seq: HashMap<Vci, u32>,
+    next_session: u32,
+    next_txn: u32,
+    next_vci: u32,
+    next_seg_seq: u32,
+    stats: ControlStats,
+}
+
+/// The control plane of one conference fabric: directory, signalling,
+/// session registry and the reconfiguration engine.
+pub struct Controller {
+    inner: Rc<RefCell<CtlInner>>,
+    switch: Rc<Switch>,
+    tx: LinkSender<Cell>,
+    never_rx: Receiver<SessionMsg>,
+    _never_tx: Sender<SessionMsg>,
+    config: ControllerConfig,
+}
+
+impl Controller {
+    /// Spawns the controller on its signalling attachment: `tx` injects
+    /// cells into the fabric, `rx` receives the agents' replies, and
+    /// `switch` is the fabric's routing table the reconfiguration engine
+    /// edits.
+    pub fn spawn(
+        spawner: &Spawner,
+        directory: Directory,
+        switch: Rc<Switch>,
+        tx: LinkSender<Cell>,
+        rx: Receiver<Cell>,
+        config: ControllerConfig,
+    ) -> Controller {
+        let inner = Rc::new(RefCell::new(CtlInner {
+            directory,
+            sessions: HashMap::new(),
+            pending: HashMap::new(),
+            cell_seq: HashMap::new(),
+            next_session: 1,
+            next_txn: 1,
+            // Sink VCIs sit far above box-local stream numbers (which
+            // start at 1) and below the well-known control VCIs.
+            next_vci: 0x1000,
+            next_seg_seq: 1,
+            stats: ControlStats::default(),
+        }));
+        let dispatch = inner.clone();
+        spawner.spawn("session:controller-rx", async move {
+            let mut reasm = Reassembler::new();
+            while let Ok(cell) = rx.recv().await {
+                let Some((_vci, frame)) = reasm.push(cell) else {
+                    continue;
+                };
+                let Ok(seg) = wire::decode(&frame) else {
+                    continue;
+                };
+                let Some(msg) = SessionMsg::from_segment(&seg) else {
+                    continue;
+                };
+                let waiter = dispatch.borrow_mut().pending.remove(&msg.txn());
+                if let Some(w) = waiter {
+                    let _ = w.try_send(msg);
+                }
+            }
+        });
+        let (never_tx, never_rx) = pandora_sim::channel::<SessionMsg>();
+        Controller {
+            inner,
+            switch,
+            tx,
+            never_rx,
+            _never_tx: never_tx,
+            config,
+        }
+    }
+
+    /// Registers a new session for a source stream the application has
+    /// already started at `src`. No sinks yet: grow the session with
+    /// [`Controller::add_listener`].
+    pub fn open(
+        &self,
+        src: EndpointId,
+        src_stream: StreamId,
+        class: StreamClass,
+    ) -> Result<u32, SessionError> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.directory.get(src).is_none() {
+            return Err(SessionError::UnknownEndpoint);
+        }
+        let id = inner.next_session;
+        inner.next_session += 1;
+        inner.sessions.insert(
+            id,
+            SessionRec {
+                src,
+                src_stream,
+                class,
+                sinks: Vec::new(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Grows the session to one more listener, downstream-first (see the
+    /// module docs). The first listener of a session is its call setup
+    /// (recorded in the setup-latency histogram); later ones are live
+    /// reconfigurations (recorded in the reconfiguration-gap histogram).
+    pub async fn add_listener(
+        &self,
+        session: u32,
+        dst: EndpointId,
+    ) -> Result<Admitted, SessionError> {
+        let t0 = pandora_sim::now();
+        let (src, src_stream, class, first) = {
+            let inner = self.inner.borrow();
+            let s = inner
+                .sessions
+                .get(&session)
+                .ok_or(SessionError::UnknownSession)?;
+            (s.src, s.src_stream, s.class, s.sinks.is_empty())
+        };
+        let (dst_port, dst_ctl) = self.endpoint(dst)?;
+        let (_src_port, src_ctl) = self.endpoint(src)?;
+        let vci = {
+            let mut inner = self.inner.borrow_mut();
+            let v = Vci(inner.next_vci);
+            inner.next_vci += 1;
+            v
+        };
+        // 1. Downstream: admit and install the sink before any cell can
+        //    arrive.
+        let reply = self
+            .request(dst_ctl, |txn| SessionMsg::OpenSink {
+                txn,
+                session,
+                class,
+                vci,
+            })
+            .await?;
+        let granted = match reply {
+            SessionMsg::Accept { rate_permille, .. } => rate_permille,
+            SessionMsg::Reject { reason, .. } => {
+                self.inner.borrow_mut().stats.rejections += 1;
+                return Err(SessionError::Rejected(reason));
+            }
+            _ => return Err(SessionError::Protocol),
+        };
+        // 2. Fabric route: the path now exists end-to-end, still unused.
+        self.switch.route(vci, dst_port, vci);
+        // 3. Upstream: grow the source's split on a segment boundary.
+        let granted_class = match class {
+            StreamClass::Audio => StreamClass::Audio,
+            StreamClass::Video { .. } => StreamClass::Video {
+                rate_permille: granted,
+            },
+        };
+        let reply = self
+            .request(src_ctl, |txn| SessionMsg::AddDest {
+                txn,
+                session,
+                stream: src_stream,
+                vci,
+                class: granted_class,
+            })
+            .await;
+        match reply {
+            Ok(SessionMsg::Done { .. }) => {}
+            Ok(SessionMsg::Reject { reason, .. }) => {
+                self.rollback_sink(session, dst_ctl, vci).await;
+                self.inner.borrow_mut().stats.rejections += 1;
+                return Err(SessionError::Rejected(reason));
+            }
+            Ok(_) => return Err(SessionError::Protocol),
+            Err(e) => {
+                self.rollback_sink(session, dst_ctl, vci).await;
+                return Err(e);
+            }
+        }
+        let elapsed = (pandora_sim::now().as_nanos() - t0.as_nanos()) as f64;
+        {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(s) = inner.sessions.get_mut(&session) {
+                s.sinks.push(SinkRec {
+                    dst,
+                    vci,
+                    rate_permille: granted,
+                });
+            }
+            if first {
+                inner.stats.setups += 1;
+                inner.stats.setup_latency_ns.record(elapsed);
+            } else {
+                inner.stats.reconfigs += 1;
+                inner.stats.reconfig_gap_ns.record(elapsed);
+            }
+        }
+        Ok(Admitted {
+            vci,
+            rate_permille: granted,
+        })
+    }
+
+    /// Shrinks the session: removes `dst`'s sink, upstream-first so no
+    /// cell is ever in flight toward torn-down state, and the session's
+    /// other listeners never glitch (Principle 6).
+    pub async fn remove_listener(&self, session: u32, dst: EndpointId) -> Result<(), SessionError> {
+        let t0 = pandora_sim::now();
+        let (src, src_stream, vci) = {
+            let inner = self.inner.borrow();
+            let s = inner
+                .sessions
+                .get(&session)
+                .ok_or(SessionError::UnknownSession)?;
+            let sink = s
+                .sinks
+                .iter()
+                .find(|k| k.dst == dst)
+                .ok_or(SessionError::UnknownListener)?;
+            (s.src, s.src_stream, sink.vci)
+        };
+        let (_src_port, src_ctl) = self.endpoint(src)?;
+        let (_dst_port, dst_ctl) = self.endpoint(dst)?;
+        // 1. Upstream: stop the copy at the source switch.
+        match self
+            .request(src_ctl, |txn| SessionMsg::RemoveDest {
+                txn,
+                session,
+                stream: src_stream,
+                vci,
+            })
+            .await?
+        {
+            SessionMsg::Done { .. } => {}
+            _ => return Err(SessionError::Protocol),
+        }
+        // 2. Fabric route out.
+        self.switch.unroute(vci);
+        // 3. Downstream: drop the sink and release its admission charge.
+        match self
+            .request(dst_ctl, |txn| SessionMsg::CloseSink { txn, session, vci })
+            .await?
+        {
+            SessionMsg::Done { .. } => {}
+            _ => return Err(SessionError::Protocol),
+        }
+        let elapsed = (pandora_sim::now().as_nanos() - t0.as_nanos()) as f64;
+        let mut inner = self.inner.borrow_mut();
+        if let Some(s) = inner.sessions.get_mut(&session) {
+            s.sinks.retain(|k| k.vci != vci);
+        }
+        inner.stats.reconfigs += 1;
+        inner.stats.reconfig_gap_ns.record(elapsed);
+        Ok(())
+    }
+
+    /// Tears the whole session down (every listener, upstream-first),
+    /// then forgets it.
+    pub async fn close(&self, session: u32) -> Result<(), SessionError> {
+        loop {
+            let dst = {
+                let inner = self.inner.borrow();
+                let s = inner
+                    .sessions
+                    .get(&session)
+                    .ok_or(SessionError::UnknownSession)?;
+                s.sinks.last().map(|k| k.dst)
+            };
+            match dst {
+                Some(dst) => self.remove_listener(session, dst).await?,
+                None => break,
+            }
+        }
+        self.inner.borrow_mut().sessions.remove(&session);
+        Ok(())
+    }
+
+    /// The rate granted to `dst`'s sink in a session, if present.
+    pub fn granted_rate(&self, session: u32, dst: EndpointId) -> Option<u32> {
+        self.inner
+            .borrow()
+            .sessions
+            .get(&session)?
+            .sinks
+            .iter()
+            .find(|k| k.dst == dst)
+            .map(|k| k.rate_permille)
+    }
+
+    /// Number of active listeners in a session (0 for unknown ids).
+    pub fn listeners(&self, session: u32) -> usize {
+        self.inner
+            .borrow()
+            .sessions
+            .get(&session)
+            .map_or(0, |s| s.sinks.len())
+    }
+
+    /// Calls set up (first listener added) so far.
+    pub fn setups(&self) -> u64 {
+        self.inner.borrow().stats.setups
+    }
+
+    /// Live reconfigurations (grow beyond the first listener, shrink) so
+    /// far.
+    pub fn reconfigs(&self) -> u64 {
+        self.inner.borrow().stats.reconfigs
+    }
+
+    /// Requests refused by agents' admission controllers.
+    pub fn rejections(&self) -> u64 {
+        self.inner.borrow().stats.rejections
+    }
+
+    /// Request attempts that timed out (each retry counts).
+    pub fn timeouts(&self) -> u64 {
+        self.inner.borrow().stats.timeouts
+    }
+
+    /// Renders the control-plane metrics through the shared table
+    /// format: session-setup latency and reconfiguration gap, in
+    /// milliseconds.
+    pub fn metrics_table(&self) -> Table {
+        let mut t = Table::new(
+            "session control plane",
+            &["metric", "n", "p50 ms", "p95 ms", "max ms"],
+        );
+        let mut inner = self.inner.borrow_mut();
+        let stats = &mut inner.stats;
+        t.histogram_row("setup latency", &mut stats.setup_latency_ns, 1e6);
+        t.histogram_row("reconfig gap", &mut stats.reconfig_gap_ns, 1e6);
+        t
+    }
+
+    /// A deterministic one-line digest of the controller's counters and
+    /// histograms, for replay-equality assertions.
+    pub fn digest(&self) -> String {
+        let mut inner = self.inner.borrow_mut();
+        let stats = &mut inner.stats;
+        format!(
+            "setups={} reconfigs={} rejections={} timeouts={} setup[{};{:.0}] gap[{};{:.0}]",
+            stats.setups,
+            stats.reconfigs,
+            stats.rejections,
+            stats.timeouts,
+            stats.setup_latency_ns.count(),
+            stats.setup_latency_ns.mean(),
+            stats.reconfig_gap_ns.count(),
+            stats.reconfig_gap_ns.mean(),
+        )
+    }
+
+    fn endpoint(&self, id: EndpointId) -> Result<(usize, Vci), SessionError> {
+        let inner = self.inner.borrow();
+        let rec = inner
+            .directory
+            .get(id)
+            .ok_or(SessionError::UnknownEndpoint)?;
+        Ok((rec.port, rec.control_vci))
+    }
+
+    async fn rollback_sink(&self, session: u32, dst_ctl: Vci, vci: Vci) {
+        self.switch.unroute(vci);
+        let _ = self
+            .request(dst_ctl, |txn| SessionMsg::CloseSink { txn, session, vci })
+            .await;
+    }
+
+    /// One request-reply exchange with timeout and retry. Fresh
+    /// transaction ids per attempt; agent idempotency makes retries safe.
+    async fn request<F: Fn(u32) -> SessionMsg>(
+        &self,
+        target: Vci,
+        build: F,
+    ) -> Result<SessionMsg, SessionError> {
+        for _attempt in 0..=self.config.retries {
+            let (txn, reply_rx) = {
+                let mut inner = self.inner.borrow_mut();
+                let txn = inner.next_txn;
+                inner.next_txn += 1;
+                let (tx, rx) = pandora_sim::buffered::<SessionMsg>(1);
+                inner.pending.insert(txn, tx);
+                (txn, rx)
+            };
+            self.send_control(target, &build(txn)).await?;
+            let deadline = pandora_sim::now() + self.config.reply_timeout;
+            match alt2_deadline(&reply_rx, &self.never_rx, deadline).await {
+                Some(Ok(Either2::A(reply))) => return Ok(reply),
+                None => {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.pending.remove(&txn);
+                    inner.stats.timeouts += 1;
+                }
+                _ => return Err(SessionError::Closed),
+            }
+        }
+        Err(SessionError::Timeout)
+    }
+
+    async fn send_control(&self, vci: Vci, msg: &SessionMsg) -> Result<(), SessionError> {
+        let (bytes, first_seq) = {
+            let mut inner = self.inner.borrow_mut();
+            let seq = inner.next_seg_seq;
+            inner.next_seg_seq += 1;
+            let bytes = wire::encode(&msg.to_segment(seq));
+            let first_seq = *inner.cell_seq.entry(vci).or_insert(0);
+            (bytes, first_seq)
+        };
+        let cells = segment_to_cells(vci, &bytes, first_seq);
+        self.inner
+            .borrow_mut()
+            .cell_seq
+            .insert(vci, first_seq.wrapping_add(cells.len() as u32));
+        for cell in cells {
+            self.tx.send(cell).await.map_err(|_| SessionError::Closed)?;
+        }
+        Ok(())
+    }
+}
+
+struct AgentInner {
+    admission: AdmissionController,
+    // Granted sinks by VCI (value = granted class, for the refund).
+    sinks: HashMap<Vci, StreamClass>,
+    // Charged source copies by (stream, vci).
+    sources: HashMap<(StreamId, Vci), StreamClass>,
+    handled: u64,
+}
+
+/// Shared view of one box agent's admission state.
+#[derive(Clone)]
+pub struct AgentStats {
+    inner: Rc<RefCell<AgentInner>>,
+}
+
+impl AgentStats {
+    /// Requests admitted (including degraded) by this agent.
+    pub fn admitted(&self) -> u64 {
+        self.inner.borrow().admission.admitted()
+    }
+
+    /// Requests admitted only after degrading.
+    pub fn degraded(&self) -> u64 {
+        self.inner.borrow().admission.degraded()
+    }
+
+    /// Requests rejected by this agent.
+    pub fn rejected(&self) -> u64 {
+        self.inner.borrow().admission.rejected()
+    }
+
+    /// Control messages handled.
+    pub fn handled(&self) -> u64 {
+        self.inner.borrow().handled
+    }
+
+    /// Sinks currently installed.
+    pub fn active_sinks(&self) -> usize {
+        self.inner.borrow().sinks.len()
+    }
+}
+
+/// Spawns a box's session agent: routes inbound control (arriving on
+/// `control_vci`) to the box's session tap, executes requests against
+/// the local switch and admission budgets, and replies on `reply_vci`.
+///
+/// # Panics
+///
+/// Panics if the box's session tap was already taken.
+pub fn spawn_agent(
+    spawner: &Spawner,
+    boxy: Rc<PandoraBox>,
+    caps: Capabilities,
+    control_vci: Vci,
+    reply_vci: Vci,
+) -> AgentStats {
+    let rx = boxy
+        .take_session_rx()
+        .expect("session tap already taken — one agent per box");
+    // Inbound control lands on the session output handler…
+    boxy.set_route(
+        control_vci.stream(),
+        StreamKind::Control,
+        vec![OutputId::Session],
+    );
+    // …and replies leave on a dedicated control stream toward the
+    // controller's well-known reply VCI.
+    let out_stream = boxy.alloc_stream();
+    boxy.set_route(
+        out_stream,
+        StreamKind::Control,
+        vec![OutputId::Network(reply_vci)],
+    );
+    let injector = boxy.injector();
+    let stats = AgentStats {
+        inner: Rc::new(RefCell::new(AgentInner {
+            admission: AdmissionController::new(caps),
+            sinks: HashMap::new(),
+            sources: HashMap::new(),
+            handled: 0,
+        })),
+    };
+    let st = stats.clone();
+    let name = boxy.config.name;
+    spawner.spawn(&format!("{name}:session-agent"), async move {
+        let mut seq: u32 = 0;
+        while let Ok((_stream, seg)) = rx.recv().await {
+            let Some(msg) = SessionMsg::from_segment(&seg) else {
+                continue;
+            };
+            st.inner.borrow_mut().handled += 1;
+            let Some(reply) = handle(&boxy, &st, msg) else {
+                continue;
+            };
+            seq += 1;
+            if injector
+                .send((out_stream, reply.to_segment(seq)))
+                .await
+                .is_err()
+            {
+                return;
+            }
+        }
+    });
+    stats
+}
+
+/// Executes one request against the local box; `None` for messages that
+/// need no reply (a controller-side message echoed back to us).
+fn handle(boxy: &PandoraBox, stats: &AgentStats, msg: SessionMsg) -> Option<SessionMsg> {
+    let mut inner = stats.inner.borrow_mut();
+    match msg {
+        SessionMsg::OpenSink {
+            txn,
+            session,
+            class,
+            vci,
+        } => {
+            // Idempotent: a retried request for an installed sink is
+            // re-acknowledged without a second charge.
+            if let Some(granted) = inner.sinks.get(&vci) {
+                return Some(SessionMsg::Accept {
+                    txn,
+                    session,
+                    vci,
+                    rate_permille: granted.rate_permille(),
+                });
+            }
+            let decision = inner.admission.admit_sink(class);
+            let granted_rate = match decision {
+                Decision::Admit => class.rate_permille(),
+                Decision::Degrade { rate_permille } => rate_permille,
+                Decision::Reject(reason) => {
+                    return Some(SessionMsg::Reject {
+                        txn,
+                        session,
+                        reason,
+                    })
+                }
+            };
+            let (kind, dest, granted) = match class {
+                StreamClass::Audio => (StreamKind::Audio, OutputId::Audio, StreamClass::Audio),
+                StreamClass::Video { .. } => (
+                    StreamKind::Video,
+                    OutputId::Mixer,
+                    StreamClass::Video {
+                        rate_permille: granted_rate,
+                    },
+                ),
+            };
+            boxy.set_route(vci.stream(), kind, vec![dest]);
+            inner.sinks.insert(vci, granted);
+            Some(SessionMsg::Accept {
+                txn,
+                session,
+                vci,
+                rate_permille: granted_rate,
+            })
+        }
+        SessionMsg::AddDest {
+            txn,
+            session,
+            stream,
+            vci,
+            class,
+        } => {
+            if inner.sources.contains_key(&(stream, vci)) {
+                return Some(SessionMsg::Done { txn, session });
+            }
+            match inner.admission.admit_source(class) {
+                Decision::Admit | Decision::Degrade { .. } => {
+                    // The session layer owns a managed source stream's
+                    // routing: the first copy installs the table entry
+                    // (AddDest on a routeless stream is a no-op), later
+                    // copies grow it between segments (Principle 6).
+                    let first = !inner.sources.keys().any(|&(s, _)| s == stream);
+                    if first {
+                        let kind = match class {
+                            StreamClass::Audio => StreamKind::Audio,
+                            StreamClass::Video { .. } => StreamKind::Video,
+                        };
+                        boxy.set_route(stream, kind, vec![OutputId::Network(vci)]);
+                    } else {
+                        boxy.add_dest(stream, OutputId::Network(vci));
+                    }
+                    inner.sources.insert((stream, vci), class);
+                    Some(SessionMsg::Done { txn, session })
+                }
+                Decision::Reject(reason) => Some(SessionMsg::Reject {
+                    txn,
+                    session,
+                    reason,
+                }),
+            }
+        }
+        SessionMsg::RemoveDest {
+            txn,
+            session,
+            stream,
+            vci,
+        } => {
+            if let Some(class) = inner.sources.remove(&(stream, vci)) {
+                inner.admission.release_source(class);
+                boxy.remove_dest(stream, OutputId::Network(vci));
+            }
+            Some(SessionMsg::Done { txn, session })
+        }
+        SessionMsg::CloseSink { txn, session, vci } => {
+            if let Some(class) = inner.sinks.remove(&vci) {
+                inner.admission.release_sink(class);
+                boxy.clear_route(vci.stream());
+            }
+            Some(SessionMsg::Done { txn, session })
+        }
+        // Controller-side messages need no agent reply.
+        SessionMsg::Accept { .. } | SessionMsg::Reject { .. } | SessionMsg::Done { .. } => None,
+    }
+}

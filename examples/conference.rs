@@ -1,119 +1,101 @@
-//! A multi-way conference: three speakers' boxes all streaming audio to
-//! one listener, who mixes them in real time (§2.0: "no limit is placed
-//! on the number of incoming streams that can be mixed, save that imposed
-//! by system bandwidths and CPU resources").
+//! A multi-way conference run by the session control plane: three
+//! speakers' boxes streaming audio to one listener who mixes them in
+//! real time (§2.0), set up, grown and shrunk through `pandora-session`
+//! instead of hand-wired routes.
 //!
 //! ```text
 //! cargo run --release --example conference
 //! ```
 //!
-//! Also demonstrates the "tannoy" (§4.1): one announcement stream split
-//! at the source to several destinations.
+//! Also demonstrates the "tannoy" (§4.1) as a controller-managed split
+//! — one source stream copied to several members — and admission
+//! control refusing the copy that would overload the listener's audio
+//! transputer (capacity three, §4.2), instead of letting the
+//! conversation degrade.
 
-use pandora::{BoxConfig, OutputId, PandoraBox, StreamKind};
-use pandora_atm::{build_path, Cell, HopConfig, Vci};
+use pandora_session::{SessionError, Star, StarConfig, StreamClass};
+use pandora_sim::{SimDuration, SimTime, Simulation};
+
 use pandora_audio::gen::{Speech, Tone};
-use pandora_sim::{Receiver, SimTime, Simulation, Spawner};
-
-/// Joins `sources` to `hub` in a star: every source box gets a one-way
-/// path into the hub's single ATM attachment (a merger pump models the
-/// ring delivering cells from several upstreams).
-fn star(
-    spawner: &Spawner,
-    hub_cfg: BoxConfig,
-    source_cfgs: Vec<BoxConfig>,
-    hop: HopConfig,
-) -> (PandoraBox, Vec<PandoraBox>) {
-    let (merged_tx, merged_rx) = pandora_sim::channel::<Cell>();
-    // The hub transmits into the void for this demo (no return paths).
-    let (hub_tx, _hub_out_rx, _) = build_path(spawner, "hub-out", &[hop], 7);
-    let hub = PandoraBox::new(spawner, hub_cfg, hub_tx, merged_rx);
-    let mut sources = Vec::new();
-    for (i, cfg) in source_cfgs.into_iter().enumerate() {
-        let (src_tx, path_rx, _) = build_path(spawner, "spoke", &[hop], 100 + i as u64);
-        let merged_tx = merged_tx.clone();
-        spawner.spawn(&format!("merge:{i}"), async move {
-            while let Ok(cell) = path_rx.recv().await {
-                if merged_tx.send(cell).await.is_err() {
-                    return;
-                }
-            }
-        });
-        // Each source's inbound side is unused here.
-        let (_dead_tx, dead_rx) = pandora_sim::channel::<Cell>();
-        let _ = &dead_rx as &Receiver<Cell>;
-        sources.push(PandoraBox::new(spawner, cfg, src_tx, dead_rx));
-    }
-    (hub, sources)
-}
 
 fn main() {
     let mut sim = Simulation::new();
-    let hop = HopConfig::clean(50_000_000);
-    let (hub, sources) = star(
-        &sim.spawner(),
-        BoxConfig::standard("listener"),
-        vec![
-            BoxConfig::standard("speaker-1"),
-            BoxConfig::standard("speaker-2"),
-            BoxConfig::standard("speaker-3"),
-        ],
-        hop,
-    );
+    // node0 is the listener; node1..node3 speak. The controller sits on
+    // the star's fourth fabric port.
+    let star = Star::build(&sim.spawner(), 4, StarConfig::default());
+    let listener = star.nodes[0].endpoint;
+    let mics: Vec<_> = (1..4)
+        .map(|i| {
+            star.nodes[i]
+                .boxy
+                .start_audio_source(Box::new(Speech::new(i as u64)))
+        })
+        .collect();
+    let tannoy_src = star.nodes[1]
+        .boxy
+        .start_audio_source(Box::new(Tone::new(880.0, 4_000.0)));
 
-    // Each source opens a stream to the hub — the hub allocates the stream
-    // number, the source labels its cells with it (§3.4).
-    for (i, src) in sources.iter().enumerate() {
-        let dst_stream = hub.alloc_stream();
-        hub.set_route(dst_stream, StreamKind::Audio, vec![OutputId::Audio]);
-        let mic = src.start_audio_source(Box::new(Speech::new(i as u64 + 1)));
-        src.set_route(
-            mic,
-            StreamKind::Audio,
-            vec![OutputId::Network(Vci::from_stream(dst_stream))],
-        );
-    }
-    // The tannoy: speaker-1 also announces to itself locally *and* to the
-    // hub on a second stream — one source, several destinations (§2.2).
-    let announce_dst = hub.alloc_stream();
-    hub.set_route(announce_dst, StreamKind::Audio, vec![OutputId::Audio]);
-    let tannoy = sources[0].start_audio_source(Box::new(Tone::new(880.0, 4_000.0)));
-    sources[0].set_route(
-        tannoy,
-        StreamKind::Audio,
-        vec![
-            OutputId::Audio,
-            OutputId::Network(Vci::from_stream(announce_dst)),
-        ],
-    );
+    let controller = star.controller.clone();
+    let endpoints: Vec<_> = star.nodes.iter().map(|n| n.endpoint).collect();
+    sim.spawn("host", async move {
+        // Call setup: each speaker's session gains the listener.
+        let mut sessions = Vec::new();
+        for (i, mic) in mics.into_iter().enumerate() {
+            let s = controller
+                .open(endpoints[i + 1], mic, StreamClass::Audio)
+                .unwrap();
+            controller.add_listener(s, listener).await.unwrap();
+            sessions.push(s);
+        }
+        pandora_sim::delay(SimDuration::from_secs(5)).await;
+        // The tannoy: one announcement session split to the whole
+        // conference. node2 and node3 have spare capacity; the listener
+        // is already mixing three streams, so its admission controller
+        // refuses the fourth rather than glitching the conversation.
+        let tannoy = controller
+            .open(endpoints[1], tannoy_src, StreamClass::Audio)
+            .unwrap();
+        for member in [endpoints[2], endpoints[3]] {
+            controller.add_listener(tannoy, member).await.unwrap();
+        }
+        match controller.add_listener(tannoy, listener).await {
+            Err(SessionError::Rejected(reason)) => {
+                println!(
+                    "t=5s: tannoy toward the listener refused ({reason:?}) — capacity is 3 (§4.2)"
+                );
+            }
+            other => panic!("expected an admission rejection, got {other:?}"),
+        }
+        pandora_sim::delay(SimDuration::from_secs(2)).await;
+        // speaker-3 hangs up; the freed slot lets the tannoy in.
+        controller
+            .remove_listener(sessions[2], listener)
+            .await
+            .unwrap();
+        controller.add_listener(tannoy, listener).await.unwrap();
+        println!("t=7s: speaker-3 left, tannoy admitted to the listener");
+    });
+    sim.run_until(SimTime::from_secs(12));
 
-    sim.run_until(SimTime::from_secs(5));
-
-    // Four simultaneous streams exceed the audio transputer's full-path
-    // capacity of three (§4.2) — the listener's own box degrades, exactly
-    // as Principle 1 intends: the overloaded user is the one who notices.
-    let late_at_5s = hub.speaker.late_ticks();
-    println!("t=5s, four streams mixing at the listener:");
+    let hub = &star.nodes[0];
     println!(
-        "  mixed up to {} streams; {} late mix ticks so far (capacity is 3, §4.2)",
-        hub.speaker.max_active_streams(),
-        late_at_5s,
-    );
-
-    // "The user of the overloaded machine notices the effects, and tends
-    // to shut down unwanted applications without further prompting"
-    // (§3.8): drop the tannoy.
-    hub.clear_route(announce_dst);
-    sim.run_until(SimTime::from_secs(10));
-    let late_after = hub.speaker.late_ticks();
-    println!("t=10s, after shutting the tannoy down:");
-    println!(
-        "  {} further late ticks (conversation recovered), {} segments heard in total",
-        late_after.saturating_sub(late_at_5s),
-        hub.speaker.segments_received(),
+        "\nlistener mixed up to {} streams; {} late mix ticks, {} segments lost \
+         across {} reconfigurations (P6: zero means no glitches)",
+        hub.boxy.speaker.max_active_streams(),
+        hub.boxy.speaker.late_ticks(),
+        hub.boxy.speaker.segments_lost(),
+        star.controller.reconfigs(),
     );
     println!(
-        "  tannoy still played locally at speaker-1 throughout: {} segments",
-        sources[0].speaker.segments_received()
+        "admission at the listener: {} admitted, {} rejected; controller saw {} rejections",
+        hub.agent.admitted(),
+        hub.agent.rejected(),
+        star.controller.rejections(),
     );
+    println!(
+        "tannoy heard at node2: {} segments, node3: {} segments",
+        star.nodes[2].boxy.speaker.segments_received(),
+        star.nodes[3].boxy.speaker.segments_received(),
+    );
+    println!("\n{}", star.controller.metrics_table().render());
 }

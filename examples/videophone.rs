@@ -1,5 +1,6 @@
 //! The paper's flagship application: a hands-free duplex videophone call
-//! over a jittery network (§2.3, §4.1, §4.3).
+//! over a jittery network (§2.3, §4.1, §4.3), set up by the session
+//! control plane rather than hand-wired routes.
 //!
 //! ```text
 //! cargo run --release --example videophone
@@ -7,52 +8,102 @@
 //!
 //! Two boxes exchange audio and video for 30 virtual seconds across a
 //! path with the paper's observed jitter profile (≈2 ms usually, bursts
-//! toward 20 ms). Muting ducks each microphone while the far end talks;
-//! clawback buffers absorb the jitter at each speaker.
+//! toward 20 ms). Call setup is four sessions — audio and video each
+//! way — admitted against each box's capability descriptor; muting
+//! ducks each microphone while the far end talks; clawback buffers
+//! absorb the jitter at each speaker.
 
-use pandora::{connect_pair, open_audio_shout, open_video_stream, BoxConfig};
 use pandora_atm::{HopConfig, JitterModel};
 use pandora_audio::gen::Speech;
+use pandora_segment::StreamId;
+use pandora_session::{point_to_point, StarConfig, StreamClass};
 use pandora_sim::{SimDuration, SimTime, Simulation};
 use pandora_video::dpcm::LineMode;
 use pandora_video::{CaptureConfig, RateFraction, Rect};
 
 fn main() {
     let mut sim = Simulation::new();
+    // Each box's fabric attachment gets half the paper's disturbance:
+    // a call crosses two attachments in series, so end-to-end the call
+    // sees the §3.7.2 profile (≈2 ms usual jitter, bursts toward 20 ms,
+    // 0.02% cell loss).
     let hop = HopConfig {
         bits_per_sec: 50_000_000,
-        latency: SimDuration::from_micros(500),
+        latency: SimDuration::from_micros(250),
         jitter: JitterModel::Bursty {
-            base: SimDuration::from_millis(2),
-            burst: SimDuration::from_millis(20),
+            base: SimDuration::from_millis(1),
+            burst: SimDuration::from_millis(10),
             burst_prob: 0.02,
         },
-        loss: 0.0002,
+        loss: 0.0001,
     };
-    let pair = connect_pair(
+    let star = point_to_point(
         &sim.spawner(),
-        BoxConfig::standard("alice"),
-        BoxConfig::standard("bob"),
-        &[hop],
-        99,
+        StarConfig {
+            hops: vec![hop],
+            seed: 99,
+            ..Default::default()
+        },
     );
+    let (alice, bob) = (&star.nodes[0], &star.nodes[1]);
 
-    // Duplex audio: each side speaks (different seeds), hears the other.
-    let (_, b_hears) = open_audio_shout(&pair.a, &pair.b, Box::new(Speech::new(1)));
-    let (_, a_hears) = open_audio_shout(&pair.b, &pair.a, Box::new(Speech::new(2)));
-    // Duplex video at 2/5 of full rate (10 fps), quarter-ish windows.
+    // Sources on each side: a voice and a quarter-ish camera window at
+    // 2/5 of full rate (10 fps).
     let window = CaptureConfig {
         rect: Rect::new(64, 32, 256, 192),
         rate: RateFraction::new(2, 5),
         lines_per_segment: 48,
         mode: LineMode::Dpcm,
     };
-    open_video_stream(&pair.a, &pair.b, window);
-    open_video_stream(&pair.b, &pair.a, window);
+    let a_mic = alice.boxy.start_audio_source(Box::new(Speech::new(1)));
+    let b_mic = bob.boxy.start_audio_source(Box::new(Speech::new(2)));
+    let (a_cam, _) = alice.boxy.start_video_capture(window);
+    let (b_cam, _) = bob.boxy.start_video_capture(window);
+
+    let controller = star.controller.clone();
+    let (a_ep, b_ep) = (alice.endpoint, bob.endpoint);
+    let heard = std::rc::Rc::new(std::cell::RefCell::new(Vec::<StreamId>::new()));
+    let h = heard.clone();
+    sim.spawn("host", async move {
+        // The duplex call: audio and video sessions each way. Admission
+        // charges each box's budgets; on this fabric everything fits at
+        // full rate.
+        for (ep, stream, class, dst) in [
+            (a_ep, a_mic, StreamClass::Audio, b_ep),
+            (b_ep, b_mic, StreamClass::Audio, a_ep),
+            (
+                a_ep,
+                a_cam,
+                StreamClass::Video {
+                    rate_permille: 1000,
+                },
+                b_ep,
+            ),
+            (
+                b_ep,
+                b_cam,
+                StreamClass::Video {
+                    rate_permille: 1000,
+                },
+                a_ep,
+            ),
+        ] {
+            let session = controller.open(ep, stream, class).unwrap();
+            let admitted = controller.add_listener(session, dst).await.unwrap();
+            assert_eq!(admitted.rate_permille, 1000, "nothing needed degrading");
+            if matches!(class, StreamClass::Audio) {
+                // Remember the arriving stream ids for the jitter report
+                // (b hears first, then a).
+                h.borrow_mut().push(admitted.vci.stream());
+            }
+        }
+    });
 
     sim.run_until(SimTime::from_secs(30));
 
-    for (name, boxy, hears) in [("alice", &pair.a, a_hears), ("bob", &pair.b, b_hears)] {
+    let (b_hears, a_hears) = (heard.borrow()[0], heard.borrow()[1]);
+    for (name, node, hears) in [("alice", alice, a_hears), ("bob", bob, b_hears)] {
+        let boxy = &node.boxy;
         let mut lat = boxy.speaker.latency_ns();
         let jitter = boxy
             .speaker
@@ -85,9 +136,16 @@ fn main() {
         }
     }
 
+    println!(
+        "\ncall setup: {} sessions admitted by the control plane, {} rejections",
+        star.controller.setups(),
+        star.controller.rejections(),
+    );
+    println!("{}", star.controller.metrics_table().render());
+
     // A taste of the host log (the paper's report multiplexing, §3.8).
-    let log = pair.a.log.entries();
-    println!("\nalice's host log: {} reports; first few:", log.len());
+    let log = alice.boxy.log.entries();
+    println!("alice's host log: {} reports; first few:", log.len());
     for r in log.iter().take(5) {
         println!("  {r}");
     }
