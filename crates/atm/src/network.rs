@@ -618,6 +618,40 @@ impl Switch {
         self.table.borrow_mut().remove(&vci);
     }
 
+    /// Removes every leg toward `port` — the dead-attachment teardown:
+    /// when an endpoint crashes, all fan-out copies aimed at it come out
+    /// of the table in one pass while every other port's legs keep
+    /// flowing (Principle 6). Returns the VCIs that lost legs, in
+    /// ascending order so callers act on them deterministically.
+    pub fn unroute_port(&self, port: usize) -> Vec<Vci> {
+        let mut table = self.table.borrow_mut();
+        let mut touched: Vec<Vci> = Vec::new();
+        for (&vci, routes) in table.iter_mut() {
+            let before = routes.len();
+            routes.retain(|&(p, _)| p != port);
+            if routes.len() != before {
+                touched.push(vci);
+            }
+        }
+        for vci in &touched {
+            if table.get(vci).is_some_and(|r| r.is_empty()) {
+                table.remove(vci);
+            }
+        }
+        touched.sort_by_key(|v| v.0);
+        touched
+    }
+
+    /// Number of installed legs toward `port` — the recovery suite's
+    /// "no routes left toward the dead box" assertion.
+    pub fn port_route_count(&self, port: usize) -> usize {
+        self.table
+            .borrow()
+            .values()
+            .map(|routes| routes.iter().filter(|&&(p, _)| p == port).count())
+            .sum()
+    }
+
     /// Cells forwarded.
     pub fn forwarded(&self) -> u64 {
         self.forwarded.get()
@@ -778,6 +812,26 @@ mod tests {
         assert_eq!(c1.vci, Vci(102));
         assert_eq!(sw.unroutable(), 1);
         assert_eq!(sw.forwarded(), 2);
+    }
+
+    #[test]
+    fn unroute_port_tears_down_only_the_dead_legs() {
+        let sim = Simulation::new();
+        let (_in_tx, in_rx) = channel::<Cell>();
+        let (sw, _outs) = Switch::spawn(&sim.spawner(), "s", vec![in_rx], 3, 64);
+        sw.route(Vci(10), 0, Vci(10));
+        sw.route_add(Vci(10), 2, Vci(10)); // A split: ports 0 and 2.
+        sw.route(Vci(11), 2, Vci(11)); // Unicast to the dying port.
+        sw.route(Vci(12), 1, Vci(12)); // Unrelated.
+        assert_eq!(sw.port_route_count(2), 2);
+        let touched = sw.unroute_port(2);
+        assert_eq!(touched, vec![Vci(10), Vci(11)], "ascending VCI order");
+        assert_eq!(sw.port_route_count(2), 0);
+        // The split kept its surviving leg; the unicast is gone whole.
+        assert_eq!(sw.port_route_count(0), 1);
+        assert_eq!(sw.port_route_count(1), 1);
+        assert_eq!(sw.unroute_port(2), Vec::<Vci>::new(), "idempotent");
+        let _ = sim; // The table edits need no scheduling.
     }
 
     #[test]

@@ -15,21 +15,33 @@
 //! The transport file also records the AAL legacy-vs-slab comparison the
 //! zero-copy rework is tracked by; the session file tracks the control
 //! plane's hot paths (signalling codec, admission charging, directory
-//! lookup). The binary exits nonzero when either suite is malformed
-//! (too few cases, or a tracked case missing).
+//! lookup); the recovery file (`BENCH_recovery.json`) tracks the
+//! failure-recovery runtime — wall-clock op rates of the lease and
+//! adaptation machines plus a *virtual-time* crash scenario sweep
+//! (detection latency and reconvergence time vs heartbeat interval),
+//! which is deterministic and byte-stable across hosts. The binary
+//! exits nonzero when any suite is malformed (too few cases, a tracked
+//! case missing, or a crash scenario that failed to reconverge).
 
+use std::cell::Cell as StdCell;
 use std::process::ExitCode;
+use std::rc::Rc;
 use std::time::Instant;
 
 use pandora_atm::{cells_gather, segment_to_cells, Reassembler, SlabReassembler, Vci};
+use pandora_audio::gen::Speech;
 use pandora_buffers::{ByteSlab, Pool};
+use pandora_faults::{install, FaultPlan, FaultTargets};
+use pandora_recover::{AdaptMachine, HealthConfig, Lease, LeaseConfig, MediaClass, WindowSample};
 use pandora_segment::{
     wire, AudioSegment, PixelFormat, Segment, SequenceNumber, SlabSegment, Timestamp,
     VideoCompression, VideoHeader, VideoSegment,
 };
 use pandora_session::{
-    AdmissionController, Capabilities, Directory, EndpointRecord, SessionMsg, StreamClass,
+    AdmissionController, Capabilities, ControllerConfig, Directory, EndpointRecord, SessionMsg,
+    Star, StarConfig, StreamClass,
 };
+use pandora_sim::{SimDuration, SimTime, Simulation};
 
 /// Per-sample budget and sample count for one measurement pass.
 #[derive(Clone, Copy)]
@@ -333,6 +345,163 @@ fn session_cases(budget: Budget) -> Vec<Case> {
     cases
 }
 
+/// The failure-recovery state machines, measured without a simulator:
+/// one full lease miss/renew transition pair and one bad+clean window
+/// pair through the video adaptation machine.
+fn recovery_cases(budget: Budget) -> Vec<Case> {
+    let mut cases = Vec::new();
+    {
+        let mut lease = Lease::new(LeaseConfig::default());
+        cases.push(measure("lease_miss_renew_cycle", budget, || {
+            std::hint::black_box(lease.miss());
+            std::hint::black_box(lease.renew());
+        }));
+    }
+    {
+        let mut machine = AdaptMachine::new(MediaClass::Video, HealthConfig::default());
+        let bad = WindowSample {
+            received: 900,
+            gaps: 100,
+            late: 0,
+        };
+        let clean = WindowSample {
+            received: 1000,
+            gaps: 0,
+            late: 0,
+        };
+        cases.push(measure("adapt_observe_bad_clean", budget, || {
+            std::hint::black_box(machine.observe(&bad));
+            std::hint::black_box(machine.observe(&clean));
+        }));
+    }
+    cases
+}
+
+/// One heartbeat-interval point of the crash scenario sweep. All times
+/// are *virtual*: the same inputs yield byte-identical values on any
+/// host, so the committed file doubles as a regression fixture.
+struct RecoveryScenario {
+    heartbeat_ms: u64,
+    detect_sim_ms: f64,
+    reconverge_sim_us: f64,
+    probe_misses: u64,
+    crashes: u64,
+    rejoins: u64,
+}
+
+/// A six-box lease-guarded conference; node3 (both a listener of node0's
+/// session and the source of its own) crashes at t=2 s and restarts at
+/// t=6.5 s. Returns the controller's deterministic recovery measurements.
+fn recovery_scenario(heartbeat_ms: u64) -> RecoveryScenario {
+    let mut sim = Simulation::new();
+    let lease = LeaseConfig {
+        interval: SimDuration::from_millis(heartbeat_ms),
+        backoff_cap: SimDuration::from_millis(heartbeat_ms * 8),
+        ..LeaseConfig::default()
+    };
+    let star = Star::build(
+        &sim.spawner(),
+        6,
+        StarConfig {
+            seed: 71,
+            controller: ControllerConfig {
+                lease: Some(lease),
+                ..ControllerConfig::default()
+            },
+            ..Default::default()
+        },
+    );
+    let mic0 = star.nodes[0]
+        .boxy
+        .start_audio_source(Box::new(Speech::new(1)));
+    let mic3 = star.nodes[3]
+        .boxy
+        .start_audio_source(Box::new(Speech::new(2)));
+    let endpoints: Vec<_> = star.nodes.iter().map(|n| n.endpoint).collect();
+    let controller = star.controller.clone();
+    let done = Rc::new(StdCell::new(false));
+    let d = done.clone();
+    sim.spawn("driver", async move {
+        let s0 = controller
+            .open(endpoints[0], mic0, StreamClass::Audio)
+            .expect("open s0");
+        let s3 = controller
+            .open(endpoints[3], mic3, StreamClass::Audio)
+            .expect("open s3");
+        for dst in [1, 2, 3] {
+            controller
+                .add_listener(s0, endpoints[dst])
+                .await
+                .expect("admit listener");
+        }
+        controller
+            .add_listener(s3, endpoints[4])
+            .await
+            .expect("admit s3 listener");
+        d.set(true);
+    });
+    let plan = FaultPlan::default().crash_restart(
+        "node3",
+        SimDuration::from_secs(2),
+        SimDuration::from_millis(4_500),
+    );
+    let _trace = install(&sim.spawner(), &plan, &FaultTargets::new());
+    sim.run_until(SimTime::from_secs(12));
+    assert!(done.get(), "scenario driver did not finish");
+    RecoveryScenario {
+        heartbeat_ms,
+        detect_sim_ms: star.controller.detect_latency_mean_ns() / 1e6,
+        reconverge_sim_us: star.controller.reconverge_mean_ns() / 1e3,
+        probe_misses: star.controller.probe_misses(),
+        crashes: star.controller.crashes(),
+        rejoins: star.controller.rejoins(),
+    }
+}
+
+fn render_recovery_json(
+    cases: &[Case],
+    scenarios: &[RecoveryScenario],
+    mode: &str,
+) -> Option<String> {
+    if cases.len() < 2 || median_of(cases, "lease_miss_renew_cycle").is_none() {
+        eprintln!(
+            "bench-json: recovery suite malformed ({} cases)",
+            cases.len()
+        );
+        return None;
+    }
+    if scenarios.len() < 2
+        || scenarios
+            .iter()
+            .any(|s| s.crashes != 1 || s.rejoins != 1 || s.detect_sim_ms <= 0.0)
+    {
+        eprintln!("bench-json: recovery scenario sweep failed to reconverge");
+        return None;
+    }
+    let mut out = String::from("{\n");
+    out.push_str("  \"suite\": \"recovery\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let sep = if i + 1 == cases.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"ops_per_sec\": {:.0}}}{sep}\n",
+            c.name, c.median_ns, c.ops_per_sec
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"crash_scenarios\": [\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        let sep = if i + 1 == scenarios.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"heartbeat_ms\": {}, \"detect_sim_ms\": {:.3}, \"reconverge_sim_us\": {:.3}, \"probe_misses\": {}, \"crashes\": {}, \"rejoins\": {}}}{sep}\n",
+            s.heartbeat_ms, s.detect_sim_ms, s.reconverge_sim_us, s.probe_misses, s.crashes, s.rejoins
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    Some(out)
+}
+
 fn render_session_json(cases: &[Case], mode: &str) -> Option<String> {
     if cases.len() < 3 || median_of(cases, "session_msg_encode_decode").is_none() {
         eprintln!(
@@ -427,12 +596,39 @@ fn main() -> ExitCode {
         eprintln!("bench-json: cannot write BENCH_session.json: {e}");
         return ExitCode::FAILURE;
     }
+    let recovery = recovery_cases(budget);
+    for c in &recovery {
+        println!(
+            "{:<28} {:>12.1} ns/op {:>14.0} ops/s",
+            c.name, c.median_ns, c.ops_per_sec
+        );
+    }
+    // The sweep is virtual-time, so quick and full modes measure the
+    // same values; only the wall-clock cases above differ by budget.
+    let scenarios: Vec<RecoveryScenario> =
+        [50, 100, 200].map(recovery_scenario).into_iter().collect();
+    for s in &scenarios {
+        println!(
+            "crash @ heartbeat {:>4} ms: detected in {:.1} ms, reconverged in {:.1} us ({} probe misses)",
+            s.heartbeat_ms, s.detect_sim_ms, s.reconverge_sim_us, s.probe_misses
+        );
+    }
+    let Some(json) = render_recovery_json(&recovery, &scenarios, mode) else {
+        eprintln!("bench-json: recovery suite malformed, not writing BENCH_recovery.json");
+        return ExitCode::FAILURE;
+    };
+    if let Err(e) = std::fs::write("BENCH_recovery.json", &json) {
+        eprintln!("bench-json: cannot write BENCH_recovery.json: {e}");
+        return ExitCode::FAILURE;
+    }
     let legacy = median_of(&cases, "aal_round_trip_legacy").unwrap_or(0.0);
     let slab = median_of(&cases, "aal_round_trip_slab").unwrap_or(0.0);
     println!(
         "aal audio round trip: legacy {legacy:.1} ns -> slab {slab:.1} ns ({:.2}x)",
         legacy / slab
     );
-    println!("wrote BENCH_transport.json and BENCH_session.json ({mode} mode)");
+    println!(
+        "wrote BENCH_transport.json, BENCH_session.json and BENCH_recovery.json ({mode} mode)"
+    );
     ExitCode::SUCCESS
 }

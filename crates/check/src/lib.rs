@@ -119,11 +119,16 @@ impl Default for Config {
             // replayability (same plan ⇒ byte-identical FaultTrace):
             // a stray wall-clock or unseeded RNG there would silently
             // break every conformance replay.
+            // "recover" joins both lists: its lease and adaptation
+            // machines drive crash reconvergence, so a wall-clock read
+            // or an undocumented invariant there would corrupt every
+            // recovery replay.
             deterministic_crates: v(&[
                 "sim", "buffers", "segment", "audio", "video", "atm", "faults", "slab", "session",
+                "recover",
             ]),
             hot_path_crates: v(&["buffers", "sim", "atm", "slab"]),
-            documented_crates: v(&["segment", "buffers", "slab", "session"]),
+            documented_crates: v(&["segment", "buffers", "slab", "session", "recover"]),
             // rt.rs is the intentionally-live runtime; bench measures the
             // host. Everything else under crates/ must stay virtual-time.
             wall_clock_allowlist: v(&["crates/core/src/rt.rs", "crates/bench"]),

@@ -36,6 +36,16 @@ fn fixtures_report_every_seeded_violation() {
         ),
         ("crates/buffers/src/lib.rs".to_string(), 7, Rule::NoUnwrap),
         (
+            "crates/recover/src/lease.rs".to_string(),
+            3,
+            Rule::MissingDocs,
+        ),
+        (
+            "crates/recover/src/lease.rs".to_string(),
+            10,
+            Rule::WallClock,
+        ),
+        (
             "crates/segment/src/wire.rs".to_string(),
             3,
             Rule::MissingDocs,
@@ -78,6 +88,8 @@ fn binary_exits_nonzero_on_fixtures() {
         "crates/sim/src/bad.rs:9: os-thread:",
         "crates/sim/src/bad.rs:13: no-unwrap:",
         "crates/video/src/raw.rs:4: safety-comment:",
+        "crates/recover/src/lease.rs:3: missing-docs:",
+        "crates/recover/src/lease.rs:10: wall-clock:",
         "crates/segment/src/wire.rs:3: missing-docs:",
         "crates/session/src/agent.rs:3: missing-docs:",
         "crates/session/src/agent.rs:10: wall-clock:",

@@ -1,0 +1,12 @@
+//! Seeded violations: missing-docs and wall-clock in `recover`.
+
+pub fn undocumented_probe_budget(misses: u32) -> u32 {
+    misses * 2
+}
+
+/// Documented, but times the lease with the host clock — detection
+/// latency must come from virtual time or replays diverge.
+pub fn naughty_deadline() -> u64 {
+    let _t = std::time::Instant::now();
+    0
+}

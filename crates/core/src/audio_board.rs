@@ -240,6 +240,13 @@ struct SpeakerInner {
     /// Aggregate clawback stats snapshot (updated each tick).
     clawback_stats: pandora_buffers::ClawbackStats,
     segments_in: u64,
+    /// P8 local adaptation: while set, the mix output is silence. Audio
+    /// is muted, never degraded (Principle 2) — sustained loss sounds
+    /// worse than silence, so the health monitor flips this instead of
+    /// thinning the stream.
+    muted: bool,
+    /// Ticks mixed to silence while muted.
+    muted_ticks: u64,
 }
 
 impl SpeakerSink {
@@ -258,6 +265,8 @@ impl SpeakerSink {
                 output: Vec::new(),
                 clawback_stats: Default::default(),
                 segments_in: 0,
+                muted: false,
+                muted_ticks: 0,
             })),
         }
     }
@@ -330,6 +339,38 @@ impl SpeakerSink {
     /// Aggregate clawback statistics.
     pub fn clawback_stats(&self) -> pandora_buffers::ClawbackStats {
         self.inner.borrow().clawback_stats
+    }
+
+    /// Engages or releases the P8 audio mute. While muted the playback
+    /// task keeps its 2 ms cadence (segments are still tracked, so loss
+    /// statistics and recovery detection keep working) but mixes
+    /// silence.
+    pub fn set_muted(&self, muted: bool) {
+        self.inner.borrow_mut().muted = muted;
+    }
+
+    /// Whether the P8 mute is currently engaged.
+    pub fn muted(&self) -> bool {
+        self.inner.borrow().muted
+    }
+
+    /// Ticks mixed to silence while muted.
+    pub fn muted_ticks(&self) -> u64 {
+        self.inner.borrow().muted_ticks
+    }
+
+    /// Per-stream `(stream, received, lost)` counters from sequence
+    /// tracking, in ascending stream order (deterministic) — the health
+    /// monitor's sampling surface.
+    pub fn stream_stats(&self) -> Vec<(StreamId, u64, u64)> {
+        let i = self.inner.borrow();
+        let mut out: Vec<(StreamId, u64, u64)> = i
+            .seq
+            .iter()
+            .map(|(&s, t)| (s, t.received(), t.lost()))
+            .collect();
+        out.sort_by_key(|&(s, _, _)| s.0);
+        out
     }
 }
 
@@ -441,7 +482,20 @@ pub fn spawn_audio_playback(
                 i.clawback_stats = bank.total_stats();
             }
             let blocks: Vec<Block> = mixed_inputs.iter().map(|(_, tb)| tb.block).collect();
-            let mixed = mix_blocks(blocks.iter());
+            let muted = {
+                let mut i = s.inner.borrow_mut();
+                if i.muted {
+                    i.muted_ticks += 1;
+                }
+                i.muted
+            };
+            // P8 mute: keep the cadence, silence the output (Principle
+            // 2 — audio is muted, never degraded).
+            let mixed = if muted {
+                mix_blocks(std::iter::empty::<&Block>())
+            } else {
+                mix_blocks(blocks.iter())
+            };
             if let Some(m) = &muting {
                 m.borrow_mut().observe_speaker(&mixed);
             }
@@ -696,6 +750,40 @@ mod tests {
         assert!(lat.count() > 500);
         let p50_ms = lat.percentile(50.0) / 1e6;
         assert!(p50_ms < 10.0, "p50 latency {p50_ms}ms");
+    }
+
+    #[test]
+    fn p8_mute_keeps_cadence_and_silences_output() {
+        let config = PlaybackConfig {
+            record_output: true,
+            ..PlaybackConfig::default()
+        };
+        let (mut sim, tx, sink, _cpu) = playback_rig(config);
+        spawn_stream_generators(&sim.spawner(), tx, 1, 2, SimTime::from_secs(2));
+        sim.run_until(SimTime::from_secs(1));
+        let ticks_before = sink.ticks();
+        assert_eq!(sink.muted_ticks(), 0);
+        let loud_before = sink
+            .output()
+            .iter()
+            .any(|b| *b != mix_blocks(std::iter::empty::<&Block>()));
+        assert!(loud_before, "tone should be audible before the mute");
+        sink.set_muted(true);
+        sim.run_until(SimTime::from_secs(2));
+        assert!(sink.ticks() > ticks_before + 400, "cadence must continue");
+        assert!(sink.muted_ticks() > 400);
+        let silence = mix_blocks(std::iter::empty::<&Block>());
+        let tail = sink.output();
+        assert!(
+            tail[tail.len() - 100..].iter().all(|b| *b == silence),
+            "muted ticks must mix silence"
+        );
+        // Loss statistics keep flowing while muted (detection intact).
+        let stats = sink.stream_stats();
+        assert_eq!(stats.len(), 1);
+        assert!(stats[0].1 > 400, "received counter must keep counting");
+        sink.set_muted(false);
+        assert!(!sink.muted());
     }
 
     #[test]

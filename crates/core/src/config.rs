@@ -9,6 +9,7 @@
 
 use pandora_audio::{CpuProfile, MutingConfig};
 use pandora_buffers::ClawbackConfig;
+use pandora_recover::HealthConfig;
 use pandora_sim::SimDuration;
 
 /// How the network output process schedules cells from different segments.
@@ -109,6 +110,10 @@ pub struct BoxConfig {
     /// buffers, so a slow output loses its own traffic only. Disabled, the
     /// gates block on a full buffer and stall the whole switch.
     pub ready_mode: bool,
+    /// Principle 8: spawn the box's stream-health monitor with these
+    /// tunables (local adaptation: audio mute, video rate divisor).
+    /// `None` disables local adaptation entirely.
+    pub health: Option<HealthConfig>,
 }
 
 impl BoxConfig {
@@ -140,6 +145,7 @@ impl BoxConfig {
             p3_oldest_first: true,
             command_priority: true,
             ready_mode: true,
+            health: None,
         }
     }
 }

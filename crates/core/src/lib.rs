@@ -29,6 +29,7 @@
 
 pub mod audio_board;
 pub mod config;
+pub mod health;
 pub mod hostlog;
 pub mod msg;
 pub mod network_board;
@@ -39,6 +40,7 @@ pub mod video_boards;
 
 pub use audio_board::{PlaybackConfig, SpeakerSink};
 pub use config::{BoxConfig, TxMode, VideoCosts};
+pub use health::HealthBoard;
 pub use hostlog::ReportLog;
 pub use msg::{OutputId, SegMsg, StreamKind, SwitchCommand, SwitchEntry};
 pub use network_board::{NetInStats, NetOutConfig, NetOutStats};

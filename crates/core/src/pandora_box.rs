@@ -61,6 +61,8 @@ pub struct PandoraBox {
     pub display: DisplaySink,
     /// The camera shared by capture streams.
     pub camera: Camera,
+    /// The P8 stream-health monitor, when [`BoxConfig::health`] is set.
+    pub health: Option<crate::health::HealthBoard>,
     /// The server board's segment pool: descriptors over slab-backed
     /// payloads. Only indices move between boards (§3.4).
     pub pool: Pool<SlabSegment>,
@@ -389,6 +391,18 @@ impl PandoraBox {
             pandora_video::DEFAULT_HEIGHT,
         );
 
+        // --- P8 local adaptation (opt-in): the health monitor samples
+        // the box's own counters and mutes audio / thins video locally.
+        let health = config.health.map(|hc| {
+            crate::health::HealthBoard::spawn(
+                spawner,
+                name,
+                hc,
+                speaker.clone(),
+                net_out_stats.clone(),
+            )
+        });
+
         PandoraBox {
             config,
             log,
@@ -398,6 +412,7 @@ impl PandoraBox {
             speaker,
             display,
             camera,
+            health,
             pool,
             slab,
             audio_cpu,
@@ -611,6 +626,10 @@ impl PandoraBox {
                         }
                     }
                 });
+        }
+        // The health monitor throttles every capture stream (P8).
+        if let Some(h) = &self.health {
+            h.register_capture(handle.clone());
         }
         (stream, handle)
     }

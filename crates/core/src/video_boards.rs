@@ -129,7 +129,7 @@ impl Camera {
     }
 }
 
-/// Handle to stop a capture stream.
+/// Handle to stop or throttle a capture stream.
 #[derive(Clone)]
 pub struct VideoCaptureHandle {
     stop: Rc<Cell<bool>>,
@@ -137,12 +137,27 @@ pub struct VideoCaptureHandle {
     frames: Rc<Cell<u64>>,
     slices: Rc<Cell<u64>>,
     flush_lines: Rc<Cell<u64>>,
+    divisor: Rc<Cell<u32>>,
 }
 
 impl VideoCaptureHandle {
     /// Stops the capture task at its next frame boundary.
     pub fn stop(&self) {
         self.stop.set(true);
+    }
+
+    /// Sets the P8 adaptation divisor: on top of the configured capture
+    /// rate, only every `divisor`-th candidate frame is taken. 1 is full
+    /// quality; the health monitor raises it to shed load when the path
+    /// is lossy (video degrades before audio ever would — Principles
+    /// 2/3). Values below 1 are clamped to 1.
+    pub fn set_divisor(&self, divisor: u32) {
+        self.divisor.set(divisor.max(1));
+    }
+
+    /// The current P8 adaptation divisor.
+    pub fn divisor(&self) -> u32 {
+        self.divisor.get()
     }
 
     /// Segments emitted.
@@ -185,6 +200,7 @@ pub fn spawn_video_capture(
         frames: Rc::new(Cell::new(0)),
         slices: Rc::new(Cell::new(0)),
         flush_lines: Rc::new(Cell::new(0)),
+        divisor: Rc::new(Cell::new(1)),
     };
     let h = handle.clone();
     let store = camera.store();
@@ -202,6 +218,12 @@ pub fn spawn_video_capture(
             let frame_time = start + SimDuration::from_nanos(frame_no * FRAME_PERIOD_NANOS);
             pandora_sim::delay_until(frame_time).await;
             if !config.rate.captures_frame(frame_no) {
+                frame_no += 1;
+                continue;
+            }
+            // P8 adaptation: the divisor thins the configured rate
+            // further while the health monitor has the stream degraded.
+            if !frame_no.is_multiple_of(u64::from(h.divisor.get())) {
                 frame_no += 1;
                 continue;
             }
@@ -492,6 +514,33 @@ mod tests {
             "p99 {}ms",
             lat.percentile(99.0) / 1e6
         );
+    }
+
+    #[test]
+    fn adaptation_divisor_thins_and_restores_the_rate() {
+        let (mut sim, handle, sink) = rig(RateFraction::FULL);
+        assert_eq!(handle.divisor(), 1);
+        sim.run_until(SimTime::from_secs(1));
+        let full = handle.frames();
+        // Degrade: every 4th candidate frame only.
+        handle.set_divisor(4);
+        sim.run_until(SimTime::from_secs(2));
+        let thinned = handle.frames() - full;
+        assert!(
+            thinned * 3 < full,
+            "divisor 4 should thin well below full rate: {thinned} vs {full}"
+        );
+        // Recover: divisor 1 restores full rate (0 clamps to 1).
+        handle.set_divisor(0);
+        assert_eq!(handle.divisor(), 1);
+        sim.run_until(SimTime::from_secs(3));
+        let restored = handle.frames() - full - thinned;
+        assert!(
+            restored + 2 >= full,
+            "full rate should come back: {restored} vs {full}"
+        );
+        handle.stop();
+        assert_eq!(sink.decode_errors(), 0);
     }
 
     #[test]

@@ -86,6 +86,32 @@ pub enum FaultKind {
         /// Task-name prefix to pause.
         prefix: String,
     },
+    /// Crashes a whole Pandora's Box: pauses every one of the box's task
+    /// families (switch, boards, handlers — see [`box_task_prefixes`]).
+    /// Reverting (or a later [`BoxRestart`]) resumes them, replaying the
+    /// wake-ups that arrived while down — the box restarts with its
+    /// pre-crash state, so recovery must clean stale state up explicitly.
+    ///
+    /// Prefix caveat: like [`PauseTasks`], matching is by name prefix, so
+    /// a box name that prefixes another (`node1` / `node10`) would also
+    /// crash the longer-named box's bare-prefix families. Use distinct
+    /// non-prefix names for crash targets.
+    ///
+    /// [`BoxRestart`]: FaultKind::BoxRestart
+    /// [`PauseTasks`]: FaultKind::PauseTasks
+    BoxCrash {
+        /// The box's configured name (e.g. `node3`).
+        name: String,
+    },
+    /// Restarts a box crashed by a permanent [`BoxCrash`]: resumes all of
+    /// its task families. Reverting is a no-op (a restart is
+    /// instantaneous).
+    ///
+    /// [`BoxCrash`]: FaultKind::BoxCrash
+    BoxRestart {
+        /// The box's configured name.
+        name: String,
+    },
     /// Changes a ticker crystal's relative drift; reverting restores 0.
     DriftChange {
         /// Registered ticker name.
@@ -139,6 +165,8 @@ impl std::fmt::Display for FaultKind {
                 "bandwidth-collapse path={path} hop={hop} permille={permille}"
             ),
             FaultKind::PauseTasks { prefix } => write!(f, "pause-tasks prefix={prefix}"),
+            FaultKind::BoxCrash { name } => write!(f, "box-crash name={name}"),
+            FaultKind::BoxRestart { name } => write!(f, "box-restart name={name}"),
             FaultKind::DriftChange { ticker, drift } => {
                 write!(f, "drift-change ticker={ticker} drift={drift:e}")
             }
@@ -374,6 +402,29 @@ impl FaultPlan {
         FaultPlan { seed, events }
     }
 
+    /// Appends a crash of box `name` at `crash_at` and its restart
+    /// `down_for` later — the standard crash/recover scenario the
+    /// conformance suite replays. The crash is permanent (no auto-revert)
+    /// so the downtime is owned entirely by the paired
+    /// [`FaultKind::BoxRestart`]; both land in the [`FaultTrace`] as
+    /// ordinary apply lines, replayable byte-identically.
+    pub fn crash_restart(self, name: &str, crash_at: SimDuration, down_for: SimDuration) -> Self {
+        self.event(
+            crash_at,
+            None,
+            FaultKind::BoxCrash {
+                name: name.to_string(),
+            },
+        )
+        .event(
+            crash_at + down_for,
+            None,
+            FaultKind::BoxRestart {
+                name: name.to_string(),
+            },
+        )
+    }
+
     /// Canonical plain-text rendering of the plan, one event per line;
     /// byte-identical for equal plans.
     pub fn to_text(&self) -> String {
@@ -395,6 +446,29 @@ impl FaultPlan {
         }
         out
     }
+}
+
+/// The task-name prefixes that together cover one Pandora's Box — its
+/// board tasks are spread over several naming families (`{name}:…`
+/// handlers and agents, `switch:{name}`, `audio:{name}:…`,
+/// `net-in:{name}` / `net-out:{name}`, and the video board tasks), so a
+/// box crash must pause all of them. The box's fabric attachment is
+/// deliberately *not* covered: a crashed box leaves the wire up, and
+/// cells aimed at it queue or drop at the edge (Principle 5).
+///
+/// Matching is by prefix — crash targets must not be name-prefixes of
+/// other boxes (see [`FaultKind::BoxCrash`]).
+pub fn box_task_prefixes(name: &str) -> Vec<String> {
+    vec![
+        format!("{name}:"),
+        format!("switch:{name}"),
+        format!("audio:{name}:"),
+        format!("net-in:{name}"),
+        format!("net-out:{name}"),
+        format!("camera:{name}"),
+        format!("video-capture:{name}:"),
+        format!("video-display:{name}"),
+    ]
 }
 
 /// The injection points a topology exposes to a plan, by name.
@@ -538,6 +612,27 @@ fn actuate(
             } else {
                 pandora_sim::pause_matching(prefix)
             };
+            return Ok(format!("{phase} {kind} tasks={n}"));
+        }
+        FaultKind::BoxCrash { name } => {
+            let mut n = 0;
+            for prefix in box_task_prefixes(name) {
+                n += if revert {
+                    pandora_sim::resume_matching(&prefix)
+                } else {
+                    pandora_sim::pause_matching(&prefix)
+                };
+            }
+            return Ok(format!("{phase} {kind} tasks={n}"));
+        }
+        FaultKind::BoxRestart { name } => {
+            if revert {
+                return Ok(format!("{phase} {kind}"));
+            }
+            let mut n = 0;
+            for prefix in box_task_prefixes(name) {
+                n += pandora_sim::resume_matching(&prefix);
+            }
             return Ok(format!("{phase} {kind} tasks={n}"));
         }
         FaultKind::DriftChange { ticker, drift } => {
@@ -747,6 +842,74 @@ mod tests {
         sim.run_until_idle();
         let text = trace.to_text();
         assert!(text.contains("skip latency-step path=nowhere"), "{text}");
+    }
+
+    #[test]
+    fn crash_restart_pauses_every_box_task_family_and_replays() {
+        fn run() -> (String, u64, u64) {
+            let mut sim = Simulation::new();
+            let agent = Rc::new(StdCell::new(0u64));
+            let mixer = Rc::new(StdCell::new(0u64));
+            let a = agent.clone();
+            let m = mixer.clone();
+            // Two task families of one box, named as the core names them.
+            sim.spawn("node3:session-agent", async move {
+                loop {
+                    pandora_sim::delay(SimDuration::from_millis(1)).await;
+                    a.set(a.get() + 1);
+                }
+            });
+            sim.spawn("audio:node3:playback", async move {
+                loop {
+                    pandora_sim::delay(SimDuration::from_millis(1)).await;
+                    m.set(m.get() + 1);
+                }
+            });
+            let plan = FaultPlan::default().crash_restart(
+                "node3",
+                SimDuration::from_micros(10_500),
+                SimDuration::from_millis(5),
+            );
+            let trace = install(&sim.spawner(), &plan, &FaultTargets::new());
+            sim.run_until(SimTime::from_millis(30));
+            (trace.to_text(), agent.get(), mixer.get())
+        }
+        let (text_a, agent_a, mixer_a) = run();
+        let (text_b, agent_b, mixer_b) = run();
+        assert_eq!(text_a, text_b, "trace must be byte-identical");
+        assert_eq!((agent_a, mixer_a), (agent_b, mixer_b));
+        // 10 ticks before the crash, none for 5 ms, then back on cadence.
+        assert!((23..=25).contains(&agent_a), "agent ticks {agent_a}");
+        assert!((23..=25).contains(&mixer_a), "mixer ticks {mixer_a}");
+        assert!(
+            text_a.contains("apply box-crash name=node3 tasks=2"),
+            "{text_a}"
+        );
+        assert!(
+            text_a.contains("apply box-restart name=node3 tasks=2"),
+            "{text_a}"
+        );
+    }
+
+    #[test]
+    fn box_prefixes_do_not_cross_box_boundaries() {
+        let mut sim = Simulation::new();
+        let other = Rc::new(StdCell::new(0u64));
+        let o = other.clone();
+        sim.spawn("node1:session-agent", async move {
+            loop {
+                pandora_sim::delay(SimDuration::from_millis(1)).await;
+                o.set(o.get() + 1);
+            }
+        });
+        let plan = FaultPlan::default().crash_restart(
+            "node3",
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(20),
+        );
+        let _trace = install(&sim.spawner(), &plan, &FaultTargets::new());
+        sim.run_until(SimTime::from_millis(10));
+        assert!(other.get() >= 8, "node1 must keep running: {}", other.get());
     }
 
     #[test]

@@ -99,6 +99,19 @@ impl Fabric {
         self.switch.unroute(vci);
     }
 
+    /// Tears down every leg toward `port` — the dead-unit cleanup: when
+    /// a unit disappears, all tannoy copies aimed at it come out of the
+    /// fabric in one pass while other listeners keep receiving
+    /// (Principle 6). Returns the VCIs that lost legs, ascending.
+    pub fn unroute_port(&self, port: usize) -> Vec<Vci> {
+        self.switch.unroute_port(port)
+    }
+
+    /// Installed legs toward `port`.
+    pub fn port_route_count(&self, port: usize) -> usize {
+        self.switch.port_route_count(port)
+    }
+
     /// The underlying switch (for statistics).
     pub fn switch(&self) -> &Switch {
         &self.switch

@@ -9,6 +9,8 @@
 //! * [`Counter`] and [`CounterSet`] — named event counters.
 //! * [`RateLimiter`] — minimum-period gating used by report channels.
 //! * [`TimeSeries`] — (time, value) traces for figure-style output.
+//! * [`StateTimeline`] — (time, entity, state) transition traces for
+//!   failure-recovery assertions.
 //! * [`Table`] — aligned ASCII table output for the `repro` binary.
 //!
 //! All values are plain `f64`/`u64`; time units are whatever the caller
@@ -19,9 +21,11 @@ mod histogram;
 mod jitter;
 mod series;
 mod table;
+mod timeline;
 
 pub use counter::{Counter, CounterSet, RateLimiter};
 pub use histogram::Histogram;
 pub use jitter::JitterTracker;
 pub use series::TimeSeries;
 pub use table::Table;
+pub use timeline::StateTimeline;

@@ -1,0 +1,103 @@
+//! State timelines: ordered (time, state) transition traces.
+//!
+//! Failure-recovery experiments need to assert *when* an entity changed
+//! state (a lease turning suspect, dead, live again), not just how often.
+//! A [`StateTimeline`] records the transitions as they happen and renders
+//! them as a deterministic text block for replay-equality assertions.
+
+/// An append-only trace of state transitions for one or more entities.
+///
+/// Times are plain `u64` in whatever unit the caller uses consistently
+/// (the simulator uses nanoseconds). Consecutive duplicate states for
+/// the same entity are collapsed: recording `dead` twice in a row keeps
+/// only the first entry, so the timeline is a minimal transition list.
+#[derive(Debug, Default, Clone)]
+pub struct StateTimeline {
+    entries: Vec<(u64, String, String)>,
+}
+
+impl StateTimeline {
+    /// An empty timeline.
+    pub fn new() -> StateTimeline {
+        StateTimeline::default()
+    }
+
+    /// Records `entity` entering `state` at `at`. A no-op if the
+    /// entity's most recent recorded state is already `state`.
+    pub fn record(&mut self, at: u64, entity: &str, state: &str) {
+        let last = self
+            .entries
+            .iter()
+            .rev()
+            .find(|(_, e, _)| e == entity)
+            .map(|(_, _, s)| s.as_str());
+        if last == Some(state) {
+            return;
+        }
+        self.entries
+            .push((at, entity.to_string(), state.to_string()));
+    }
+
+    /// Number of recorded transitions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The most recent state recorded for `entity`, if any.
+    pub fn current(&self, entity: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|(_, e, _)| e == entity)
+            .map(|(_, _, s)| s.as_str())
+    }
+
+    /// Renders the timeline as one `t=<time> <entity> -> <state>` line
+    /// per transition, in recording order — byte-identical across
+    /// replays of a deterministic run.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (at, entity, state) in &self.entries {
+            out.push_str(&format!("t={at:012} {entity} -> {state}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_transitions_and_collapses_repeats() {
+        let mut t = StateTimeline::new();
+        t.record(10, "node3", "live");
+        t.record(20, "node3", "suspect");
+        t.record(25, "node3", "suspect"); // collapsed
+        t.record(30, "node3", "dead");
+        t.record(35, "node4", "live");
+        t.record(40, "node3", "live");
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.current("node3"), Some("live"));
+        assert_eq!(t.current("node4"), Some("live"));
+        assert_eq!(t.current("node5"), None);
+    }
+
+    #[test]
+    fn text_is_ordered_and_stable() {
+        let mut t = StateTimeline::new();
+        assert!(t.is_empty());
+        t.record(1_000, "a", "up");
+        t.record(2_000, "a", "down");
+        assert_eq!(
+            t.to_text(),
+            "t=000000001000 a -> up\nt=000000002000 a -> down\n"
+        );
+        assert_eq!(t.to_text(), t.clone().to_text());
+    }
+}

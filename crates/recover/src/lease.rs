@@ -1,0 +1,379 @@
+//! Controller-held leases renewed by heartbeats on the command path.
+//!
+//! Each attached box holds a lease the controller's probe task renews by
+//! a Ping/Pong exchange (Principle 4: commands travel ahead of data, so
+//! a live data path implies a live lease path). The lease itself is a
+//! pure counter machine — the probe task owns all timing, asking the
+//! lease how long to wait before the next probe ([`Lease::next_probe_in`]
+//! backs off exponentially while renewals are missing) and reporting
+//! each outcome through [`Lease::renew`] / [`Lease::miss`].
+//!
+//! State walk: `Live --misses>=suspect_after--> Suspect
+//! --misses>=dead_after--> Dead --renewal--> Live` (a revival). The
+//! transitions are returned as [`LeaseEvent`]s so the caller can run
+//! reconvergence exactly once per death and rejoin exactly once per
+//! revival.
+
+use std::collections::BTreeMap;
+
+use pandora_sim::SimDuration;
+
+/// Lease/heartbeat tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseConfig {
+    /// Nominal renewal interval — the probe cadence while the lease is
+    /// live and every renewal succeeds.
+    pub interval: SimDuration,
+    /// Consecutive missed renewals before the lease turns `Suspect`.
+    pub suspect_after: u32,
+    /// Consecutive missed renewals before the lease turns `Dead`.
+    /// Must be at least `suspect_after`.
+    pub dead_after: u32,
+    /// Upper bound on the backed-off probe interval. Probing continues
+    /// past death at this capped cadence, watching for a restart.
+    pub backoff_cap: SimDuration,
+}
+
+impl Default for LeaseConfig {
+    fn default() -> Self {
+        LeaseConfig {
+            interval: SimDuration::from_millis(100),
+            suspect_after: 2,
+            dead_after: 4,
+            backoff_cap: SimDuration::from_millis(800),
+        }
+    }
+}
+
+/// Where a lease stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseState {
+    /// Renewals arriving on cadence.
+    Live,
+    /// Renewals missing, not yet long enough to declare death.
+    Suspect,
+    /// Renewals missing past `dead_after` — reconvergence has the floor.
+    Dead,
+}
+
+impl LeaseState {
+    /// Canonical lowercase name, for digests and state timelines.
+    pub fn name(self) -> &'static str {
+        match self {
+            LeaseState::Live => "live",
+            LeaseState::Suspect => "suspect",
+            LeaseState::Dead => "dead",
+        }
+    }
+}
+
+/// A state transition worth acting on, returned by [`Lease::renew`] and
+/// [`Lease::miss`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseEvent {
+    /// `Live → Suspect`: start watching closely (and backing off).
+    Suspected,
+    /// `Suspect → Dead`: run crash reconvergence.
+    Died,
+    /// `Suspect|Dead → Live`: the box is back; if it was dead, run the
+    /// rejoin path (stale-state cleanup, then normal re-admission).
+    Revived {
+        /// Whether the lease was `Dead` (a true rejoin) rather than
+        /// merely `Suspect` (a blip that never reached reconvergence).
+        was_dead: bool,
+    },
+}
+
+/// One endpoint's lease.
+#[derive(Debug, Clone)]
+pub struct Lease {
+    config: LeaseConfig,
+    state: LeaseState,
+    misses: u32,
+    renewals: u64,
+    missed_total: u64,
+    deaths: u64,
+    revivals: u64,
+}
+
+impl Lease {
+    /// A fresh, live lease.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dead_after < suspect_after` or either is zero — such a
+    /// lease could die before it suspects, or die instantly.
+    pub fn new(config: LeaseConfig) -> Lease {
+        assert!(
+            config.suspect_after > 0 && config.dead_after >= config.suspect_after,
+            "lease thresholds must satisfy 0 < suspect_after <= dead_after"
+        );
+        Lease {
+            config,
+            state: LeaseState::Live,
+            misses: 0,
+            renewals: 0,
+            missed_total: 0,
+            deaths: 0,
+            revivals: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> LeaseState {
+        self.state
+    }
+
+    /// Consecutive misses in the current bad streak (0 while live).
+    pub fn misses(&self) -> u32 {
+        self.misses
+    }
+
+    /// Renewals accepted over the lease's lifetime.
+    pub fn renewals(&self) -> u64 {
+        self.renewals
+    }
+
+    /// Total missed renewals over the lease's lifetime.
+    pub fn missed_total(&self) -> u64 {
+        self.missed_total
+    }
+
+    /// Times the lease died.
+    pub fn deaths(&self) -> u64 {
+        self.deaths
+    }
+
+    /// Times the lease revived from suspect or dead.
+    pub fn revivals(&self) -> u64 {
+        self.revivals
+    }
+
+    /// A successful renewal: resets the miss streak; reports a revival
+    /// if the lease was suspect or dead.
+    pub fn renew(&mut self) -> Option<LeaseEvent> {
+        self.renewals += 1;
+        self.misses = 0;
+        match self.state {
+            LeaseState::Live => None,
+            LeaseState::Suspect | LeaseState::Dead => {
+                let was_dead = self.state == LeaseState::Dead;
+                self.state = LeaseState::Live;
+                self.revivals += 1;
+                Some(LeaseEvent::Revived { was_dead })
+            }
+        }
+    }
+
+    /// A missed renewal: advances the miss streak and reports the
+    /// suspect/death threshold crossings exactly once each.
+    pub fn miss(&mut self) -> Option<LeaseEvent> {
+        self.missed_total += 1;
+        self.misses = self.misses.saturating_add(1);
+        match self.state {
+            LeaseState::Live if self.misses >= self.config.suspect_after => {
+                self.state = LeaseState::Suspect;
+                // A degenerate config (suspect_after == dead_after) dies
+                // on the same miss; the death event wins.
+                if self.misses >= self.config.dead_after {
+                    self.state = LeaseState::Dead;
+                    self.deaths += 1;
+                    return Some(LeaseEvent::Died);
+                }
+                Some(LeaseEvent::Suspected)
+            }
+            LeaseState::Suspect if self.misses >= self.config.dead_after => {
+                self.state = LeaseState::Dead;
+                self.deaths += 1;
+                Some(LeaseEvent::Died)
+            }
+            _ => None,
+        }
+    }
+
+    /// How long the probe should wait before the next renewal attempt:
+    /// the nominal interval while renewals succeed, doubling per
+    /// consecutive miss (exponential backoff), capped at
+    /// `backoff_cap`. Probing never stops — a dead lease is probed at
+    /// the cap so a restarted box is noticed.
+    pub fn next_probe_in(&self) -> SimDuration {
+        let base = self.config.interval.as_nanos();
+        let cap = self.config.backoff_cap.as_nanos().max(base);
+        let shift = self.misses.min(20);
+        let backed_off = base.saturating_mul(1u64 << shift);
+        SimDuration(backed_off.min(cap))
+    }
+
+    /// One-line digest of the lease's counters, for replay assertions.
+    pub fn digest(&self) -> String {
+        format!(
+            "state={} renewals={} missed={} deaths={} revivals={}",
+            self.state.name(),
+            self.renewals,
+            self.missed_total,
+            self.deaths,
+            self.revivals
+        )
+    }
+}
+
+/// The controller's leases, keyed by endpoint id. A `BTreeMap` keeps
+/// iteration order deterministic — probe scheduling and digests must not
+/// depend on hash order.
+#[derive(Debug, Default)]
+pub struct LeaseTable {
+    leases: BTreeMap<u32, Lease>,
+}
+
+impl LeaseTable {
+    /// An empty table.
+    pub fn new() -> LeaseTable {
+        LeaseTable::default()
+    }
+
+    /// Grants (or re-grants) a fresh live lease for `endpoint`.
+    pub fn grant(&mut self, endpoint: u32, config: LeaseConfig) -> &mut Lease {
+        self.leases.entry(endpoint).or_insert_with(|| {
+            // The entry API defers construction so a re-grant of an
+            // existing lease keeps its history.
+            Lease::new(config)
+        })
+    }
+
+    /// The lease for `endpoint`, if granted.
+    pub fn get(&self, endpoint: u32) -> Option<&Lease> {
+        self.leases.get(&endpoint)
+    }
+
+    /// Mutable access for renew/miss reporting.
+    pub fn get_mut(&mut self, endpoint: u32) -> Option<&mut Lease> {
+        self.leases.get_mut(&endpoint)
+    }
+
+    /// Endpoints holding leases, in ascending id order.
+    pub fn endpoints(&self) -> Vec<u32> {
+        self.leases.keys().copied().collect()
+    }
+
+    /// Endpoints currently in the given state, in ascending id order.
+    pub fn in_state(&self, state: LeaseState) -> Vec<u32> {
+        self.leases
+            .iter()
+            .filter(|(_, l)| l.state() == state)
+            .map(|(&e, _)| e)
+            .collect()
+    }
+
+    /// Multi-line digest (`endpoint: <lease digest>`), deterministic.
+    pub fn digest(&self) -> String {
+        let mut out = String::new();
+        for (e, l) in &self.leases {
+            out.push_str(&format!("{e}: {}\n", l.digest()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LeaseConfig {
+        LeaseConfig {
+            interval: SimDuration::from_millis(100),
+            suspect_after: 2,
+            dead_after: 4,
+            backoff_cap: SimDuration::from_millis(800),
+        }
+    }
+
+    #[test]
+    fn walks_live_suspect_dead_exactly_once() {
+        let mut l = Lease::new(cfg());
+        assert_eq!(l.state(), LeaseState::Live);
+        assert_eq!(l.miss(), None);
+        assert_eq!(l.miss(), Some(LeaseEvent::Suspected));
+        assert_eq!(l.state(), LeaseState::Suspect);
+        assert_eq!(l.miss(), None);
+        assert_eq!(l.miss(), Some(LeaseEvent::Died));
+        assert_eq!(l.state(), LeaseState::Dead);
+        // Further misses stay dead without re-reporting.
+        assert_eq!(l.miss(), None);
+        assert_eq!(l.deaths(), 1);
+    }
+
+    #[test]
+    fn renewal_revives_and_resets_backoff() {
+        let mut l = Lease::new(cfg());
+        for _ in 0..4 {
+            let _ = l.miss();
+        }
+        assert_eq!(l.state(), LeaseState::Dead);
+        assert_eq!(l.renew(), Some(LeaseEvent::Revived { was_dead: true }));
+        assert_eq!(l.state(), LeaseState::Live);
+        assert_eq!(l.next_probe_in(), SimDuration::from_millis(100));
+        // A suspect blip revives with was_dead = false.
+        let _ = l.miss();
+        let _ = l.miss();
+        assert_eq!(l.state(), LeaseState::Suspect);
+        assert_eq!(l.renew(), Some(LeaseEvent::Revived { was_dead: false }));
+        assert_eq!(l.revivals(), 2);
+    }
+
+    #[test]
+    fn probe_interval_backs_off_exponentially_to_the_cap() {
+        let mut l = Lease::new(cfg());
+        assert_eq!(l.next_probe_in(), SimDuration::from_millis(100));
+        let _ = l.miss();
+        assert_eq!(l.next_probe_in(), SimDuration::from_millis(200));
+        let _ = l.miss();
+        assert_eq!(l.next_probe_in(), SimDuration::from_millis(400));
+        let _ = l.miss();
+        assert_eq!(l.next_probe_in(), SimDuration::from_millis(800));
+        let _ = l.miss();
+        // Capped: misses keep counting but the cadence holds.
+        assert_eq!(l.next_probe_in(), SimDuration::from_millis(800));
+        for _ in 0..40 {
+            let _ = l.miss();
+        }
+        assert_eq!(l.next_probe_in(), SimDuration::from_millis(800));
+    }
+
+    #[test]
+    fn table_iterates_in_endpoint_order() {
+        let mut t = LeaseTable::new();
+        for e in [7u32, 1, 4] {
+            t.grant(e, cfg());
+        }
+        assert_eq!(t.endpoints(), vec![1, 4, 7]);
+        for _ in 0..4 {
+            let _ = t.get_mut(4).unwrap().miss();
+        }
+        assert_eq!(t.in_state(LeaseState::Dead), vec![4]);
+        assert_eq!(t.in_state(LeaseState::Live), vec![1, 7]);
+        let d = t.digest();
+        assert!(d.starts_with("1: state=live"), "{d}");
+        assert!(d.contains("4: state=dead"), "{d}");
+    }
+
+    #[test]
+    fn regrant_keeps_history() {
+        let mut t = LeaseTable::new();
+        t.grant(1, cfg());
+        for _ in 0..4 {
+            let _ = t.get_mut(1).unwrap().miss();
+        }
+        t.grant(1, cfg());
+        assert_eq!(t.get(1).unwrap().deaths(), 1, "re-grant must not reset");
+    }
+
+    #[test]
+    #[should_panic(expected = "lease thresholds")]
+    fn rejects_inverted_thresholds() {
+        let _ = Lease::new(LeaseConfig {
+            suspect_after: 5,
+            dead_after: 2,
+            ..cfg()
+        });
+    }
+}

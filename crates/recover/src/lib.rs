@@ -1,0 +1,36 @@
+//! pandora-recover: the failure-recovery state machines.
+//!
+//! The paper's principles assume endpoints and the command path can fail
+//! while the surviving streams stay alive: P6 promises continuity through
+//! reconfiguration, and P8 makes quality decisions *locally*, at the box
+//! that observes the trouble. This crate supplies the two deterministic
+//! state machines those promises rest on — pure data types with no I/O,
+//! no clock access and no randomness, so every transition is replayable:
+//!
+//! * [`Lease`] / [`LeaseTable`] — the controller-held lease a heartbeat
+//!   probe renews on the P4 command path. Missed renewals walk the lease
+//!   `Live → Suspect → Dead` after a configurable number of misses, with
+//!   exponential backoff on the probe side; a successful renewal of a
+//!   dead lease is a *revival*, the signal to re-admit a restarted box.
+//! * [`StreamHealth`] / [`AdaptMachine`] — a sliding-window monitor of
+//!   sequence-gap and late-segment rates per stream, driving the P8
+//!   local-adaptation policy: sustained video loss steps the rate
+//!   divisor down (degrade-to-fit, the P2/P3 ordering — video gives way
+//!   first), sustained audio loss engages muting rather than degrading
+//!   (audio is never sent at reduced quality, P2), and recovery
+//!   hysteresis restores full quality only after the trouble has
+//!   demonstrably cleared.
+//!
+//! The session controller (`pandora-session`) owns the leases and runs
+//! crash reconvergence on expiry; the box (`pandora` core) owns the
+//! health monitors and applies the adaptation actions. Both sides are
+//! exercised by `pandora-faults` crash/pause/flap plans in the
+//! conformance suite.
+
+pub mod health;
+pub mod lease;
+
+pub use health::{
+    AdaptAction, AdaptMachine, AdaptState, HealthConfig, MediaClass, StreamHealth, WindowSample,
+};
+pub use lease::{Lease, LeaseConfig, LeaseEvent, LeaseState, LeaseTable};

@@ -23,17 +23,47 @@
 //! so cells are never in flight toward missing state. Requests are
 //! idempotent at the agents, which makes the controller's
 //! timeout-and-retry loop safe under signalling faults (Principle 4
-//! keeps the command path live; retries cover lost cells).
+//! keeps the command path live; retries cover lost cells). Retries back
+//! off exponentially with seeded jitter so a congested command path is
+//! not hammered in lock-step.
+//!
+//! ## Failure recovery (leases and reconvergence)
+//!
+//! When [`ControllerConfig::lease`] is set, the controller probes every
+//! endpoint with `Ping`/`Pong` heartbeats on the ordinary command path
+//! and holds a [`LeaseTable`]. A lease that misses enough renewals dies,
+//! and the controller reconverges the surviving conference:
+//!
+//! 1. sessions where the dead box was a *listener* shrink upstream-first
+//!    (RemoveDest at the live source, fabric route out) — the source's
+//!    transmit budget is released and its other copies never glitch;
+//! 2. sessions where the dead box was the *source* tear down whole:
+//!    fabric route out, then CloseSink at each surviving listener so
+//!    their admission charges are refunded;
+//! 3. a fabric backstop ([`Switch::unroute_port`]) sweeps any stray legs
+//!    toward the dead port, then the well-known control circuit is
+//!    re-installed so a restarted box is reachable again.
+//!
+//! The dead box's own half of the state (its local routes and admission
+//!    charges) cannot be released over the wire — it is recorded as
+//! *stale debt* and settled with idempotent CloseSink/RemoveDest
+//! requests when the lease revives (the rejoin path). Rejoined boxes
+//! re-enter conferences through the normal admission path.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use pandora::{OutputId, PandoraBox, StreamKind};
 use pandora_atm::{segment_to_cells, Cell, Reassembler, Switch, Vci};
-use pandora_metrics::{Histogram, Table};
+use pandora_metrics::{Histogram, StateTimeline, Table};
+use pandora_recover::{LeaseConfig, LeaseEvent, LeaseState, LeaseTable};
 use pandora_segment::{wire, StreamId};
-use pandora_sim::{alt2_deadline, Either2, LinkSender, Receiver, Sender, SimDuration, Spawner};
+use pandora_sim::{
+    alt2_deadline, Either2, LinkSender, Receiver, Sender, SimDuration, SimTime, Spawner,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use crate::admission::{AdmissionController, Decision};
 use crate::directory::{Capabilities, Directory, EndpointId};
@@ -71,10 +101,23 @@ pub struct Admitted {
 /// Controller tunables.
 #[derive(Debug, Clone, Copy)]
 pub struct ControllerConfig {
-    /// How long to wait for an agent's reply before retrying.
+    /// How long to wait for an agent's reply on the first attempt.
     pub reply_timeout: SimDuration,
     /// Retries after the first attempt times out.
     pub retries: u32,
+    /// Upper bound on the backed-off per-attempt reply wait
+    /// (`reply_timeout * 2^attempt`, capped here).
+    pub backoff_cap: SimDuration,
+    /// Jitter added to each attempt's wait, as thousandths of the
+    /// backed-off wait (0 disables jitter). Jitter keeps lock-step
+    /// retries from re-colliding on a congested command path.
+    pub jitter_permille: u32,
+    /// Seed for the jitter generator — same seed, same retry schedule,
+    /// so runs replay byte-identically.
+    pub seed: u64,
+    /// Lease/heartbeat tunables; `None` disables failure detection (no
+    /// probe tasks, no reconvergence — crashed boxes leak their state).
+    pub lease: Option<LeaseConfig>,
 }
 
 impl Default for ControllerConfig {
@@ -82,9 +125,17 @@ impl Default for ControllerConfig {
         ControllerConfig {
             reply_timeout: SimDuration::from_millis(500),
             retries: 2,
+            backoff_cap: SimDuration::from_millis(4_000),
+            jitter_permille: 200,
+            seed: 0x5EA5_1DE5,
+            lease: None,
         }
     }
 }
+
+/// One dead source's teardown work: session id, source stream and the
+/// surviving sinks that must close, in leg order.
+type SourceTeardown = (u32, StreamId, Vec<(EndpointId, Vci)>);
 
 struct SinkRec {
     dst: EndpointId,
@@ -107,6 +158,27 @@ struct ControlStats {
     timeouts: u64,
     setup_latency_ns: Histogram,
     reconfig_gap_ns: Histogram,
+    attempt_delay_ns: Histogram,
+}
+
+/// Wire-unreleasable state a dead box still holds locally: settled with
+/// idempotent requests when it rejoins.
+#[derive(Default)]
+struct StaleDebt {
+    // CloseSink owed: (session, sink vci).
+    sinks: Vec<(u32, Vci)>,
+    // RemoveDest owed: (session, source stream, dest vci).
+    sources: Vec<(u32, StreamId, Vci)>,
+}
+
+#[derive(Default)]
+struct RecoveryStats {
+    crashes: u64,
+    rejoins: u64,
+    probe_misses: u64,
+    detect_ns: Histogram,
+    reconverge_ns: Histogram,
+    timeline: StateTimeline,
 }
 
 struct CtlInner {
@@ -119,6 +191,10 @@ struct CtlInner {
     next_vci: u32,
     next_seg_seq: u32,
     stats: ControlStats,
+    jitter_rng: SmallRng,
+    leases: LeaseTable,
+    stale: BTreeMap<u32, StaleDebt>,
+    recovery: RecoveryStats,
 }
 
 /// The control plane of one conference fabric: directory, signalling,
@@ -157,6 +233,10 @@ impl Controller {
             next_vci: 0x1000,
             next_seg_seq: 1,
             stats: ControlStats::default(),
+            jitter_rng: SmallRng::seed_from_u64(config.seed),
+            leases: LeaseTable::new(),
+            stale: BTreeMap::new(),
+            recovery: RecoveryStats::default(),
         }));
         let dispatch = inner.clone();
         spawner.spawn("session:controller-rx", async move {
@@ -442,6 +522,10 @@ impl Controller {
         let stats = &mut inner.stats;
         t.histogram_row("setup latency", &mut stats.setup_latency_ns, 1e6);
         t.histogram_row("reconfig gap", &mut stats.reconfig_gap_ns, 1e6);
+        t.histogram_row("attempt delay", &mut stats.attempt_delay_ns, 1e6);
+        let recovery = &mut inner.recovery;
+        t.histogram_row("crash detect", &mut recovery.detect_ns, 1e6);
+        t.histogram_row("reconverge", &mut recovery.reconverge_ns, 1e6);
         t
     }
 
@@ -451,7 +535,7 @@ impl Controller {
         let mut inner = self.inner.borrow_mut();
         let stats = &mut inner.stats;
         format!(
-            "setups={} reconfigs={} rejections={} timeouts={} setup[{};{:.0}] gap[{};{:.0}]",
+            "setups={} reconfigs={} rejections={} timeouts={} setup[{};{:.0}] gap[{};{:.0}] attempt[{};{:.0}]",
             stats.setups,
             stats.reconfigs,
             stats.rejections,
@@ -460,7 +544,300 @@ impl Controller {
             stats.setup_latency_ns.mean(),
             stats.reconfig_gap_ns.count(),
             stats.reconfig_gap_ns.mean(),
+            stats.attempt_delay_ns.count(),
+            stats.attempt_delay_ns.mean(),
         )
+    }
+
+    /// Spawns one lease-probe task per directory endpoint (task
+    /// `session:lease:<name>`). Each probe sleeps for the lease's
+    /// current backoff, sends a single-attempt `Ping` on the command
+    /// path and reports the outcome to the lease; deaths trigger
+    /// [`Controller::reconverge`] and revivals from dead trigger the
+    /// rejoin cleanup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ControllerConfig::lease`] is `None`.
+    pub fn spawn_lease_probes(self: &Rc<Self>, spawner: &Spawner) {
+        let lcfg = self
+            .config
+            .lease
+            .expect("spawn_lease_probes requires ControllerConfig::lease");
+        let endpoints: Vec<(EndpointId, String)> = {
+            let inner = self.inner.borrow();
+            (0..inner.directory.len() as u32)
+                .filter_map(|i| {
+                    let id = EndpointId(i);
+                    inner.directory.get(id).map(|r| (id, r.name.clone()))
+                })
+                .collect()
+        };
+        for (ep, name) in endpoints {
+            let ctl = self.clone();
+            {
+                let mut inner = ctl.inner.borrow_mut();
+                inner.leases.grant(ep.0, lcfg);
+                // Granting happens during topology build, outside any
+                // task, where the executor clock is not yet current.
+                let now = pandora_sim::try_now().unwrap_or(SimTime::ZERO).as_nanos();
+                inner.recovery.timeline.record(now, &name, "live");
+            }
+            spawner.spawn(&format!("session:lease:{name}"), async move {
+                let mut last_renewal = pandora_sim::now();
+                loop {
+                    let wait = ctl
+                        .inner
+                        .borrow()
+                        .leases
+                        .get(ep.0)
+                        .map_or(lcfg.interval, |l| l.next_probe_in());
+                    pandora_sim::delay(wait).await;
+                    let Ok((_port, target)) = ctl.endpoint(ep) else {
+                        return;
+                    };
+                    let outcome = ctl
+                        .request_once(target, &|txn| SessionMsg::Ping { txn }, lcfg.interval)
+                        .await;
+                    match outcome {
+                        Ok(SessionMsg::Pong { .. }) => {
+                            last_renewal = pandora_sim::now();
+                            let event = {
+                                let mut inner = ctl.inner.borrow_mut();
+                                let event = inner.leases.get_mut(ep.0).and_then(|l| l.renew());
+                                if event.is_some() {
+                                    let now = pandora_sim::now().as_nanos();
+                                    inner.recovery.timeline.record(now, &name, "live");
+                                }
+                                event
+                            };
+                            if let Some(LeaseEvent::Revived { was_dead: true }) = event {
+                                ctl.settle_rejoin(ep).await;
+                            }
+                        }
+                        Err(SessionError::Closed) => return,
+                        // A wrong-typed reply counts as a miss, like a
+                        // timeout: the probe only trusts a Pong.
+                        Ok(_) | Err(_) => {
+                            let event = {
+                                let mut inner = ctl.inner.borrow_mut();
+                                inner.recovery.probe_misses += 1;
+                                let event = inner.leases.get_mut(ep.0).and_then(|l| l.miss());
+                                let now = pandora_sim::now().as_nanos();
+                                match event {
+                                    Some(LeaseEvent::Suspected) => {
+                                        inner.recovery.timeline.record(now, &name, "suspect");
+                                    }
+                                    Some(LeaseEvent::Died) => {
+                                        inner.recovery.timeline.record(now, &name, "dead");
+                                        let detect = now.saturating_sub(last_renewal.as_nanos());
+                                        inner.recovery.detect_ns.record(detect as f64);
+                                    }
+                                    _ => {}
+                                }
+                                event
+                            };
+                            if let Some(LeaseEvent::Died) = event {
+                                ctl.reconverge(ep).await;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    }
+
+    /// Crash reconvergence: tears the dead box out of every session it
+    /// participates in, shrinking upstream-first so surviving streams
+    /// never glitch (Principle 6), releases the survivors' admission
+    /// charges, sweeps the fabric port and records the dead box's own
+    /// unreleasable state as stale debt for the rejoin path.
+    pub async fn reconverge(&self, dead: EndpointId) {
+        let t0 = pandora_sim::now();
+        let Ok((dead_port, dead_ctl)) = self.endpoint(dead) else {
+            return;
+        };
+        // Snapshot the work in ascending session order (determinism),
+        // then signal without holding the borrow across awaits.
+        let mut as_listener: Vec<(u32, EndpointId, StreamId, Vci)> = Vec::new();
+        let mut as_source: Vec<SourceTeardown> = Vec::new();
+        {
+            let inner = self.inner.borrow();
+            let mut ids: Vec<u32> = inner.sessions.keys().copied().collect();
+            ids.sort_unstable();
+            for id in ids {
+                let s = &inner.sessions[&id];
+                if s.src == dead {
+                    as_source.push((
+                        id,
+                        s.src_stream,
+                        s.sinks.iter().map(|k| (k.dst, k.vci)).collect(),
+                    ));
+                } else {
+                    for k in s.sinks.iter().filter(|k| k.dst == dead) {
+                        as_listener.push((id, s.src, s.src_stream, k.vci));
+                    }
+                }
+            }
+        }
+        // Dead box was a listener: upstream-first shrink, skipping the
+        // unreachable CloseSink (owed as stale debt instead).
+        for (session, src, src_stream, vci) in as_listener {
+            if let Ok((_p, src_ctl)) = self.endpoint(src) {
+                let _ = self
+                    .request(src_ctl, |txn| SessionMsg::RemoveDest {
+                        txn,
+                        session,
+                        stream: src_stream,
+                        vci,
+                    })
+                    .await;
+            }
+            self.switch.unroute(vci);
+            let mut inner = self.inner.borrow_mut();
+            if let Some(s) = inner.sessions.get_mut(&session) {
+                s.sinks.retain(|k| k.vci != vci);
+            }
+            inner.stats.reconfigs += 1;
+            inner
+                .stale
+                .entry(dead.0)
+                .or_default()
+                .sinks
+                .push((session, vci));
+        }
+        // Dead box was the source: the stream is gone; drop each leg's
+        // fabric route, refund each surviving listener, forget the
+        // session. The dead source's own per-copy charges become debt.
+        for (session, src_stream, sinks) in as_source {
+            for (dst, vci) in sinks {
+                self.switch.unroute(vci);
+                if let Ok((_p, dst_ctl)) = self.endpoint(dst) {
+                    let _ = self
+                        .request(dst_ctl, |txn| SessionMsg::CloseSink { txn, session, vci })
+                        .await;
+                }
+                let mut inner = self.inner.borrow_mut();
+                inner.stats.reconfigs += 1;
+                inner
+                    .stale
+                    .entry(dead.0)
+                    .or_default()
+                    .sources
+                    .push((session, src_stream, vci));
+            }
+            self.inner.borrow_mut().sessions.remove(&session);
+        }
+        // Fabric backstop: sweep any stray legs toward the dead port,
+        // then re-install the well-known control circuit so the rejoin
+        // Pings can reach a restarted box.
+        self.switch.unroute_port(dead_port);
+        self.switch.route(dead_ctl, dead_port, dead_ctl);
+        let mut inner = self.inner.borrow_mut();
+        inner.recovery.crashes += 1;
+        let elapsed = (pandora_sim::now().as_nanos() - t0.as_nanos()) as f64;
+        inner.recovery.reconverge_ns.record(elapsed);
+    }
+
+    /// Settles a rejoined box's stale debt: the sinks and source copies
+    /// it still holds from before the crash are released with idempotent
+    /// CloseSink/RemoveDest requests, refunding its admission budgets.
+    /// The box then re-enters conferences through the normal
+    /// [`Controller::add_listener`] path.
+    async fn settle_rejoin(&self, ep: EndpointId) {
+        let Ok((_port, target)) = self.endpoint(ep) else {
+            return;
+        };
+        let debt = self.inner.borrow_mut().stale.remove(&ep.0);
+        if let Some(debt) = debt {
+            for (session, vci) in debt.sinks {
+                let _ = self
+                    .request(target, |txn| SessionMsg::CloseSink { txn, session, vci })
+                    .await;
+            }
+            for (session, stream, vci) in debt.sources {
+                let _ = self
+                    .request(target, |txn| SessionMsg::RemoveDest {
+                        txn,
+                        session,
+                        stream,
+                        vci,
+                    })
+                    .await;
+            }
+        }
+        self.inner.borrow_mut().recovery.rejoins += 1;
+    }
+
+    /// The lease state of an endpoint, if the controller holds one.
+    pub fn lease_state(&self, ep: EndpointId) -> Option<LeaseState> {
+        self.inner.borrow().leases.get(ep.0).map(|l| l.state())
+    }
+
+    /// Deterministic multi-line digest of every lease's counters.
+    pub fn lease_digest(&self) -> String {
+        self.inner.borrow().leases.digest()
+    }
+
+    /// Lease deaths reconverged so far.
+    pub fn crashes(&self) -> u64 {
+        self.inner.borrow().recovery.crashes
+    }
+
+    /// Dead leases revived (stale debt settled) so far.
+    pub fn rejoins(&self) -> u64 {
+        self.inner.borrow().recovery.rejoins
+    }
+
+    /// Heartbeat probes that went unanswered.
+    pub fn probe_misses(&self) -> u64 {
+        self.inner.borrow().recovery.probe_misses
+    }
+
+    /// Outstanding stale-debt entries owed by an endpoint (0 once its
+    /// rejoin has settled).
+    pub fn stale_debt(&self, ep: EndpointId) -> usize {
+        self.inner
+            .borrow()
+            .stale
+            .get(&ep.0)
+            .map_or(0, |d| d.sinks.len() + d.sources.len())
+    }
+
+    /// Deterministic one-line digest of the recovery counters and
+    /// histograms, for replay-equality assertions.
+    pub fn recovery_digest(&self) -> String {
+        let mut inner = self.inner.borrow_mut();
+        let r = &mut inner.recovery;
+        format!(
+            "crashes={} rejoins={} probe_misses={} detect[{};{:.0}] reconverge[{};{:.0}]",
+            r.crashes,
+            r.rejoins,
+            r.probe_misses,
+            r.detect_ns.count(),
+            r.detect_ns.mean(),
+            r.reconverge_ns.count(),
+            r.reconverge_ns.mean(),
+        )
+    }
+
+    /// The lease state timeline (`t=<ns> <name> -> <state>` lines), for
+    /// recovery-ordering assertions.
+    pub fn recovery_timeline(&self) -> String {
+        self.inner.borrow().recovery.timeline.to_text()
+    }
+
+    /// Mean crash-detection latency (last renewal → death declared) in
+    /// virtual nanoseconds; 0 before the first detection. Deterministic:
+    /// the histogram is fed from the sim clock.
+    pub fn detect_latency_mean_ns(&self) -> f64 {
+        self.inner.borrow().recovery.detect_ns.mean()
+    }
+
+    /// Mean reconvergence time (death declared → fabric swept) in
+    /// virtual nanoseconds; 0 before the first crash.
+    pub fn reconverge_mean_ns(&self) -> f64 {
+        self.inner.borrow().recovery.reconverge_ns.mean()
     }
 
     fn endpoint(&self, id: EndpointId) -> Result<(usize, Vci), SessionError> {
@@ -479,35 +856,73 @@ impl Controller {
             .await;
     }
 
-    /// One request-reply exchange with timeout and retry. Fresh
-    /// transaction ids per attempt; agent idempotency makes retries safe.
+    /// One request-reply exchange with timeout and exponential-backoff
+    /// retry. Fresh transaction ids per attempt; agent idempotency makes
+    /// retries safe.
     async fn request<F: Fn(u32) -> SessionMsg>(
         &self,
         target: Vci,
         build: F,
     ) -> Result<SessionMsg, SessionError> {
-        for _attempt in 0..=self.config.retries {
-            let (txn, reply_rx) = {
-                let mut inner = self.inner.borrow_mut();
-                let txn = inner.next_txn;
-                inner.next_txn += 1;
-                let (tx, rx) = pandora_sim::buffered::<SessionMsg>(1);
-                inner.pending.insert(txn, tx);
-                (txn, rx)
-            };
-            self.send_control(target, &build(txn)).await?;
-            let deadline = pandora_sim::now() + self.config.reply_timeout;
-            match alt2_deadline(&reply_rx, &self.never_rx, deadline).await {
-                Some(Ok(Either2::A(reply))) => return Ok(reply),
-                None => {
-                    let mut inner = self.inner.borrow_mut();
-                    inner.pending.remove(&txn);
-                    inner.stats.timeouts += 1;
-                }
-                _ => return Err(SessionError::Closed),
+        for attempt in 0..=self.config.retries {
+            let wait = self.attempt_wait(attempt);
+            match self.request_once(target, &build, wait).await {
+                Err(SessionError::Timeout) => continue,
+                other => return other,
             }
         }
         Err(SessionError::Timeout)
+    }
+
+    /// The reply wait for a given attempt: `reply_timeout * 2^attempt`
+    /// capped at `backoff_cap`, plus up to `jitter_permille` thousandths
+    /// of seeded jitter. Every computed wait is recorded in the
+    /// per-attempt delay histogram.
+    fn attempt_wait(&self, attempt: u32) -> SimDuration {
+        let base = self.config.reply_timeout.as_nanos();
+        let cap = self.config.backoff_cap.as_nanos().max(base);
+        let backed = base.saturating_mul(1u64 << attempt.min(20)).min(cap);
+        let span = backed / 1_000 * u64::from(self.config.jitter_permille);
+        let mut inner = self.inner.borrow_mut();
+        let jitter = if span == 0 {
+            0
+        } else {
+            inner.jitter_rng.gen_range(0..=span)
+        };
+        let wait = SimDuration(backed.saturating_add(jitter));
+        inner.stats.attempt_delay_ns.record(wait.as_nanos() as f64);
+        wait
+    }
+
+    /// A single request attempt with an explicit reply wait. The lease
+    /// probes use this directly (one attempt per heartbeat — a missed
+    /// probe is lease evidence, not something to retry past).
+    async fn request_once<F: Fn(u32) -> SessionMsg>(
+        &self,
+        target: Vci,
+        build: &F,
+        wait: SimDuration,
+    ) -> Result<SessionMsg, SessionError> {
+        let (txn, reply_rx) = {
+            let mut inner = self.inner.borrow_mut();
+            let txn = inner.next_txn;
+            inner.next_txn += 1;
+            let (tx, rx) = pandora_sim::buffered::<SessionMsg>(1);
+            inner.pending.insert(txn, tx);
+            (txn, rx)
+        };
+        self.send_control(target, &build(txn)).await?;
+        let deadline = pandora_sim::now() + wait;
+        match alt2_deadline(&reply_rx, &self.never_rx, deadline).await {
+            Some(Ok(Either2::A(reply))) => Ok(reply),
+            None => {
+                let mut inner = self.inner.borrow_mut();
+                inner.pending.remove(&txn);
+                inner.stats.timeouts += 1;
+                Err(SessionError::Timeout)
+            }
+            _ => Err(SessionError::Closed),
+        }
     }
 
     async fn send_control(&self, vci: Vci, msg: &SessionMsg) -> Result<(), SessionError> {
@@ -745,7 +1160,14 @@ fn handle(boxy: &PandoraBox, stats: &AgentStats, msg: SessionMsg) -> Option<Sess
             }
             Some(SessionMsg::Done { txn, session })
         }
+        // A heartbeat needs no local state: answering proves the whole
+        // box-side control pipeline (network in, switch PRI-ALT, agent
+        // task, network out) is alive.
+        SessionMsg::Ping { txn } => Some(SessionMsg::Pong { txn }),
         // Controller-side messages need no agent reply.
-        SessionMsg::Accept { .. } | SessionMsg::Reject { .. } | SessionMsg::Done { .. } => None,
+        SessionMsg::Accept { .. }
+        | SessionMsg::Reject { .. }
+        | SessionMsg::Done { .. }
+        | SessionMsg::Pong { .. } => None,
     }
 }

@@ -20,7 +20,12 @@
 //!   downstream-first order, so ongoing streams never glitch
 //!   (Principle 6) and splits stay upstream-independent (Principle 5);
 //! - topology builders ([`Star`], [`point_to_point`]) assembling the
-//!   fabric the controller manages.
+//!   fabric the controller manages;
+//! - failure recovery (opt-in via [`ControllerConfig::lease`]):
+//!   heartbeat probes renew per-box leases from `pandora-recover`, and
+//!   a dead lease triggers crash reconvergence — surviving streams
+//!   never glitch, budgets are refunded, and a restarted box settles
+//!   its stale state before re-admission.
 
 pub mod admission;
 pub mod control;
@@ -31,5 +36,6 @@ pub mod topology;
 pub use admission::{AdmissionController, Decision, MIN_VIDEO_RATE_PERMILLE};
 pub use control::{spawn_agent, Admitted, AgentStats, Controller, ControllerConfig, SessionError};
 pub use directory::{Capabilities, Directory, EndpointId, EndpointRecord};
+pub use pandora_recover::{LeaseConfig, LeaseState};
 pub use proto::{RejectReason, SessionMsg, StreamClass, CONTROL_BYTES, CONTROL_MAGIC};
 pub use topology::{point_to_point, Star, StarConfig, StarNode, CONTROL_VCI_BASE, REPLY_VCI_BASE};

@@ -186,6 +186,19 @@ pub enum SessionMsg {
         /// Session id.
         session: u32,
     },
+    /// Liveness probe from the controller's lease monitor. Travels on the
+    /// same command path as every other control message (Principle 4), so
+    /// a Pong proves the whole box-side control pipeline is alive, not
+    /// just the link.
+    Ping {
+        /// Transaction id.
+        txn: u32,
+    },
+    /// Reply to [`SessionMsg::Ping`]; renews the sender's lease.
+    Pong {
+        /// Transaction id (echoes the probe).
+        txn: u32,
+    },
 }
 
 impl SessionMsg {
@@ -198,7 +211,9 @@ impl SessionMsg {
             | SessionMsg::AddDest { txn, .. }
             | SessionMsg::RemoveDest { txn, .. }
             | SessionMsg::CloseSink { txn, .. }
-            | SessionMsg::Done { txn, .. } => txn,
+            | SessionMsg::Done { txn, .. }
+            | SessionMsg::Ping { txn }
+            | SessionMsg::Pong { txn } => txn,
         }
     }
 
@@ -211,6 +226,8 @@ impl SessionMsg {
             SessionMsg::RemoveDest { .. } => 5,
             SessionMsg::CloseSink { .. } => 6,
             SessionMsg::Done { .. } => 7,
+            SessionMsg::Ping { .. } => 8,
+            SessionMsg::Pong { .. } => 9,
         }
     }
 
@@ -256,6 +273,7 @@ impl SessionMsg {
             } => (txn, session, stream.0, vci.0, 0, 0),
             SessionMsg::CloseSink { txn, session, vci } => (txn, session, vci.0, 0, 0, 0),
             SessionMsg::Done { txn, session } => (txn, session, 0, 0, 0, 0),
+            SessionMsg::Ping { txn } | SessionMsg::Pong { txn } => (txn, 0, 0, 0, 0, 0),
         };
         let mut out = Vec::with_capacity(CONTROL_BYTES);
         out.extend_from_slice(&CONTROL_MAGIC);
@@ -316,6 +334,8 @@ impl SessionMsg {
                 vci: Vci(a),
             }),
             7 => Some(SessionMsg::Done { txn, session }),
+            8 => Some(SessionMsg::Ping { txn }),
+            9 => Some(SessionMsg::Pong { txn }),
             _ => None,
         }
     }
@@ -392,6 +412,8 @@ mod tests {
                 vci: Vci(0x1001),
             },
             SessionMsg::Done { txn: 6, session: 2 },
+            SessionMsg::Ping { txn: 8 },
+            SessionMsg::Pong { txn: 8 },
         ]
     }
 

@@ -172,9 +172,16 @@ impl Star {
                 }
             })
             .collect();
+        let controller = Rc::new(controller);
+        // Failure detection is opt-in: with a lease config the
+        // controller probes every box on the command path and
+        // reconverges conferences around crashes.
+        if config.controller.lease.is_some() {
+            controller.spawn_lease_probes(spawner);
+        }
         Star {
             nodes,
-            controller: Rc::new(controller),
+            controller,
             switch,
             path_controls,
         }

@@ -285,6 +285,7 @@ fn signalling_survives_link_flap() {
             controller: ControllerConfig {
                 reply_timeout: SimDuration::from_millis(200),
                 retries: 5,
+                ..ControllerConfig::default()
             },
             ..Default::default()
         },
