@@ -167,6 +167,11 @@ fn spawn_inner<T: 'static>(
     let (conduit_tx, conduit_rx) = channel::<T>();
     let (feedback_tx, feedback_rx) = channel::<()>();
     let writer_name = format!("dec:{name}:writer");
+    // The conduit/feedback pair strictly alternates: the reader sends on
+    // conduit only while the writer is idle (writer_busy false) and
+    // receives feedback only while it is busy, so the rendezvous loop can
+    // never have both parties blocked sending at once.
+    // check:allow(channel-cycle): strict alternation, argued above.
     spawner.spawn_prio(&writer_name, Priority::High, async move {
         while let Ok(item) = conduit_rx.recv().await {
             if output.send(item).await.is_err() {

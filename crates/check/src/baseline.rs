@@ -1,0 +1,142 @@
+//! The committed diagnostic baseline: legacy findings CI tolerates.
+//!
+//! A baseline file (by convention `check.baseline` at the workspace
+//! root) records known diagnostics as `PCxxx path:line` keys, one per
+//! line; `#` starts a comment and blank lines are ignored. The binary
+//! loads it by default and subtracts baselined findings from the failure
+//! set, so CI goes red only on *new* diagnostics while the legacy ones
+//! stay visible — in the file, under review, with a written reason.
+//!
+//! `--write-baseline` regenerates the file from the current run;
+//! reviewers see the churn as ordinary diff.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::Diagnostic;
+
+/// A parsed baseline: the set of tolerated diagnostic keys.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    keys: BTreeSet<String>,
+}
+
+impl Baseline {
+    /// Parses baseline text (`PCxxx path:line` lines, `#` comments).
+    pub fn parse(text: &str) -> Baseline {
+        let keys = text
+            .lines()
+            .map(|l| l.split('#').next().unwrap_or("").trim())
+            .filter(|l| !l.is_empty())
+            .map(str::to_string)
+            .collect();
+        Baseline { keys }
+    }
+
+    /// Loads `path`; a missing file is an empty baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the file exists but cannot be read.
+    pub fn load(path: &Path) -> std::io::Result<Baseline> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Ok(Baseline::parse(&text)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// True when `d` is recorded in the baseline.
+    pub fn contains(&self, d: &Diagnostic) -> bool {
+        self.keys.contains(&d.baseline_key())
+    }
+
+    /// Number of recorded keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no keys are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Keys recorded but not present in `diagnostics` — stale entries
+    /// that should be pruned (the finding was fixed).
+    pub fn stale<'a>(&'a self, diagnostics: &[Diagnostic]) -> Vec<&'a str> {
+        let live: BTreeSet<String> = diagnostics.iter().map(Diagnostic::baseline_key).collect();
+        self.keys
+            .iter()
+            .filter(|k| !live.contains(*k))
+            .map(String::as_str)
+            .collect()
+    }
+}
+
+/// Renders `diagnostics` as baseline text, sorted and annotated with the
+/// message as a trailing comment so the file reads as a worklist.
+pub fn render(diagnostics: &[Diagnostic]) -> String {
+    let mut lines: Vec<String> = diagnostics
+        .iter()
+        .map(|d| format!("{}  # {}", d.baseline_key(), d.message))
+        .collect();
+    lines.sort();
+    let mut out = String::from(
+        "# pandora-check baseline: tolerated legacy diagnostics.\n\
+         # Regenerate with `cargo run -p pandora-check -- --write-baseline`.\n\
+         # Format: PCxxx path:line   (text after `#` is ignored)\n",
+    );
+    for l in &lines {
+        out.push_str(l);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rule;
+    use std::path::PathBuf;
+
+    fn diag(path: &str, line: usize, rule: Rule) -> Diagnostic {
+        Diagnostic {
+            path: PathBuf::from(path),
+            line,
+            rule,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn parse_ignores_comments_and_blanks() {
+        let b = Baseline::parse(
+            "# header\n\nPC002 crates/sim/src/x.rs:4  # wall clock\nPC005 crates/a/src/b.rs:1\n",
+        );
+        assert_eq!(b.len(), 2);
+        assert!(b.contains(&diag("crates/sim/src/x.rs", 4, Rule::WallClock)));
+        assert!(!b.contains(&diag("crates/sim/src/x.rs", 5, Rule::WallClock)));
+        assert!(!b.contains(&diag("crates/sim/src/x.rs", 4, Rule::OsThread)));
+    }
+
+    #[test]
+    fn render_roundtrips_and_reports_stale() {
+        let ds = vec![
+            diag("crates/a/src/b.rs", 1, Rule::NoUnwrap),
+            diag("crates/c/src/d.rs", 9, Rule::CommandPath),
+        ];
+        let text = render(&ds);
+        let b = Baseline::parse(&text);
+        assert_eq!(b.len(), 2);
+        assert!(ds.iter().all(|d| b.contains(d)));
+        assert!(b.stale(&ds).is_empty());
+        let stale = b.stale(&ds[..1]);
+        assert_eq!(stale, ["PC103 crates/c/src/d.rs:9"]);
+    }
+
+    #[test]
+    fn missing_file_loads_empty() {
+        let b = Baseline::load(Path::new("/nonexistent/check.baseline")).unwrap();
+        assert!(b.is_empty());
+    }
+}

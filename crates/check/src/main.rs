@@ -1,42 +1,113 @@
 //! The `pandora-check` binary: analyze the workspace (or `--root <dir>`)
-//! and exit nonzero if any invariant is violated.
+//! and exit nonzero if any non-baselined deny-severity invariant is
+//! violated (any severity under `--deny-warnings`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
-use pandora_check::{run_checks, workspace_root, Config};
+use pandora_check::baseline::{self, Baseline};
+use pandora_check::{render_json, run_checks, workspace_root, Config, Rule, Severity, ALL_RULES};
+
+const USAGE: &str = "\
+pandora-check: workspace invariant analyzer
+
+USAGE: pandora-check [OPTIONS]
+
+OPTIONS:
+  --root <dir>        analyze <dir> instead of the enclosing workspace
+  --format <fmt>      output format: text (default) or json
+  --output <file>     write diagnostics to <file> instead of stdout
+  --baseline <file>   baseline file (default: <root>/check.baseline)
+  --no-baseline       ignore any baseline file
+  --write-baseline    rewrite the baseline from this run's findings, then exit
+  --deny-warnings     warn-severity findings also fail the run
+  --explain <code>    print the rationale for a PCxxx code (or rule name)
+  -h, --help          this text
+
+Stage one masks every .rs file and runs the per-file token rules; stage
+two parses the masked code into a workspace model and runs the
+cross-file protocol rules:
+
+  PC001 safety-comment   unsafe requires a SAFETY: justification
+  PC002 wall-clock       no Instant::now/SystemTime outside the allowlist
+  PC003 os-thread        no thread::spawn/sleep outside the allowlist
+  PC004 no-unwrap        no unwrap/expect outside tests in hot-path crates
+  PC005 missing-docs     public items documented in the API crates
+  PC006 hot-path-alloc   no Vec::new/to_vec in files marked check:hot-path
+  PC101 wire-exhaustive  every wire-enum variant has encode+decode arms
+  PC102 channel-cycle    no rendezvous wait-for cycles among sim tasks
+  PC103 command-path     only the control plane touches command VCIs
+  PC104 pool-order       pools acquired in one global order (warn)
+
+Waive a finding in place with: // check:allow(rule-name): reason
+Tolerate a legacy finding by listing `PCxxx path:line` in check.baseline.
+Exits 0 when clean, 1 on new findings, 2 on usage or I/O errors.";
+
+struct Options {
+    root: Option<PathBuf>,
+    json: bool,
+    output: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    no_baseline: bool,
+    write_baseline: bool,
+    deny_warnings: bool,
+}
 
 fn main() -> ExitCode {
+    let mut opts = Options {
+        root: None,
+        json: false,
+        output: None,
+        baseline: None,
+        no_baseline: false,
+        write_baseline: false,
+        deny_warnings: false,
+    };
     let mut args = std::env::args().skip(1);
-    let mut root: Option<PathBuf> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => {
-                root = args.next().map(PathBuf::from);
-                if root.is_none() {
+                opts.root = args.next().map(PathBuf::from);
+                if opts.root.is_none() {
                     eprintln!("pandora-check: --root requires a directory argument");
                     return ExitCode::from(2);
                 }
             }
+            "--format" => match args.next().as_deref() {
+                Some("text") => opts.json = false,
+                Some("json") => opts.json = true,
+                other => {
+                    eprintln!("pandora-check: --format requires `text` or `json`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--output" => {
+                opts.output = args.next().map(PathBuf::from);
+                if opts.output.is_none() {
+                    eprintln!("pandora-check: --output requires a file argument");
+                    return ExitCode::from(2);
+                }
+            }
+            "--baseline" => {
+                opts.baseline = args.next().map(PathBuf::from);
+                if opts.baseline.is_none() {
+                    eprintln!("pandora-check: --baseline requires a file argument");
+                    return ExitCode::from(2);
+                }
+            }
+            "--no-baseline" => opts.no_baseline = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--explain" => {
+                let Some(code) = args.next() else {
+                    eprintln!("pandora-check: --explain requires a PCxxx code or rule name");
+                    return ExitCode::from(2);
+                };
+                return explain(&code);
+            }
             "--help" | "-h" => {
-                println!(
-                    "pandora-check: workspace invariant analyzer\n\
-                     \n\
-                     USAGE: pandora-check [--root <dir>]\n\
-                     \n\
-                     Walks every .rs file under the workspace root (found by\n\
-                     ascending from the current directory) and enforces:\n\
-                     \n\
-                       safety-comment  unsafe requires a SAFETY: justification\n\
-                       wall-clock      no Instant::now/SystemTime outside the allowlist\n\
-                       os-thread       no thread::spawn/thread::sleep outside the allowlist\n\
-                       no-unwrap       no unwrap/expect outside tests in hot-path crates\n\
-                       missing-docs    public items documented in segment/buffers/slab\n\
-                       hot-path-alloc  no Vec::new/to_vec in files marked check:hot-path\n\
-                     \n\
-                     Waive a finding in place with: // check:allow(rule-name): reason\n\
-                     Exits 0 when clean, 1 when any rule fires."
-                );
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -45,8 +116,39 @@ fn main() -> ExitCode {
             }
         }
     }
+    run(&opts)
+}
+
+fn explain(code: &str) -> ExitCode {
+    match Rule::from_code(code) {
+        Some(rule) => {
+            println!(
+                "{} {} ({})\n\n{}",
+                rule.code(),
+                rule.name(),
+                rule.severity().label(),
+                rule.explain()
+            );
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "pandora-check: unknown code `{code}`; known codes: {}",
+                ALL_RULES
+                    .iter()
+                    .map(|r| r.code())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(opts: &Options) -> ExitCode {
+    let started = Instant::now();
     let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
-    let root = root.unwrap_or_else(|| workspace_root(&cwd));
+    let root = opts.root.clone().unwrap_or_else(|| workspace_root(&cwd));
     let diagnostics = match run_checks(&root, &Config::default()) {
         Ok(d) => d,
         Err(e) => {
@@ -54,14 +156,92 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    for d in &diagnostics {
-        println!("{d}");
+
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join("check.baseline"));
+    if opts.write_baseline {
+        let text = baseline::render(&diagnostics);
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!(
+                "pandora-check: cannot write {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "pandora-check: wrote {} finding(s) to {}",
+            diagnostics.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
     }
-    if diagnostics.is_empty() {
-        eprintln!("pandora-check: workspace clean ({})", root.display());
+    let baseline = if opts.no_baseline {
+        Baseline::default()
+    } else {
+        match Baseline::load(&baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!(
+                    "pandora-check: cannot read {}: {e}",
+                    baseline_path.display()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let failing: Vec<_> = diagnostics
+        .iter()
+        .filter(|d| {
+            (opts.deny_warnings || d.rule.severity() == Severity::Deny) && !baseline.contains(d)
+        })
+        .collect();
+
+    let rendered = if opts.json {
+        render_json(&diagnostics)
+    } else {
+        let mut text = String::new();
+        for d in &diagnostics {
+            let suffix = if baseline.contains(d) {
+                "  (baselined)"
+            } else {
+                ""
+            };
+            text.push_str(&format!("{d}{suffix}\n"));
+        }
+        text
+    };
+    if let Some(path) = &opts.output {
+        if let Err(e) = std::fs::write(path, &rendered) {
+            eprintln!("pandora-check: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    } else {
+        print!("{rendered}");
+    }
+
+    for stale in baseline.stale(&diagnostics) {
+        eprintln!("pandora-check: stale baseline entry `{stale}` — finding fixed, prune it");
+    }
+    let elapsed = started.elapsed();
+    if failing.is_empty() {
+        eprintln!(
+            "pandora-check: {} finding(s), 0 new ({} baselined) in {:.1?} ({})",
+            diagnostics.len(),
+            diagnostics.iter().filter(|d| baseline.contains(d)).count(),
+            elapsed,
+            root.display()
+        );
         ExitCode::SUCCESS
     } else {
-        eprintln!("pandora-check: {} violation(s)", diagnostics.len());
+        eprintln!(
+            "pandora-check: {} new violation(s) of {} finding(s) in {:.1?}",
+            failing.len(),
+            diagnostics.len(),
+            elapsed
+        );
         ExitCode::FAILURE
     }
 }

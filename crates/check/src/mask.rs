@@ -20,6 +20,11 @@ pub struct MaskedFile {
     pub comment: Vec<String>,
     /// True for lines inside `#[cfg(test)]` items or `#[test]` functions.
     pub in_test: Vec<bool>,
+    /// True for lines inside a `macro_rules!` definition body. Macro
+    /// templates are token soup whose expansion context (very often test
+    /// code) a lexical pass cannot see, so the panic/determinism rules
+    /// must not treat them as live code.
+    pub in_macro: Vec<bool>,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -193,11 +198,13 @@ impl MaskedFile {
         let code: Vec<String> = code.lines().map(str::to_string).collect();
         let comment: Vec<String> = comment.lines().map(str::to_string).collect();
         let in_test = mark_test_regions(&code);
+        let in_macro = mark_macro_regions(&code);
         MaskedFile {
             raw,
             code,
             comment,
             in_test,
+            in_macro,
         }
     }
 
@@ -296,6 +303,24 @@ fn mark_test_regions(code: &[String]) -> Vec<bool> {
     in_test
 }
 
+/// Marks the lines of every `macro_rules!` definition body.
+fn mark_macro_regions(code: &[String]) -> Vec<bool> {
+    let mut in_macro = vec![false; code.len()];
+    let mut line = 0;
+    while line < code.len() {
+        if code[line].contains("macro_rules!") {
+            let end = item_end(code, line);
+            for flag in in_macro.iter_mut().take(end + 1).skip(line) {
+                *flag = true;
+            }
+            line = end + 1;
+        } else {
+            line += 1;
+        }
+    }
+    in_macro
+}
+
 /// Finds the last line of the item an attribute on `start` applies to:
 /// either the statement's `;` or the matching close of its first brace.
 fn item_end(code: &[String], start: usize) -> usize {
@@ -392,6 +417,16 @@ mod tests {
         assert!(m.in_test[0]);
         assert!(m.in_test[1]);
         assert!(!m.in_test[2]);
+    }
+
+    #[test]
+    fn macro_rules_body_marked() {
+        let src =
+            "macro_rules! m {\n    ($e:expr) => {\n        $e.unwrap()\n    };\n}\nfn live() {}\n";
+        let m = MaskedFile::parse(src);
+        assert!(m.in_macro[0]);
+        assert!(m.in_macro[2]);
+        assert!(!m.in_macro[5]);
     }
 
     #[test]

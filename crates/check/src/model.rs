@@ -1,0 +1,752 @@
+//! Stage two input: the cross-file workspace model.
+//!
+//! [`WorkspaceModel::build`] aggregates every file's [`FileModel`] into
+//! the structures the protocol-invariant rules consume (DESIGN.md §12):
+//!
+//! * **wire enums** — enums carrying a `check:wire-enum` marker, with
+//!   per-variant encode evidence (the variant named in a match *pattern*
+//!   anywhere outside test code) and decode evidence (the variant
+//!   constructed in the *body* of a literal-pattern arm — the shape of a
+//!   kind-code decoder);
+//! * **task graphs** — per function, the channels created
+//!   (`let (tx, rx) = channel(..)`), the tasks spawned (`spawn(...,
+//!   async move { .. })`), and which task holds which endpoint, giving a
+//!   static wait-for graph over rendezvous channels;
+//! * **pool acquisition orders** — per function, the textual order in
+//!   which `Pool`/slab/arena handles are acquired, for lock-order-style
+//!   cycle detection;
+//! * **control-VCI references** — lines naming the well-known command
+//!   circuits (`CONTROL_VCI_BASE`, `REPLY_VCI_BASE`, `Vci(0x7F..)`).
+//!
+//! Extraction is scoped to the function (`fn` item) so identically-named
+//! endpoints in different constructors never alias; within one function,
+//! name resolution follows shadowing (the latest definition preceding the
+//! use site wins).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use crate::mask::MaskedFile;
+use crate::parse::{self, CodeText, FileModel, WireObligation};
+
+/// One analyzed source file: masked channels plus structural model.
+pub struct AnalyzedFile {
+    /// Path relative to the analyzed root.
+    pub rel: PathBuf,
+    /// `rel` with forward slashes.
+    pub rel_str: String,
+    /// The lexical channels.
+    pub masked: MaskedFile,
+    /// The structural model.
+    pub model: FileModel,
+    /// The joined code channel with line mapping.
+    pub code: CodeText,
+}
+
+impl AnalyzedFile {
+    /// Masks and parses `source` as `rel`.
+    pub fn analyze(rel: PathBuf, source: &str) -> AnalyzedFile {
+        let masked = MaskedFile::parse(source);
+        let model = parse::parse(&masked);
+        let code = CodeText::new(&masked);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        AnalyzedFile {
+            rel,
+            rel_str,
+            masked,
+            model,
+            code,
+        }
+    }
+
+    /// `crates/<name>/...` -> `<name>`.
+    pub fn crate_name(&self) -> Option<&str> {
+        let rest = self.rel_str.strip_prefix("crates/")?;
+        rest.split('/').next()
+    }
+
+    /// True for integration tests, benches and examples.
+    pub fn testish(&self) -> bool {
+        self.rel_str
+            .split('/')
+            .any(|c| matches!(c, "tests" | "benches" | "examples"))
+    }
+}
+
+/// A wire-marked enum with its per-variant evidence.
+pub struct WireEnum {
+    /// Index of the defining file in the workspace file list.
+    pub file: usize,
+    /// Enum name.
+    pub name: String,
+    /// What each variant must have.
+    pub obligation: WireObligation,
+    /// `(variant, 0-based def line, has_encode, has_decode)`.
+    pub variants: Vec<WireVariant>,
+}
+
+/// Evidence gathered for one wire-enum variant.
+pub struct WireVariant {
+    /// Variant name.
+    pub name: String,
+    /// 0-based line of the variant definition.
+    pub line: usize,
+    /// Named in a non-test match pattern somewhere.
+    pub has_encode: bool,
+    /// Constructed in the body of a non-test literal-pattern arm.
+    pub has_decode: bool,
+}
+
+/// How a channel constructor behaves under load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelKind {
+    /// Occam rendezvous: `send` blocks until received — wait-for edges.
+    Rendezvous,
+    /// Bounded FIFO (`buffered`/`bounded`): decouples, breaks cycles.
+    Buffered,
+    /// Never blocks the sender.
+    Unbounded,
+}
+
+/// One `let (tx, rx) = channel(..)` site inside a function.
+pub struct ChannelDef {
+    /// Sender binding name.
+    pub tx: String,
+    /// Receiver binding name.
+    pub rx: String,
+    /// Byte offset of the `let` in the file's code text.
+    pub pos: usize,
+    /// 0-based line of the `let`.
+    pub line: usize,
+    /// Byte range of the whole statement (for excluding the definition
+    /// itself from use-site scans).
+    pub stmt: (usize, usize),
+    /// Blocking behaviour.
+    pub kind: ChannelKind,
+}
+
+/// One spawned task inside a function.
+pub struct TaskDef {
+    /// Display name (from the spawn's name literal, or `task@line`).
+    pub name: String,
+    /// 0-based line of the spawn call.
+    pub line: usize,
+    /// Byte offset of the spawn call.
+    pub pos: usize,
+    /// Byte range of the `async` block body, when present.
+    pub body: Option<(usize, usize)>,
+}
+
+/// The channel/task graph of one function.
+pub struct FnGraph {
+    /// Index of the file in the workspace list.
+    pub file: usize,
+    /// Function name (for messages).
+    pub fn_name: String,
+    /// Channels created in the function.
+    pub channels: Vec<ChannelDef>,
+    /// Tasks spawned in the function.
+    pub tasks: Vec<TaskDef>,
+    /// `sends[t]` = channel indices task `t` sends on.
+    pub sends: Vec<Vec<usize>>,
+    /// `recvs[t]` = channel indices task `t` receives from.
+    pub recvs: Vec<Vec<usize>>,
+}
+
+/// One ordered pool-acquisition pair inside a function.
+pub struct PoolPair {
+    /// Acquired first.
+    pub first: String,
+    /// Acquired while `first` is (assumed) held.
+    pub second: String,
+    /// File index of the site.
+    pub file: usize,
+    /// 0-based line of the second acquisition.
+    pub line: usize,
+    /// Function name (for messages).
+    pub fn_name: String,
+}
+
+/// A reference to the well-known control circuits.
+pub struct ControlRef {
+    /// File index.
+    pub file: usize,
+    /// 0-based line.
+    pub line: usize,
+    /// The token that matched (for the message).
+    pub what: String,
+}
+
+/// The aggregated cross-file model.
+pub struct WorkspaceModel {
+    /// Wire enums with evidence.
+    pub wire_enums: Vec<WireEnum>,
+    /// Per-function channel/task graphs.
+    pub fn_graphs: Vec<FnGraph>,
+    /// Pool acquisition order pairs.
+    pub pool_pairs: Vec<PoolPair>,
+    /// Control-VCI references.
+    pub control_refs: Vec<ControlRef>,
+}
+
+impl WorkspaceModel {
+    /// Builds the model over every analyzed file.
+    pub fn build(files: &[AnalyzedFile]) -> WorkspaceModel {
+        WorkspaceModel {
+            wire_enums: wire_evidence(files),
+            fn_graphs: files
+                .iter()
+                .enumerate()
+                .flat_map(|(idx, f)| {
+                    f.model
+                        .fns
+                        .iter()
+                        .map(move |fd| fn_graph(idx, f, fd))
+                        .collect::<Vec<_>>()
+                })
+                .collect(),
+            pool_pairs: pool_pairs(files),
+            control_refs: control_refs(files),
+        }
+    }
+}
+
+/// True when `text[i..]` starts `path` (`Enum::Variant`) on identifier
+/// boundaries.
+fn path_at(text: &str, i: usize, path: &str) -> bool {
+    let bytes = text.as_bytes();
+    if !text[i..].starts_with(path) {
+        return false;
+    }
+    let before_ok = i == 0 || !is_ident(bytes[i - 1]) && bytes[i - 1] != b':';
+    let end = i + path.len();
+    let after_ok = end >= bytes.len() || !is_ident(bytes[end]);
+    before_ok && after_ok
+}
+
+fn contains_path(text: &str, path: &str) -> bool {
+    let mut from = 0;
+    while let Some(p) = text[from..].find(path) {
+        let at = from + p;
+        if path_at(text, at, path) {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// A decoder-shaped pattern: an integer-literal (or masked char-literal)
+/// kind code, possibly an or-pattern of them.
+fn is_literal_pattern(pat: &str) -> bool {
+    match pat.trim_start().bytes().next() {
+        Some(b) => b.is_ascii_digit() || b == b'\'',
+        None => false,
+    }
+}
+
+fn wire_evidence(files: &[AnalyzedFile]) -> Vec<WireEnum> {
+    let mut enums: Vec<WireEnum> = Vec::new();
+    for (idx, f) in files.iter().enumerate() {
+        for e in &f.model.enums {
+            let Some(obligation) = e.wire else { continue };
+            enums.push(WireEnum {
+                file: idx,
+                name: e.name.clone(),
+                obligation,
+                variants: e
+                    .variants
+                    .iter()
+                    .map(|v| WireVariant {
+                        name: v.name.clone(),
+                        line: v.line,
+                        has_encode: false,
+                        has_decode: false,
+                    })
+                    .collect(),
+            });
+        }
+    }
+    if enums.is_empty() {
+        return enums;
+    }
+    for f in files {
+        for m in &f.model.matches {
+            for arm in &m.arms {
+                if arm.in_test {
+                    continue;
+                }
+                let literal = is_literal_pattern(&arm.pat);
+                for we in &mut enums {
+                    for v in &mut we.variants {
+                        let path = format!("{}::{}", we.name, v.name);
+                        if !v.has_encode && contains_path(&arm.pat, &path) {
+                            v.has_encode = true;
+                        }
+                        if !v.has_decode && literal && contains_path(&arm.body, &path) {
+                            v.has_decode = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    enums
+}
+
+/// Extracts the channel/task graph of one function.
+fn fn_graph(file: usize, f: &AnalyzedFile, fd: &parse::FnDef) -> FnGraph {
+    let text = &f.code.text;
+    let (lo, hi) = fd.body_range;
+    let body = &text[lo..hi];
+
+    let mut channels = Vec::new();
+    for let_pos in word_positions(body, "let") {
+        if let Some(def) = channel_let(f, body, lo, let_pos) {
+            channels.push(def);
+        }
+    }
+
+    let mut tasks = Vec::new();
+    for word in ["spawn", "spawn_prio"] {
+        for sp in word_positions(body, word) {
+            if let Some(t) = spawn_task(f, body, lo, sp + word.len()) {
+                tasks.push(t);
+            }
+        }
+    }
+    tasks.sort_by_key(|t| t.pos);
+    // An inner spawn inside another task's async block would be recorded
+    // twice (once through each scan word); dedupe by position.
+    tasks.dedup_by_key(|t| t.pos);
+
+    let mut sends = vec![Vec::new(); tasks.len()];
+    let mut recvs = vec![Vec::new(); tasks.len()];
+    for (ti, t) in tasks.iter().enumerate() {
+        let Some((blo, bhi)) = t.body else { continue };
+        let tbody = &text[blo..bhi];
+        for (ci, c) in channels.iter().enumerate() {
+            // Shadowing: this task sees the latest definition of the name
+            // that precedes the spawn site.
+            if resolve(&channels, &c.tx, t.pos) == Some(ci)
+                && !word_positions(tbody, &c.tx).is_empty()
+            {
+                sends[ti].push(ci);
+            }
+            if resolve(&channels, &c.rx, t.pos) == Some(ci)
+                && !word_positions(tbody, &c.rx).is_empty()
+            {
+                recvs[ti].push(ci);
+            }
+        }
+    }
+    FnGraph {
+        file,
+        fn_name: fd.name.clone(),
+        channels,
+        tasks,
+        sends,
+        recvs,
+    }
+}
+
+/// Index of the latest channel whose `tx` or `rx` is `name` and whose
+/// definition precedes `pos` (absolute offset).
+fn resolve(channels: &[ChannelDef], name: &str, pos: usize) -> Option<usize> {
+    channels
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| (c.tx == name || c.rx == name) && c.pos < pos)
+        .map(|(i, _)| i)
+        .next_back()
+}
+
+/// Parses `let (tx, rx) = ...channel...(..);` starting at `let_pos`
+/// (relative to `body`; `base` is `body`'s offset in the file).
+fn channel_let(f: &AnalyzedFile, body: &str, base: usize, let_pos: usize) -> Option<ChannelDef> {
+    let bytes = body.as_bytes();
+    let mut i = let_pos + 3;
+    i = skip_ws(body, i);
+    if bytes.get(i) != Some(&b'(') {
+        return None;
+    }
+    let (tx, tx_at) = next_ident(body, i + 1)?;
+    let mut j = skip_ws(body, tx_at + tx.len());
+    if bytes.get(j) != Some(&b',') {
+        return None;
+    }
+    let (rx, rx_at) = next_ident(body, j + 1)?;
+    j = skip_ws(body, rx_at + rx.len());
+    if bytes.get(j) != Some(&b')') {
+        return None;
+    }
+    j = skip_ws(body, j + 1);
+    if bytes.get(j) != Some(&b'=') {
+        return None;
+    }
+    // Initializer through the statement's `;` at depth 0.
+    let mut depth = 0i32;
+    let mut k = j + 1;
+    while k < bytes.len() {
+        match bytes[k] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth -= 1,
+            b';' if depth == 0 => break,
+            _ => {}
+        }
+        k += 1;
+    }
+    let init = &body[j + 1..k];
+    let kind = if !word_positions(init, "unbounded").is_empty() {
+        ChannelKind::Unbounded
+    } else if !word_positions(init, "buffered").is_empty()
+        || !word_positions(init, "bounded").is_empty()
+    {
+        ChannelKind::Buffered
+    } else if !word_positions(init, "channel").is_empty() {
+        ChannelKind::Rendezvous
+    } else {
+        return None;
+    };
+    Some(ChannelDef {
+        tx,
+        rx,
+        pos: base + let_pos,
+        line: f.code.line_of(base + let_pos),
+        stmt: (base + let_pos, base + k),
+        kind,
+    })
+}
+
+/// Parses a `spawn(...)` call; `after` is the offset just past the word.
+fn spawn_task(f: &AnalyzedFile, body: &str, base: usize, after: usize) -> Option<TaskDef> {
+    let bytes = body.as_bytes();
+    let open = skip_ws(body, after);
+    if bytes.get(open) != Some(&b'(') {
+        return None;
+    }
+    // The call's argument span.
+    let mut depth = 0i32;
+    let mut close = open;
+    while close < bytes.len() {
+        match bytes[close] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        close += 1;
+    }
+    let args = &body[open..close];
+    let line = f.code.line_of(base + open);
+    // The async block body, if the task is written inline.
+    let task_body = word_positions(args, "async").first().and_then(|&a| {
+        let brace = args[a..].find('{').map(|p| a + p)?;
+        let end = parse::block_end(args, brace)?;
+        Some((base + open + brace + 1, base + open + end))
+    });
+    // Task display name: the first string literal in the raw source of the
+    // spawn line (masked channels blank it).
+    let name = f
+        .masked
+        .raw
+        .get(line)
+        .and_then(|raw| {
+            let a = raw.find('"')?;
+            let b = raw[a + 1..].find('"')?;
+            Some(raw[a + 1..a + 1 + b].to_string())
+        })
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| format!("task@{}", line + 1));
+    Some(TaskDef {
+        name,
+        line,
+        pos: base + open,
+        body: task_body,
+    })
+}
+
+fn skip_ws(text: &str, mut i: usize) -> usize {
+    let bytes = text.as_bytes();
+    while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+fn next_ident(text: &str, from: usize) -> Option<(String, usize)> {
+    let bytes = text.as_bytes();
+    let i = skip_ws(text, from);
+    let start = i;
+    let mut j = i;
+    while j < bytes.len() && is_ident(bytes[j]) {
+        j += 1;
+    }
+    if j > start && !bytes[start].is_ascii_digit() {
+        Some((text[start..j].to_string(), start))
+    } else {
+        None
+    }
+}
+
+fn word_positions(text: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut from = 0;
+    while let Some(p) = text[from..].find(word) {
+        let at = from + p;
+        let end = at + word.len();
+        let before_ok = at == 0 || !is_ident(bytes[at - 1]);
+        let after_ok = end >= bytes.len() || !is_ident(bytes[end]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + word.len();
+    }
+    out
+}
+
+/// Receivers that look like pooled allocators.
+fn is_pool_name(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    ["pool", "slab", "arena"].iter().any(|p| lower.contains(p))
+}
+
+fn pool_pairs(files: &[AnalyzedFile]) -> Vec<PoolPair> {
+    let mut out = Vec::new();
+    for (idx, f) in files.iter().enumerate() {
+        if f.testish() {
+            continue;
+        }
+        for fd in &f.model.fns {
+            let (lo, hi) = fd.body_range;
+            let body = &f.code.text[lo..hi];
+            // Textual sequence of pool acquisitions in this function.
+            let mut seq: Vec<(String, usize)> = Vec::new();
+            for method in [".alloc(", ".acquire("] {
+                let mut from = 0;
+                while let Some(p) = body[from..].find(method) {
+                    let at = from + p;
+                    from = at + method.len();
+                    let recv = ident_before(body, at);
+                    if let Some(recv) = recv {
+                        let line = f.code.line_of(lo + at);
+                        if is_pool_name(&recv)
+                            && !f.masked.in_test.get(line).copied().unwrap_or(false)
+                        {
+                            seq.push((recv, at));
+                        }
+                    }
+                }
+            }
+            seq.sort_by_key(|&(_, at)| at);
+            let mut recorded: Vec<(String, String)> = Vec::new();
+            for i in 0..seq.len() {
+                for j in i + 1..seq.len() {
+                    let (a, b) = (&seq[i].0, &seq[j].0);
+                    if a != b && !recorded.iter().any(|(x, y)| x == a && y == b) {
+                        recorded.push((a.clone(), b.clone()));
+                        out.push(PoolPair {
+                            first: a.clone(),
+                            second: b.clone(),
+                            file: idx,
+                            line: f.code.line_of(lo + seq[j].1),
+                            fn_name: fd.name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The identifier ending exactly at byte `end` (exclusive), if any.
+fn ident_before(text: &str, end: usize) -> Option<String> {
+    let bytes = text.as_bytes();
+    let mut start = end;
+    while start > 0 && is_ident(bytes[start - 1]) {
+        start -= 1;
+    }
+    if start == end || bytes[start].is_ascii_digit() {
+        None
+    } else {
+        Some(text[start..end].to_string())
+    }
+}
+
+/// Tokens that name the well-known command circuits.
+const CONTROL_TOKENS: &[&str] = &["CONTROL_VCI_BASE", "REPLY_VCI_BASE"];
+
+fn control_refs(files: &[AnalyzedFile]) -> Vec<ControlRef> {
+    let mut out = Vec::new();
+    for (idx, f) in files.iter().enumerate() {
+        for (line, code) in f.masked.code.iter().enumerate() {
+            if f.masked.in_test.get(line).copied().unwrap_or(false) {
+                continue;
+            }
+            let hit = CONTROL_TOKENS
+                .iter()
+                .find(|t| !word_positions(code, t).is_empty())
+                .map(|t| (*t).to_string())
+                .or_else(|| code.contains("Vci(0x7F").then(|| "Vci(0x7F..)".to_string()));
+            if let Some(what) = hit {
+                out.push(ControlRef {
+                    file: idx,
+                    line,
+                    what,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Sorted deterministic map of task-graph edges for one function:
+/// `(sender task, receiver task) -> channel index` over rendezvous
+/// channels only (buffered and unbounded stages break wait-for cycles).
+pub fn rendezvous_edges(g: &FnGraph) -> BTreeMap<(usize, usize), usize> {
+    let mut edges = BTreeMap::new();
+    for (ci, c) in g.channels.iter().enumerate() {
+        if c.kind != ChannelKind::Rendezvous {
+            continue;
+        }
+        for (s, sends) in g.sends.iter().enumerate() {
+            if !sends.contains(&ci) {
+                continue;
+            }
+            for (r, recvs) in g.recvs.iter().enumerate() {
+                if recvs.contains(&ci) {
+                    edges.entry((s, r)).or_insert(ci);
+                }
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyzed(src: &str) -> AnalyzedFile {
+        AnalyzedFile::analyze(PathBuf::from("crates/sim/src/x.rs"), src)
+    }
+
+    #[test]
+    fn channel_and_tasks_extracted() {
+        let src = "\
+fn wire(sim: &mut Simulation) {
+    let (tx, rx) = pandora_sim::channel::<u8>();
+    sim.spawn(\"producer\", async move {
+        tx.send(1).await.unwrap();
+    });
+    sim.spawn(\"consumer\", async move {
+        let _ = rx.recv().await;
+    });
+}
+";
+        let f = analyzed(src);
+        let g = fn_graph(0, &f, &f.model.fns[0]);
+        assert_eq!(g.channels.len(), 1);
+        assert_eq!(g.channels[0].kind, ChannelKind::Rendezvous);
+        assert_eq!(g.tasks.len(), 2);
+        assert_eq!(g.tasks[0].name, "producer");
+        assert_eq!(g.sends[0], vec![0]);
+        assert_eq!(g.recvs[1], vec![0]);
+        let edges = rendezvous_edges(&g);
+        assert_eq!(edges.len(), 1);
+        assert!(edges.contains_key(&(0, 1)));
+    }
+
+    #[test]
+    fn buffered_channels_make_no_edges() {
+        let src = "\
+fn wire(sim: &mut Simulation) {
+    let (tx, rx) = pandora_sim::buffered::<u8>(8);
+    sim.spawn(\"a\", async move { tx.send(1).await; });
+    sim.spawn(\"b\", async move { rx.recv().await; });
+}
+";
+        let f = analyzed(src);
+        let g = fn_graph(0, &f, &f.model.fns[0]);
+        assert_eq!(g.channels[0].kind, ChannelKind::Buffered);
+        assert!(rendezvous_edges(&g).is_empty());
+    }
+
+    #[test]
+    fn shadowed_names_resolve_to_latest_definition() {
+        let src = "\
+fn wire(sim: &mut Simulation) {
+    let (tx, rx) = pandora_sim::channel::<u8>();
+    sim.spawn(\"first\", async move { rx.recv().await; });
+    let (tx, rx) = pandora_sim::channel::<u8>();
+    sim.spawn(\"second\", async move { tx.send(1).await; rx.recv().await; });
+}
+";
+        let f = analyzed(src);
+        let g = fn_graph(0, &f, &f.model.fns[0]);
+        assert_eq!(g.channels.len(), 2);
+        assert_eq!(g.recvs[0], vec![0], "first task holds the first rx");
+        assert_eq!(g.sends[1], vec![1]);
+        assert_eq!(g.recvs[1], vec![1]);
+    }
+
+    #[test]
+    fn pool_pairs_ordered_and_test_code_skipped() {
+        let src = "\
+fn stage(audio_pool: &P, video_pool: &P) {
+    let a = audio_pool.alloc();
+    let b = video_pool.alloc();
+}
+";
+        let files = vec![analyzed(src)];
+        let pairs = pool_pairs(&files);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].first, "audio_pool");
+        assert_eq!(pairs[0].second, "video_pool");
+    }
+
+    #[test]
+    fn wire_evidence_from_patterns_and_literal_arms() {
+        let src = "\
+// check:wire-enum
+pub enum M { A, B }
+fn code(m: &M) -> u8 {
+    match m { M::A => 1, M::B => 2 }
+}
+fn decode(k: u8) -> Option<M> {
+    match k { 1 => Some(M::A), _ => None }
+}
+";
+        let files = vec![analyzed(src)];
+        let enums = wire_evidence(&files);
+        assert_eq!(enums.len(), 1);
+        let vs = &enums[0].variants;
+        assert!(vs[0].has_encode && vs[0].has_decode);
+        assert!(vs[1].has_encode && !vs[1].has_decode, "B has no decode arm");
+    }
+
+    #[test]
+    fn control_refs_found_outside_tests() {
+        let src = "\
+fn f() { let v = Vci(0x7F00 + 1); }
+#[cfg(test)]
+mod tests {
+    fn t() { let v = Vci(0x7F00 + 1); }
+}
+";
+        let files = vec![analyzed(src)];
+        let refs = control_refs(&files);
+        assert_eq!(refs.len(), 1);
+        assert_eq!(refs[0].line, 0);
+    }
+}

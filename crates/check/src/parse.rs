@@ -1,0 +1,563 @@
+//! Item-level parsing of one masked source file into a [`FileModel`].
+//!
+//! This is stage one of the two-stage analyzer (DESIGN.md §12): a
+//! lightweight, pure-`std` structural pass that runs *on the masked code
+//! channel* (see [`crate::mask`]), so string literals, comments and char
+//! literals can never fake an item. It is deliberately not a full Rust
+//! parser — it recovers exactly the structure the cross-file rules need:
+//!
+//! * `enum` definitions with their variants (and the `check:wire-enum`
+//!   marker read from the comment channel above the definition);
+//! * `match` expressions flattened into arms (`pattern`, `body`, line),
+//!   which is all the wire-exhaustiveness rule consumes;
+//! * `fn` items with their body line spans, the scope unit for the
+//!   channel-graph and pool-order extraction in [`crate::model`].
+//!
+//! Everything positional is tracked as (byte offset → line) over the
+//! newline-joined code channel, so diagnostics land on real lines.
+
+use crate::mask::MaskedFile;
+
+/// What a `check:wire-enum` marker obliges every variant to have.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireObligation {
+    /// Each variant needs an encode arm (a match pattern naming it) and a
+    /// decode arm (construction in the body of a literal-pattern arm).
+    EncodeAndDecode,
+    /// Each variant needs only an encode arm — for enums that are matched
+    /// on the wire path but materialized structurally, not from a code.
+    EncodeOnly,
+}
+
+/// One enum variant at its definition site.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Variant identifier.
+    pub name: String,
+    /// 0-based line of the variant's name.
+    pub line: usize,
+}
+
+/// One `enum` item.
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    /// Enum identifier.
+    pub name: String,
+    /// 0-based line of the `enum` keyword.
+    pub line: usize,
+    /// The variants in declaration order.
+    pub variants: Vec<Variant>,
+    /// Present when the comment block above carries `check:wire-enum`.
+    pub wire: Option<WireObligation>,
+}
+
+/// One arm of a `match` expression.
+#[derive(Debug, Clone)]
+pub struct Arm {
+    /// Pattern text (masked channel; includes any guard).
+    pub pat: String,
+    /// Body text (masked channel).
+    pub body: String,
+    /// 0-based line where the pattern starts.
+    pub line: usize,
+    /// True when the arm sits inside `#[cfg(test)]` code — test-only
+    /// matches are not wire evidence.
+    pub in_test: bool,
+}
+
+/// One `match` expression, flattened to its arms.
+#[derive(Debug, Clone)]
+pub struct MatchExpr {
+    /// 0-based line of the `match` keyword.
+    pub line: usize,
+    /// The arms in source order.
+    pub arms: Vec<Arm>,
+}
+
+/// One `fn` item (free function or method) with a body.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Function identifier.
+    pub name: String,
+    /// 0-based line of the `fn` keyword.
+    pub line: usize,
+    /// 0-based first line of the body block.
+    pub body_start: usize,
+    /// 0-based last line of the body block (inclusive).
+    pub body_end: usize,
+    /// Byte range of the body (exclusive of the braces) in the joined
+    /// code-channel text.
+    pub body_range: (usize, usize),
+}
+
+/// The structural model of one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileModel {
+    /// Every `enum` item.
+    pub enums: Vec<EnumDef>,
+    /// Every `match` expression (including nested ones, each on its own).
+    pub matches: Vec<MatchExpr>,
+    /// Every `fn` item that has a body.
+    pub fns: Vec<FnDef>,
+}
+
+/// The joined code channel with a byte-offset → line map.
+pub struct CodeText {
+    /// The code channel joined with `\n`.
+    pub text: String,
+    /// Starting byte offset of each line in `text`.
+    line_starts: Vec<usize>,
+}
+
+impl CodeText {
+    /// Joins the masked code channel of `file`.
+    pub fn new(file: &MaskedFile) -> CodeText {
+        let mut text = String::new();
+        let mut line_starts = Vec::with_capacity(file.code.len());
+        for line in &file.code {
+            line_starts.push(text.len());
+            text.push_str(line);
+            text.push('\n');
+        }
+        CodeText { text, line_starts }
+    }
+
+    /// 0-based line containing byte offset `pos`.
+    pub fn line_of(&self, pos: usize) -> usize {
+        match self.line_starts.binary_search(&pos) {
+            Ok(l) => l,
+            Err(l) => l.saturating_sub(1),
+        }
+    }
+}
+
+/// True when `bytes[i]` begins the word `word` on identifier boundaries.
+fn word_at(text: &str, i: usize, word: &str) -> bool {
+    let bytes = text.as_bytes();
+    if !text[i..].starts_with(word) {
+        return false;
+    }
+    let before_ok = i == 0 || !is_ident(bytes[i - 1]);
+    let end = i + word.len();
+    let after_ok = end >= bytes.len() || !is_ident(bytes[end]);
+    before_ok && after_ok
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Every start offset of `word` (identifier-bounded) in `text`.
+fn word_positions(text: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = text[from..].find(word) {
+        let at = from + p;
+        if word_at(text, at, word) {
+            out.push(at);
+        }
+        from = at + word.len();
+    }
+    out
+}
+
+/// The identifier starting at or after `from` (skipping whitespace);
+/// returns `(name, start)`.
+fn next_ident(text: &str, from: usize) -> Option<(String, usize)> {
+    let bytes = text.as_bytes();
+    let mut i = from;
+    while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+        i += 1;
+    }
+    let start = i;
+    while i < bytes.len() && is_ident(bytes[i]) {
+        i += 1;
+    }
+    if i > start && !bytes[start].is_ascii_digit() {
+        Some((text[start..i].to_string(), start))
+    } else {
+        None
+    }
+}
+
+/// Finds the matching `}` for the `{` at `open`; `None` if unbalanced.
+pub fn block_end(text: &str, open: usize) -> Option<usize> {
+    debug_assert_eq!(text.as_bytes().get(open), Some(&b'{'));
+    let mut depth = 0i32;
+    for (off, b) in text.bytes().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(off);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// First `{` at paren/bracket depth 0 after `from`, stopping at `;` —
+/// how item bodies are located after a signature. Returns `None` for
+/// bodiless declarations.
+fn body_open(text: &str, from: usize, stop: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (off, b) in text.bytes().enumerate().take(stop).skip(from) {
+        match b {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b'{' if depth == 0 => return Some(off),
+            b';' if depth == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parses the masked `file` into its structural model.
+pub fn parse(file: &MaskedFile) -> FileModel {
+    let code = CodeText::new(file);
+    let text = &code.text;
+    let mut model = FileModel::default();
+
+    for pos in word_positions(text, "enum") {
+        if let Some(e) = parse_enum(file, &code, pos) {
+            model.enums.push(e);
+        }
+    }
+    for pos in word_positions(text, "match") {
+        if let Some(m) = parse_match(file, &code, pos) {
+            model.matches.push(m);
+        }
+    }
+    for pos in word_positions(text, "fn") {
+        if let Some(f) = parse_fn(&code, pos) {
+            model.fns.push(f);
+        }
+    }
+    model
+}
+
+/// True when `needle` occurs in comment text `c` outside backticks — a
+/// doc sentence *talking about* the marker writes it as `` `marker` ``,
+/// which must not arm the rule (the analyzer's own docs do this).
+fn marker_in(c: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(p) = c[from..].find(needle) {
+        let at = from + p;
+        if at == 0 || c.as_bytes()[at - 1] != b'`' {
+            return true;
+        }
+        from = at + needle.len();
+    }
+    false
+}
+
+/// The wire marker read from the contiguous comment block directly above
+/// `line` (attribute and doc lines are skipped, like SAFETY lookup).
+fn wire_marker(file: &MaskedFile, line: usize) -> Option<WireObligation> {
+    let classify = |l: usize| -> Option<WireObligation> {
+        let c = &file.comment[l];
+        if marker_in(c, "check:wire-enum(encode)") {
+            Some(WireObligation::EncodeOnly)
+        } else if marker_in(c, "check:wire-enum") {
+            Some(WireObligation::EncodeAndDecode)
+        } else {
+            None
+        }
+    };
+    if let Some(o) = classify(line) {
+        return Some(o);
+    }
+    let mut l = line;
+    while l > 0 {
+        l -= 1;
+        let code = file.code[l].trim();
+        let has_comment = !file.comment[l].trim().is_empty();
+        if let Some(o) = classify(l) {
+            return Some(o);
+        }
+        if code.is_empty() && has_comment {
+            continue;
+        }
+        if code.starts_with("#[") || code.is_empty() {
+            continue;
+        }
+        break;
+    }
+    None
+}
+
+fn parse_enum(file: &MaskedFile, code: &CodeText, kw: usize) -> Option<EnumDef> {
+    let text = &code.text;
+    let (name, name_at) = next_ident(text, kw + "enum".len())?;
+    // Generic params may follow the name; the body is the next `{`.
+    let open = body_open(text, name_at + name.len(), text.len())?;
+    let close = block_end(text, open)?;
+    let line = code.line_of(kw);
+    let body = &text[open + 1..close];
+    let mut variants = Vec::new();
+    for chunk in split_depth0(body, b',') {
+        if let Some((vname, vstart)) = variant_name(body, chunk) {
+            if vname.as_bytes()[0].is_ascii_uppercase() {
+                variants.push(Variant {
+                    name: vname,
+                    line: code.line_of(open + 1 + vstart),
+                });
+            }
+        }
+    }
+    if variants.is_empty() {
+        return None;
+    }
+    Some(EnumDef {
+        name,
+        line,
+        variants,
+        wire: wire_marker(file, line),
+    })
+}
+
+/// Byte ranges of `body` split on `sep` at bracket depth 0.
+fn split_depth0(body: &str, sep: u8) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (off, b) in body.bytes().enumerate() {
+        match b {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth -= 1,
+            _ if b == sep && depth == 0 => {
+                out.push((start, off));
+                start = off + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < body.len() {
+        out.push((start, body.len()));
+    }
+    out
+}
+
+/// First identifier of a variant chunk, skipping `#[...]` attributes.
+fn variant_name(body: &str, (from, to): (usize, usize)) -> Option<(String, usize)> {
+    let bytes = body.as_bytes();
+    let mut i = from;
+    while i < to {
+        let b = bytes[i];
+        if (b as char).is_whitespace() {
+            i += 1;
+        } else if b == b'#' {
+            // Skip the attribute's bracket group.
+            while i < to && bytes[i] != b'[' {
+                i += 1;
+            }
+            let mut depth = 0i32;
+            while i < to {
+                match bytes[i] {
+                    b'[' => depth += 1,
+                    b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        } else if is_ident(b) && !b.is_ascii_digit() {
+            let (name, at) = next_ident(body, i)?;
+            return Some((name, at));
+        } else {
+            return None;
+        }
+    }
+    None
+}
+
+fn parse_match(file: &MaskedFile, code: &CodeText, kw: usize) -> Option<MatchExpr> {
+    let text = &code.text;
+    let after = kw + "match".len();
+    // The scrutinee runs to the first `{` at depth 0. Give up at `;` (a
+    // `match` in a bodiless position cannot happen in valid code).
+    let open = body_open(text, after, text.len())?;
+    let close = block_end(text, open)?;
+    let body = &text[open + 1..close];
+    let mut arms = Vec::new();
+    let mut i = 0;
+    let bytes = body.as_bytes();
+    loop {
+        // Find the next `=>` at depth 0 from i.
+        let mut depth = 0i32;
+        let mut arrow = None;
+        let mut j = i;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'(' | b'[' | b'{' => depth += 1,
+                b')' | b']' | b'}' => depth -= 1,
+                b'=' if depth == 0 && bytes.get(j + 1) == Some(&b'>') => {
+                    arrow = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(arrow) = arrow else { break };
+        let pat = body[i..arrow].trim();
+        // Body: a `{ ... }` block, or an expression up to a depth-0 comma.
+        let mut k = arrow + 2;
+        while k < bytes.len() && (bytes[k] as char).is_whitespace() {
+            k += 1;
+        }
+        let body_end = if bytes.get(k) == Some(&b'{') {
+            block_end(body, k)? + 1
+        } else {
+            let mut depth = 0i32;
+            let mut e = k;
+            while e < bytes.len() {
+                match bytes[e] {
+                    b'(' | b'[' | b'{' => depth += 1,
+                    b')' | b']' | b'}' => depth -= 1,
+                    b',' if depth == 0 => break,
+                    _ => {}
+                }
+                e += 1;
+            }
+            e
+        };
+        let pat_off = open + 1 + i + body[i..arrow].len() - body[i..arrow].trim_start().len();
+        let line = code.line_of(pat_off + pat.len().min(1));
+        arms.push(Arm {
+            pat: pat.to_string(),
+            body: body[k..body_end].to_string(),
+            line,
+            in_test: file.in_test.get(line).copied().unwrap_or(false),
+        });
+        // Skip past the body and a trailing comma.
+        i = body_end;
+        while i < bytes.len() && (bytes[i] == b',' || (bytes[i] as char).is_whitespace()) {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            break;
+        }
+    }
+    if arms.is_empty() {
+        return None;
+    }
+    Some(MatchExpr {
+        line: code.line_of(kw),
+        arms,
+    })
+}
+
+fn parse_fn(code: &CodeText, kw: usize) -> Option<FnDef> {
+    let text = &code.text;
+    let (name, name_at) = next_ident(text, kw + "fn".len())?;
+    let open = body_open(text, name_at + name.len(), text.len())?;
+    let close = block_end(text, open)?;
+    Some(FnDef {
+        name,
+        line: code.line_of(kw),
+        body_start: code.line_of(open),
+        body_end: code.line_of(close),
+        body_range: (open + 1, close),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        parse(&MaskedFile::parse(src))
+    }
+
+    #[test]
+    fn enum_variants_extracted_with_lines() {
+        let m = model("/// Doc.\npub enum Msg {\n    A,\n    B { x: u32 },\n    C(u8),\n}\n");
+        assert_eq!(m.enums.len(), 1);
+        let e = &m.enums[0];
+        assert_eq!(e.name, "Msg");
+        let names: Vec<&str> = e.variants.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, ["A", "B", "C"]);
+        assert_eq!(e.variants[0].line, 2);
+        assert_eq!(e.variants[2].line, 4);
+        assert!(e.wire.is_none());
+    }
+
+    #[test]
+    fn wire_marker_detected_above_attributes() {
+        let src =
+            "// check:wire-enum: the P4 command path.\n#[derive(Debug)]\npub enum M { A, B }\n";
+        let m = model(src);
+        assert_eq!(m.enums[0].wire, Some(WireObligation::EncodeAndDecode));
+        let src2 = "// check:wire-enum(encode): matched, never decoded.\npub enum M { A }\n";
+        assert_eq!(model(src2).enums[0].wire, Some(WireObligation::EncodeOnly));
+    }
+
+    #[test]
+    fn wire_marker_in_string_is_inert() {
+        let m = model("fn f() { g(\"check:wire-enum\"); }\npub enum M { A, B }\n");
+        assert!(m.enums[0].wire.is_none());
+    }
+
+    #[test]
+    fn backticked_marker_mention_is_inert() {
+        // A doc sentence *about* the marker must not arm the obligation.
+        let m = model("/// What a `check:wire-enum` marker obliges.\npub enum M { A, B }\n");
+        assert!(m.enums[0].wire.is_none());
+    }
+
+    #[test]
+    fn match_arms_split_with_block_and_expr_bodies() {
+        let src = "fn f(x: u8) -> u8 {\n    match x {\n        1 => Some(M::A),\n        2 | 3 => { twice(x) }\n        _ => None,\n    }\n}\n";
+        let m = model(src);
+        assert_eq!(m.matches.len(), 1);
+        let arms = &m.matches[0].arms;
+        assert_eq!(arms.len(), 3);
+        assert_eq!(arms[0].pat, "1");
+        assert!(arms[0].body.contains("M::A"));
+        assert_eq!(arms[1].pat, "2 | 3");
+        assert_eq!(arms[2].pat, "_");
+    }
+
+    #[test]
+    fn nested_match_parsed_separately_and_not_flattened() {
+        let src = "fn f(x: u8) {\n    match x {\n        1 => match y {\n            2 => a(),\n            _ => b(),\n        },\n        _ => c(),\n    }\n}\n";
+        let m = model(src);
+        assert_eq!(m.matches.len(), 2);
+        let outer = &m.matches[0];
+        assert_eq!(outer.arms.len(), 2, "{outer:?}");
+    }
+
+    #[test]
+    fn fn_bodies_have_line_spans() {
+        let src = "pub fn outer() {\n    inner();\n}\nfn inner() {}\n";
+        let m = model(src);
+        assert_eq!(m.fns.len(), 2);
+        assert_eq!(m.fns[0].name, "outer");
+        assert_eq!((m.fns[0].body_start, m.fns[0].body_end), (0, 2));
+    }
+
+    #[test]
+    fn fn_declarations_without_bodies_skipped() {
+        let m = model("trait T {\n    fn decl(&self);\n    fn with_default(&self) {}\n}\n");
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["with_default"]);
+    }
+
+    #[test]
+    fn strings_cannot_fake_structure() {
+        let src = "fn f() {\n    let s = \"match x { 1 => M::A } enum Fake { Z }\";\n}\n";
+        let m = model(src);
+        assert!(m.enums.is_empty());
+        assert!(m.matches.is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! Rule `command-path` (PC103): only the control plane touches the
+//! well-known command circuits.
+//!
+//! The session protocol reserves a VCI window (`CONTROL_VCI_BASE` =
+//! 0x7F00) for call setup, admission and fault reporting. A media or
+//! transport crate referencing those circuits bypasses admission control:
+//! its cells would land on the command path without a session. The model
+//! records every non-test reference ([`crate::model::ControlRef`]); this
+//! rule fires on each one outside `command_plane_crates`, skipping
+//! test-support trees (`tests/`, `benches/`, `examples/`).
+
+use crate::model::{AnalyzedFile, WorkspaceModel};
+use crate::rules::{push, waived};
+use crate::{Config, Diagnostic, Rule};
+
+/// Applies the rule to every control-VCI reference in the model.
+pub fn command_path_rule(
+    files: &[AnalyzedFile],
+    workspace: &WorkspaceModel,
+    config: &Config,
+    out: &mut Vec<Diagnostic>,
+) {
+    for r in &workspace.control_refs {
+        let file = &files[r.file];
+        if file.testish() {
+            continue;
+        }
+        let allowed = file
+            .crate_name()
+            .is_some_and(|c| config.command_plane_crates.iter().any(|p| p == c));
+        if allowed || waived(&file.masked, r.line, Rule::CommandPath) {
+            continue;
+        }
+        push(
+            out,
+            file,
+            r.line,
+            Rule::CommandPath,
+            format!(
+                "`{}` referenced outside the control plane (crate `{}`); only {} may \
+                 address the command VCIs",
+                r.what,
+                file.crate_name().unwrap_or("?"),
+                config.command_plane_crates.join("/"),
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::WorkspaceModel;
+    use std::path::PathBuf;
+
+    fn check(rel: &str, src: &str) -> Vec<Diagnostic> {
+        let files = vec![AnalyzedFile::analyze(PathBuf::from(rel), src)];
+        let ws = WorkspaceModel::build(&files);
+        let mut out = Vec::new();
+        command_path_rule(&files, &ws, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn media_crate_referencing_control_vci_fires() {
+        let src = "fn f() { let vci = CONTROL_VCI_BASE + 3; }\n";
+        let out = check("crates/video/src/push.rs", src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, Rule::CommandPath);
+        assert!(out[0].message.contains("CONTROL_VCI_BASE"));
+    }
+
+    #[test]
+    fn literal_control_window_vci_fires() {
+        let src = "fn f() { let vci = Vci(0x7F00 + 2); }\n";
+        let out = check("crates/atm/src/switch.rs", src);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn session_and_recover_are_allowed() {
+        let src = "fn f() { let vci = CONTROL_VCI_BASE; }\n";
+        assert!(check("crates/session/src/topology.rs", src).is_empty());
+        assert!(check("crates/recover/src/lease.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_trees_and_cfg_test_are_exempt() {
+        let src = "fn f() { let vci = CONTROL_VCI_BASE; }\n";
+        assert!(check("crates/video/tests/e2e.rs", src).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn t() { let v = CONTROL_VCI_BASE; }\n}\n";
+        assert!(check("crates/video/src/push.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn waiver_suppresses() {
+        let src = "\
+fn f() {
+    // check:allow(command-path): diagnostic probe, reads only.
+    let vci = CONTROL_VCI_BASE;
+}
+";
+        assert!(check("crates/video/src/push.rs", src).is_empty());
+    }
+}

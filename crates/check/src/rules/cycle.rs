@@ -1,0 +1,218 @@
+//! Rule `channel-cycle` (PC102): tasks wired in one function must not
+//! form a wait-for cycle over rendezvous channels.
+//!
+//! `pandora_sim::channel()` is an Occam-style rendezvous: `send` blocks
+//! until the receiver takes the value. If task A sends to B, B to C and
+//! C back to A — all over rendezvous channels — every task can end up
+//! blocked in `send` waiting on its successor, a deadlock no test with a
+//! lucky schedule will catch. `buffered`/`unbounded` stages decouple the
+//! parties (the paper's decoupling buffers) and break the cycle, so only
+//! rendezvous edges participate.
+//!
+//! The diagnostic fires once per cycle, at the spawn site of its first
+//! task, naming the whole loop.
+
+use crate::model::{rendezvous_edges, AnalyzedFile, WorkspaceModel};
+use crate::rules::{push, waived};
+use crate::{Diagnostic, Rule};
+
+/// Applies the rule to every function graph in the model.
+pub fn channel_cycle_rule(
+    files: &[AnalyzedFile],
+    workspace: &WorkspaceModel,
+    out: &mut Vec<Diagnostic>,
+) {
+    for g in &workspace.fn_graphs {
+        // Test trees and benches wire deliberate deadlocks (that is what
+        // the runtime's deadlock detector tests exercise); only shipped
+        // topologies are in scope.
+        if files[g.file].testish() {
+            continue;
+        }
+        let edges = rendezvous_edges(g);
+        if edges.is_empty() {
+            continue;
+        }
+        let n = g.tasks.len();
+        let mut succ = vec![Vec::new(); n];
+        for &(s, r) in edges.keys() {
+            if s != r {
+                succ[s].push(r);
+            }
+        }
+        for cycle in find_cycles(&succ) {
+            let first = cycle[0];
+            let file = &files[g.file];
+            let line = g.tasks[first].line;
+            let in_test = cycle.iter().any(|&t| {
+                file.masked
+                    .in_test
+                    .get(g.tasks[t].line)
+                    .copied()
+                    .unwrap_or(false)
+            });
+            if in_test || waived(&file.masked, line, Rule::ChannelCycle) {
+                continue;
+            }
+            let loop_desc = cycle
+                .iter()
+                .chain(std::iter::once(&first))
+                .map(|&t| format!("`{}`", g.tasks[t].name))
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            push(
+                out,
+                file,
+                line,
+                Rule::ChannelCycle,
+                format!(
+                    "tasks {loop_desc} in `{}` form a wait-for cycle over rendezvous \
+                     channels; insert a buffered stage to decouple",
+                    g.fn_name
+                ),
+            );
+        }
+    }
+}
+
+/// Elementary cycles of the successor graph, each rotated to start at its
+/// smallest node and deduplicated. The graphs here are tiny (tasks wired
+/// in one function), so a DFS per start node is plenty.
+fn find_cycles(succ: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let mut cycles: Vec<Vec<usize>> = Vec::new();
+    let n = succ.len();
+    for start in 0..n {
+        // DFS from `start`, recording the path; a return to `start`
+        // closes a cycle. Restricting interior nodes to > start
+        // canonicalizes each cycle to its smallest rotation.
+        let mut stack = vec![(start, 0usize)];
+        let mut path = vec![start];
+        let mut on_path = vec![false; n];
+        on_path[start] = true;
+        while let Some(top) = stack.len().checked_sub(1) {
+            let (node, next) = stack[top];
+            if next < succ[node].len() {
+                stack[top].1 += 1;
+                let to = succ[node][next];
+                if to == start {
+                    let cycle = path.clone();
+                    if !cycles.contains(&cycle) {
+                        cycles.push(cycle);
+                    }
+                } else if to > start && !on_path[to] {
+                    on_path[to] = true;
+                    path.push(to);
+                    stack.push((to, 0));
+                }
+            } else {
+                stack.pop();
+                on_path[node] = false;
+                path.pop();
+            }
+        }
+    }
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::WorkspaceModel;
+    use std::path::PathBuf;
+
+    fn check(src: &str) -> Vec<Diagnostic> {
+        let files = vec![AnalyzedFile::analyze(
+            PathBuf::from("crates/sim/src/wiring.rs"),
+            src,
+        )];
+        let ws = WorkspaceModel::build(&files);
+        let mut out = Vec::new();
+        channel_cycle_rule(&files, &ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn two_task_rendezvous_loop_fires() {
+        let src = "\
+fn wire(sim: &mut Simulation) {
+    let (a_tx, a_rx) = pandora_sim::channel::<u8>();
+    let (b_tx, b_rx) = pandora_sim::channel::<u8>();
+    sim.spawn(\"ping\", async move {
+        a_tx.send(1).await;
+        let _ = b_rx.recv().await;
+    });
+    sim.spawn(\"pong\", async move {
+        let _ = a_rx.recv().await;
+        b_tx.send(2).await;
+    });
+}
+";
+        let out = check(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, Rule::ChannelCycle);
+        assert!(out[0].message.contains("`ping`"));
+        assert!(out[0].message.contains("`pong`"));
+    }
+
+    #[test]
+    fn buffered_stage_breaks_the_cycle() {
+        let src = "\
+fn wire(sim: &mut Simulation) {
+    let (a_tx, a_rx) = pandora_sim::channel::<u8>();
+    let (b_tx, b_rx) = pandora_sim::buffered::<u8>(4);
+    sim.spawn(\"ping\", async move {
+        a_tx.send(1).await;
+        let _ = b_rx.recv().await;
+    });
+    sim.spawn(\"pong\", async move {
+        let _ = a_rx.recv().await;
+        b_tx.send(2).await;
+    });
+}
+";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn straight_pipeline_is_clean() {
+        let src = "\
+fn wire(sim: &mut Simulation) {
+    let (tx, rx) = pandora_sim::channel::<u8>();
+    sim.spawn(\"source\", async move { tx.send(1).await; });
+    sim.spawn(\"sink\", async move { let _ = rx.recv().await; });
+}
+";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn three_task_ring_fires_once() {
+        let src = "\
+fn ring(sim: &mut Simulation) {
+    let (ab_tx, ab_rx) = pandora_sim::channel::<u8>();
+    let (bc_tx, bc_rx) = pandora_sim::channel::<u8>();
+    let (ca_tx, ca_rx) = pandora_sim::channel::<u8>();
+    sim.spawn(\"a\", async move { ab_tx.send(1).await; ca_rx.recv().await; });
+    sim.spawn(\"b\", async move { ab_rx.recv().await; bc_tx.send(1).await; });
+    sim.spawn(\"c\", async move { bc_rx.recv().await; ca_tx.send(1).await; });
+}
+";
+        let out = check(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`a` -> `b` -> `c` -> `a`"));
+    }
+
+    #[test]
+    fn waiver_at_spawn_suppresses() {
+        let src = "\
+fn wire(sim: &mut Simulation) {
+    let (a_tx, a_rx) = pandora_sim::channel::<u8>();
+    let (b_tx, b_rx) = pandora_sim::channel::<u8>();
+    // check:allow(channel-cycle): strict alternation is the protocol here.
+    sim.spawn(\"ping\", async move { a_tx.send(1).await; b_rx.recv().await; });
+    sim.spawn(\"pong\", async move { a_rx.recv().await; b_tx.send(2).await; });
+}
+";
+        assert!(check(src).is_empty());
+    }
+}

@@ -1,70 +1,76 @@
-//! The lint rules, applied per file over the masked channels.
+//! The lint rules: per-file token rules over the masked channels, and
+//! cross-file protocol rules over the workspace model.
 
-use std::path::Path;
+mod command;
+mod cycle;
+mod pool_order;
+mod wire;
 
 use crate::mask::MaskedFile;
+use crate::model::{AnalyzedFile, WorkspaceModel};
 use crate::{Config, Diagnostic, Rule};
 
-/// Runs every applicable rule on one file, appending to `out`.
-pub fn check_file(rel: &Path, file: &MaskedFile, config: &Config, out: &mut Vec<Diagnostic>) {
-    let rel_str = rel_slashes(rel);
+/// Runs every applicable per-file rule on one file, appending to `out`.
+pub fn check_file(file: &AnalyzedFile, config: &Config, out: &mut Vec<Diagnostic>) {
     let ctx = FileContext {
-        rel,
-        rel_str: &rel_str,
-        crate_name: crate_name(&rel_str),
-        in_src: rel_str.contains("/src/"),
-        testish: is_testish(&rel_str),
+        file,
+        in_src: file.rel_str.contains("/src/"),
+        testish: file.testish(),
     };
-    safety_comment_rule(&ctx, file, out);
-    determinism_rules(&ctx, file, config, out);
-    no_unwrap_rule(&ctx, file, config, out);
-    missing_docs_rule(&ctx, file, config, out);
-    hot_path_alloc_rule(&ctx, file, out);
+    safety_comment_rule(&ctx, out);
+    determinism_rules(&ctx, config, out);
+    no_unwrap_rule(&ctx, config, out);
+    missing_docs_rule(&ctx, config, out);
+    hot_path_alloc_rule(&ctx, out);
 }
 
-struct FileContext<'a> {
-    rel: &'a Path,
-    rel_str: &'a str,
-    crate_name: Option<&'a str>,
-    in_src: bool,
-    testish: bool,
+/// Runs the cross-file protocol rules over the aggregated model.
+pub fn check_workspace(
+    files: &[AnalyzedFile],
+    workspace: &WorkspaceModel,
+    config: &Config,
+    out: &mut Vec<Diagnostic>,
+) {
+    wire::wire_exhaustive_rule(files, workspace, out);
+    cycle::channel_cycle_rule(files, workspace, out);
+    command::command_path_rule(files, workspace, config, out);
+    pool_order::pool_order_rule(files, workspace, out);
 }
 
-fn rel_slashes(rel: &Path) -> String {
-    let s = rel.to_string_lossy().replace('\\', "/");
-    s
+pub(crate) struct FileContext<'a> {
+    pub file: &'a AnalyzedFile,
+    pub in_src: bool,
+    pub testish: bool,
 }
 
-/// `crates/<name>/...` -> `<name>`.
-fn crate_name(rel: &str) -> Option<&str> {
-    let rest = rel.strip_prefix("crates/")?;
-    rest.split('/').next()
-}
+impl FileContext<'_> {
+    fn masked(&self) -> &MaskedFile {
+        &self.file.masked
+    }
 
-/// True for integration tests, benches and examples — code where panics
-/// and wall clocks are accepted.
-fn is_testish(rel: &str) -> bool {
-    rel.split('/')
-        .any(|c| matches!(c, "tests" | "benches" | "examples"))
+    fn crate_name(&self) -> Option<&str> {
+        self.file.crate_name()
+    }
 }
 
 /// True when line `l` (or the line above) carries `check:allow(rule)`.
-fn waived(file: &MaskedFile, line: usize, rule: Rule) -> bool {
+pub(crate) fn waived(file: &MaskedFile, line: usize, rule: Rule) -> bool {
     let marker = format!("check:allow({})", rule.name());
     let here = file.comment.get(line).is_some_and(|c| c.contains(&marker));
     let above = line > 0 && file.comment[line - 1].contains(&marker);
     here || above
 }
 
-fn push(
+/// Appends a diagnostic for `file` at 0-based `line`.
+pub(crate) fn push(
     out: &mut Vec<Diagnostic>,
-    ctx: &FileContext<'_>,
+    file: &AnalyzedFile,
     line: usize,
     rule: Rule,
     message: impl Into<String>,
 ) {
     out.push(Diagnostic {
-        path: ctx.rel.to_path_buf(),
+        path: file.rel.clone(),
         line: line + 1,
         rule,
         message: message.into(),
@@ -95,7 +101,8 @@ fn is_ident_byte(b: u8) -> bool {
 /// Rule `safety-comment`: every `unsafe` token needs a written
 /// justification — a `SAFETY:` comment on the same line or in the
 /// comment block immediately above, or a `# Safety` doc section.
-fn safety_comment_rule(ctx: &FileContext<'_>, file: &MaskedFile, out: &mut Vec<Diagnostic>) {
+fn safety_comment_rule(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    let file = ctx.masked();
     for line in 0..file.len() {
         if !contains_word(&file.code[line], "unsafe") {
             continue;
@@ -109,7 +116,7 @@ fn safety_comment_rule(ctx: &FileContext<'_>, file: &MaskedFile, out: &mut Vec<D
         }
         push(
             out,
-            ctx,
+            ctx.file,
             line,
             Rule::SafetyComment,
             "`unsafe` without a preceding `// SAFETY:` justification",
@@ -146,38 +153,40 @@ fn has_safety_justification(file: &MaskedFile, line: usize) -> bool {
 
 /// Rules `wall-clock` and `os-thread`: nothing under `crates/` may read
 /// real time or touch the OS scheduler, except the explicit allowlist
-/// (the live runtime and the host benchmarks).
-fn determinism_rules(
-    ctx: &FileContext<'_>,
-    file: &MaskedFile,
-    config: &Config,
-    out: &mut Vec<Diagnostic>,
-) {
-    if !ctx.rel_str.starts_with("crates/") || ctx.testish {
+/// (the live runtime and the host benchmarks). Test code and
+/// `macro_rules!` bodies are skipped: tests run on the host clock by
+/// design, and a macro template's expansion context (very often test
+/// code) is invisible to a lexical pass.
+fn determinism_rules(ctx: &FileContext<'_>, config: &Config, out: &mut Vec<Diagnostic>) {
+    if !ctx.file.rel_str.starts_with("crates/") || ctx.testish {
         return;
     }
     if config
         .wall_clock_allowlist
         .iter()
-        .any(|prefix| ctx.rel_str.starts_with(prefix.as_str()))
+        .any(|prefix| ctx.file.rel_str.starts_with(prefix.as_str()))
     {
         return;
     }
     let deterministic = ctx
-        .crate_name
+        .crate_name()
         .is_some_and(|c| config.deterministic_crates.iter().any(|d| d == c));
     let zone = if deterministic {
         "deterministic crate"
     } else {
         "non-allowlisted crate"
     };
+    let file = ctx.masked();
     for line in 0..file.len() {
+        if file.in_test[line] || file.in_macro[line] {
+            continue;
+        }
         let code = &file.code[line];
         for pattern in ["Instant::now", "SystemTime"] {
             if contains_word(code, pattern) && !waived(file, line, Rule::WallClock) {
                 push(
                     out,
-                    ctx,
+                    ctx.file,
                     line,
                     Rule::WallClock,
                     format!("wall-clock `{pattern}` in {zone}; use the sim clock"),
@@ -188,7 +197,7 @@ fn determinism_rules(
             if code.contains(pattern) && !waived(file, line, Rule::OsThread) {
                 push(
                     out,
-                    ctx,
+                    ctx.file,
                     line,
                     Rule::OsThread,
                     format!("OS scheduling `{pattern}` in {zone}; spawn sim tasks instead"),
@@ -200,20 +209,16 @@ fn determinism_rules(
 
 /// Rule `no-unwrap`: hot-path crates must not panic via `unwrap`/`expect`
 /// outside test code; exhaustion and closure are reported faults.
-fn no_unwrap_rule(
-    ctx: &FileContext<'_>,
-    file: &MaskedFile,
-    config: &Config,
-    out: &mut Vec<Diagnostic>,
-) {
+fn no_unwrap_rule(ctx: &FileContext<'_>, config: &Config, out: &mut Vec<Diagnostic>) {
     let hot = ctx
-        .crate_name
+        .crate_name()
         .is_some_and(|c| config.hot_path_crates.iter().any(|h| h == c));
     if !hot || !ctx.in_src || ctx.testish {
         return;
     }
+    let file = ctx.masked();
     for line in 0..file.len() {
-        if file.in_test[line] {
+        if file.in_test[line] || file.in_macro[line] {
             continue;
         }
         let code = &file.code[line];
@@ -221,12 +226,12 @@ fn no_unwrap_rule(
         if hit && !waived(file, line, Rule::NoUnwrap) {
             push(
                 out,
-                ctx,
+                ctx.file,
                 line,
                 Rule::NoUnwrap,
                 format!(
                     "`unwrap`/`expect` outside test code in hot-path crate `{}`",
-                    ctx.crate_name.unwrap_or("?")
+                    ctx.crate_name().unwrap_or("?")
                 ),
             );
         }
@@ -235,20 +240,16 @@ fn no_unwrap_rule(
 
 /// Rule `missing-docs`: public items in the documented crates carry doc
 /// comments — these are the workspace's stable API surface.
-fn missing_docs_rule(
-    ctx: &FileContext<'_>,
-    file: &MaskedFile,
-    config: &Config,
-    out: &mut Vec<Diagnostic>,
-) {
+fn missing_docs_rule(ctx: &FileContext<'_>, config: &Config, out: &mut Vec<Diagnostic>) {
     let documented = ctx
-        .crate_name
+        .crate_name()
         .is_some_and(|c| config.documented_crates.iter().any(|d| d == c));
     if !documented || !ctx.in_src || ctx.testish {
         return;
     }
+    let file = ctx.masked();
     for line in 0..file.len() {
-        if file.in_test[line] {
+        if file.in_test[line] || file.in_macro[line] {
             continue;
         }
         let code = file.code[line].trim_start();
@@ -285,7 +286,7 @@ fn missing_docs_rule(
         }
         push(
             out,
-            ctx,
+            ctx.file,
             line,
             Rule::MissingDocs,
             format!("public `{keyword}` item without a doc comment"),
@@ -304,16 +305,17 @@ const HOT_PATH_MARKER: &str = "check:hot-path";
 /// each is a per-segment heap allocation (and usually a copy) on the
 /// data path the two-copy invariant (§3.4) protects. Waivable where the
 /// copy *is* the contract (the legacy owned decode, `copy_to_vec`).
-fn hot_path_alloc_rule(ctx: &FileContext<'_>, file: &MaskedFile, out: &mut Vec<Diagnostic>) {
+fn hot_path_alloc_rule(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
     if ctx.testish {
         return;
     }
+    let file = ctx.masked();
     let marked = (0..file.len()).any(|l| file.comment[l].contains(HOT_PATH_MARKER));
     if !marked {
         return;
     }
     for line in 0..file.len() {
-        if file.in_test[line] {
+        if file.in_test[line] || file.in_macro[line] {
             continue;
         }
         let code = &file.code[line];
@@ -321,7 +323,7 @@ fn hot_path_alloc_rule(ctx: &FileContext<'_>, file: &MaskedFile, out: &mut Vec<D
             if code.contains(pattern) && !waived(file, line, Rule::HotPathAlloc) {
                 push(
                     out,
-                    ctx,
+                    ctx.file,
                     line,
                     Rule::HotPathAlloc,
                     format!("`{pattern}` allocates on a declared hot path; use the slab arena"),
@@ -339,8 +341,10 @@ fn is_documented(file: &MaskedFile, item_line: usize) -> bool {
         if raw.starts_with("///") || raw.starts_with("//!") || raw.starts_with("#[doc") {
             return true;
         }
-        // Attributes (possibly stacked) sit between the docs and the item.
-        if raw.starts_with("#[") {
+        // Attributes (possibly stacked) and plain comments — e.g. a
+        // `check:wire-enum` marker or a waiver — sit between the docs
+        // and the item without breaking the attachment.
+        if raw.starts_with("#[") || raw.starts_with("//") {
             continue;
         }
         // A multi-line attribute like `#[derive(\n  Debug,\n)]`: walk up
@@ -371,9 +375,9 @@ mod tests {
     use std::path::PathBuf;
 
     fn diags(rel: &str, source: &str) -> Vec<Diagnostic> {
-        let file = MaskedFile::parse(source);
+        let file = AnalyzedFile::analyze(PathBuf::from(rel), source);
         let mut out = Vec::new();
-        check_file(&PathBuf::from(rel), &file, &Config::default(), &mut out);
+        check_file(&file, &Config::default(), &mut out);
         out
     }
 
@@ -430,6 +434,26 @@ mod tests {
     }
 
     #[test]
+    fn wall_clock_in_cfg_test_passes() {
+        // Tests run on the host; the determinism contract is about the
+        // shipped simulation, so in_test lines are exempt (mask FP fix).
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::time::Instant::now(); }\n}\n";
+        let out = diags("crates/sim/src/executor.rs", src);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn wall_clock_in_macro_body_passes() {
+        // A macro template's expansion context is unknowable lexically;
+        // the in_macro channel keeps templates out of the determinism
+        // rules (mask FP fix).
+        let src = "macro_rules! timed {\n    ($e:expr) => {{ let _t = Instant::now(); $e }};\n}\n";
+        let out = diags("crates/sim/src/executor.rs", src);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
     fn os_thread_fires() {
         let out = diags(
             "crates/buffers/src/pool.rs",
@@ -449,6 +473,13 @@ mod tests {
     #[test]
     fn unwrap_inside_cfg_test_passes() {
         let src = "#[cfg(test)]\nmod tests {\n    fn t() { g().unwrap(); }\n}\n";
+        let out = diags("crates/sim/src/x.rs", src);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn unwrap_in_macro_body_passes() {
+        let src = "macro_rules! must {\n    ($e:expr) => { $e.unwrap() };\n}\n";
         let out = diags("crates/sim/src/x.rs", src);
         assert!(out.is_empty(), "{out:?}");
     }
@@ -474,6 +505,16 @@ mod tests {
     }
 
     #[test]
+    fn missing_docs_applies_to_metrics_and_repository() {
+        for krate in ["metrics", "repository"] {
+            let rel = format!("crates/{krate}/src/x.rs");
+            let out = diags(&rel, "pub fn undocumented() {}\n");
+            assert_eq!(out.len(), 1, "{krate} must be documented");
+            assert_eq!(out[0].rule, Rule::MissingDocs);
+        }
+    }
+
+    #[test]
     fn documented_item_passes() {
         let out = diags(
             "crates/segment/src/x.rs",
@@ -487,6 +528,17 @@ mod tests {
         let out = diags(
             "crates/segment/src/x.rs",
             "/// Documented.\n#[derive(Debug)]\npub struct S;\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn docs_above_marker_comment_count() {
+        // A rule marker between the doc comment and the item must not
+        // break doc attachment (mask FP fix).
+        let out = diags(
+            "crates/segment/src/x.rs",
+            "/// Documented.\n// check:wire-enum: wire tags.\n#[derive(Debug)]\npub enum E { A }\n",
         );
         assert!(out.is_empty(), "{out:?}");
     }

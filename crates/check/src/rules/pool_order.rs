@@ -1,0 +1,169 @@
+//! Rule `pool-order` (PC104, warn): pools must be acquired in one
+//! globally consistent order.
+//!
+//! `Pool::alloc` and friends block (or report exhaustion) when the arena
+//! is drained; two call sites acquiring the same pair of pools in
+//! opposite orders can deadlock under exhaustion-blocking, exactly like
+//! inconsistent lock order. The model records the textual acquisition
+//! sequence of every function ([`crate::model::PoolPair`]); this rule
+//! builds the global first→second graph over pool *names* and flags the
+//! minority direction of every conflicting pair, pointing at the
+//! majority site to fix against.
+//!
+//! Severity is warn: the textual sequence over-approximates control flow
+//! (two acquisitions on disjoint branches are not really nested), so a
+//! human decides.
+
+use crate::model::{AnalyzedFile, PoolPair, WorkspaceModel};
+use crate::rules::{push, waived};
+use crate::{Diagnostic, Rule};
+
+/// Applies the rule to every acquisition pair in the model.
+pub fn pool_order_rule(
+    files: &[AnalyzedFile],
+    workspace: &WorkspaceModel,
+    out: &mut Vec<Diagnostic>,
+) {
+    let pairs = &workspace.pool_pairs;
+    // Group the observed directions per unordered name pair.
+    let mut seen: Vec<(&str, &str)> = Vec::new();
+    for p in pairs {
+        let key = (p.first.as_str(), p.second.as_str());
+        if !seen.contains(&key) {
+            seen.push(key);
+        }
+    }
+    for &(a, b) in &seen {
+        // Handle each unordered pair once, from its lexicographically
+        // smaller direction.
+        if a > b || !seen.contains(&(b, a)) {
+            continue;
+        }
+        let forward: Vec<&PoolPair> = pairs
+            .iter()
+            .filter(|p| p.first == a && p.second == b)
+            .collect();
+        let reverse: Vec<&PoolPair> = pairs
+            .iter()
+            .filter(|p| p.first == b && p.second == a)
+            .collect();
+        // Flag the minority direction; on a tie, the reverse of the
+        // lexicographic order loses.
+        let (flag, keep) = if reverse.len() <= forward.len() {
+            (reverse, forward)
+        } else {
+            (forward, reverse)
+        };
+        let example = &keep[0];
+        for p in flag {
+            let file = &files[p.file];
+            if waived(&file.masked, p.line, Rule::PoolOrder) {
+                continue;
+            }
+            push(
+                out,
+                file,
+                p.line,
+                Rule::PoolOrder,
+                format!(
+                    "`{}` acquired after `{}` in `{}`, but `{}` acquires them in the \
+                     opposite order ({}:{}); pick one global order",
+                    p.second,
+                    p.first,
+                    p.fn_name,
+                    example.fn_name,
+                    files[example.file].rel_str,
+                    example.line + 1,
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::WorkspaceModel;
+    use std::path::PathBuf;
+
+    fn check(sources: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let files: Vec<AnalyzedFile> = sources
+            .iter()
+            .map(|(rel, src)| AnalyzedFile::analyze(PathBuf::from(*rel), src))
+            .collect();
+        let ws = WorkspaceModel::build(&files);
+        let mut out = Vec::new();
+        pool_order_rule(&files, &ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let out = check(&[
+            (
+                "crates/audio/src/a.rs",
+                "fn f(audio_pool: &P, video_pool: &P) {\n    audio_pool.alloc();\n    video_pool.alloc();\n}\n",
+            ),
+            (
+                "crates/video/src/b.rs",
+                "fn g(audio_pool: &P, video_pool: &P) {\n    audio_pool.alloc();\n    video_pool.alloc();\n}\n",
+            ),
+        ]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn conflicting_order_flags_minority_site() {
+        let out = check(&[
+            (
+                "crates/audio/src/a.rs",
+                "fn f(audio_pool: &P, video_pool: &P) {\n    audio_pool.alloc();\n    video_pool.alloc();\n}\n",
+            ),
+            (
+                "crates/audio/src/c.rs",
+                "fn h(audio_pool: &P, video_pool: &P) {\n    audio_pool.alloc();\n    video_pool.alloc();\n}\n",
+            ),
+            (
+                "crates/video/src/b.rs",
+                "fn g(audio_pool: &P, video_pool: &P) {\n    video_pool.alloc();\n    audio_pool.alloc();\n}\n",
+            ),
+        ]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, Rule::PoolOrder);
+        assert_eq!(out[0].path, PathBuf::from("crates/video/src/b.rs"));
+        assert!(out[0].message.contains("crates/audio/src/a.rs:"));
+    }
+
+    #[test]
+    fn single_pool_repeat_is_clean() {
+        let out = check(&[(
+            "crates/audio/src/a.rs",
+            "fn f(pool: &P) {\n    pool.alloc();\n    pool.alloc();\n}\n",
+        )]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn non_pool_receivers_ignored() {
+        let out = check(&[(
+            "crates/audio/src/a.rs",
+            "fn f(map: &M, set: &S) {\n    map.alloc();\n    set.alloc();\n}\n",
+        )]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn waiver_suppresses() {
+        let out = check(&[
+            (
+                "crates/audio/src/a.rs",
+                "fn f(audio_pool: &P, video_pool: &P) {\n    audio_pool.alloc();\n    video_pool.alloc();\n}\n",
+            ),
+            (
+                "crates/video/src/b.rs",
+                "fn g(audio_pool: &P, video_pool: &P) {\n    video_pool.alloc();\n    // check:allow(pool-order): branches are disjoint here.\n    audio_pool.alloc();\n}\n",
+            ),
+        ]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,17 @@
+//! Pool acquisitions in the canonical order: audio before video,
+//! arena before slab. The majority order the conflict is judged against.
+
+fn mix(audio_pool: &Pool, video_pool: &Pool) {
+    let a = audio_pool.alloc(64);
+    let v = video_pool.alloc(64);
+}
+
+fn overlay(audio_pool: &Pool, video_pool: &Pool) {
+    let a = audio_pool.alloc(16);
+    let v = video_pool.alloc(16);
+}
+
+fn stage(cell_arena: &Arena, frame_slab: &Slab) {
+    let c = cell_arena.acquire();
+    let f = frame_slab.acquire();
+}

@@ -1,0 +1,41 @@
+//! Seeded wire-exhaustive violations: kind codes without decode arms
+//! and a fault class the encoder never names.
+
+/// Control message kinds crossing the wire.
+// check:wire-enum
+pub enum CtrlMsg {
+    Open,
+    Close,
+    Ping,
+    Quit,
+}
+
+fn encode(m: &CtrlMsg) -> u8 {
+    match m {
+        CtrlMsg::Open => 1,
+        CtrlMsg::Close => 2,
+        CtrlMsg::Ping => 3,
+        _ => 0,
+    }
+}
+
+fn decode(k: u8) -> Option<CtrlMsg> {
+    match k {
+        1 => Some(CtrlMsg::Open),
+        _ => None,
+    }
+}
+
+/// Fault classes observed on the wire (encode obligation only).
+// check:wire-enum(encode)
+pub enum WireFault {
+    Loss,
+    Corrupt,
+}
+
+fn observe(f: &WireFault) -> u8 {
+    match f {
+        WireFault::Loss => 1,
+        _ => 0,
+    }
+}

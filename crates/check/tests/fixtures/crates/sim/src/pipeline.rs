@@ -1,0 +1,46 @@
+//! Seeded channel-cycle violations: rendezvous rings that the
+//! decoupling principle says must not ship.
+
+fn ping_pong(sim: &mut Simulation) {
+    let (a_tx, a_rx) = pandora_sim::channel::<u8>();
+    let (b_tx, b_rx) = pandora_sim::channel::<u8>();
+    sim.spawn("ping", async move {
+        a_tx.send(1).await;
+        let _ = b_rx.recv().await;
+    });
+    sim.spawn("pong", async move {
+        let _ = a_rx.recv().await;
+        b_tx.send(2).await;
+    });
+}
+
+fn ring(sim: &mut Simulation) {
+    let (ab_tx, ab_rx) = pandora_sim::channel::<u8>();
+    let (bc_tx, bc_rx) = pandora_sim::channel::<u8>();
+    let (ca_tx, ca_rx) = pandora_sim::channel::<u8>();
+    sim.spawn("east", async move {
+        ab_tx.send(1).await;
+        let _ = ca_rx.recv().await;
+    });
+    sim.spawn("middle", async move {
+        let _ = ab_rx.recv().await;
+        bc_tx.send(1).await;
+    });
+    sim.spawn("west", async move {
+        let _ = bc_rx.recv().await;
+        ca_tx.send(1).await;
+    });
+}
+
+fn decoupled(sim: &mut Simulation) {
+    let (in_tx, in_rx) = pandora_sim::channel::<u8>();
+    let (out_tx, out_rx) = pandora_sim::buffered::<u8>(8);
+    sim.spawn("producer", async move {
+        in_tx.send(1).await;
+        let _ = out_rx.recv().await;
+    });
+    sim.spawn("relay", async move {
+        let _ = in_rx.recv().await;
+        out_tx.send(2).await;
+    });
+}

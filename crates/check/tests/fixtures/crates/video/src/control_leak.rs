@@ -1,0 +1,15 @@
+//! Seeded command-path violations: a media crate addressing the
+//! control circuits directly.
+
+fn leak_base() -> u32 {
+    CONTROL_VCI_BASE + 2
+}
+
+fn leak_literal() -> Vci {
+    Vci(0x7F01)
+}
+
+fn probe() -> u32 {
+    // check:allow(command-path): read-only diagnostic probe fixture.
+    CONTROL_VCI_BASE
+}

@@ -1,0 +1,12 @@
+//! Seeded pool-order conflicts: these functions acquire the same pool
+//! pairs as `audio/src/mixer_pools.rs`, in the opposite order.
+
+fn grab(audio_pool: &Pool, video_pool: &Pool) {
+    let v = video_pool.alloc(64);
+    let a = audio_pool.alloc(64);
+}
+
+fn refill(cell_arena: &Arena, frame_slab: &Slab) {
+    let f = frame_slab.acquire();
+    let c = cell_arena.acquire();
+}

@@ -1,0 +1,137 @@
+//! Regression probes for the lexical mask: every context that once did
+//! (or plausibly could) fool the code/comment split into a false
+//! positive. Each probe pins the exact behaviour the rules rely on —
+//! string and raw-string bodies never reach the code channel, char
+//! literals don't open string state, `cfg(test)` regions carry
+//! `in_test`, and `macro_rules!` bodies carry `in_macro`.
+
+use pandora_check::mask::MaskedFile;
+
+fn code_has(src: &str, needle: &str) -> bool {
+    let m = MaskedFile::parse(src);
+    m.code.iter().any(|l| l.contains(needle))
+}
+
+#[test]
+fn probe_string_contexts() {
+    // 1. plain string
+    assert!(!code_has("let s = \"Instant::now\";\n", "Instant"), "p1");
+    // 2. escaped quote then pattern inside string
+    assert!(
+        !code_has("let s = \"a \\\" b Instant::now c\";\n", "Instant"),
+        "p2"
+    );
+    // 3. escaped backslash closing then real code
+    assert!(
+        code_has("let s = \"x\\\\\"; let t = real_code();\n", "real_code"),
+        "p3"
+    );
+    // 4. byte string
+    assert!(!code_has("let s = b\"thread::sleep\";\n", "thread"), "p4");
+    // 5. raw string
+    assert!(!code_has("let s = r\"thread::sleep\";\n", "thread"), "p5");
+    // 6. raw hash string with inner quote
+    assert!(
+        !code_has("let s = r#\"x \" thread::sleep\"#; after();\n", "thread"),
+        "p6"
+    );
+    assert!(
+        code_has("let s = r#\"x \" y\"#; after();\n", "after"),
+        "p6b"
+    );
+    // 7. byte raw string
+    assert!(!code_has("let s = br#\"unsafe\"#;\n", "unsafe"), "p7");
+    // 8. char literal quote then string
+    assert!(
+        !code_has("let c = '\"'; let s = \"Instant::now\"; t();\n", "Instant"),
+        "p8"
+    );
+    assert!(
+        code_has("let c = '\"'; let s = \"x\"; t();\n", "t()"),
+        "p8b"
+    );
+    // 9. escaped char literal of quote
+    assert!(
+        !code_has("let c = '\\\"'; let s = \"Instant::now\";\n", "Instant"),
+        "p9"
+    );
+    // 10. lifetime then string
+    assert!(
+        !code_has("fn f<'a>(x: &'a str) { g(\"Instant::now\") }\n", "Instant"),
+        "p10"
+    );
+    // 11. format! with braces and pattern
+    assert!(
+        !code_has("let s = format!(\"{} Instant::now\", x);\n", "Instant"),
+        "p11"
+    );
+    // 12. string with \\u escape
+    assert!(
+        !code_has("let s = \"\\u{41} Instant::now\";\n", "Instant"),
+        "p12"
+    );
+    // 13. two strings on one line, pattern between them IS code
+    assert!(
+        code_has("g(\"a\", Instant::now(), \"b\");\n", "Instant"),
+        "p13"
+    );
+    // 14. char literal backslash then string
+    assert!(
+        !code_has("let c = '\\\\'; let s = \"Instant::now\";\n", "Instant"),
+        "p14"
+    );
+    // 15. raw string ending with backslash-quote (no escapes in raw)
+    assert!(
+        code_has("let s = r\"ends with \\\"; after();\n", "after"),
+        "p15"
+    );
+    // 16. b'x' byte char then string
+    assert!(
+        !code_has("let c = b'\"'; let s = \"Instant::now\";\n", "Instant"),
+        "p16"
+    );
+    // 17. labelled loop / lifetime tick before quote two later
+    assert!(
+        code_has("'outer: loop { break 'outer; }\nreal();\n", "real"),
+        "p17"
+    );
+    // 18. macro body tokens are code (expected: code channel sees them)
+    assert!(
+        code_has(
+            "macro_rules! m { ($e:expr) => { $e.unwrap() }; }\n",
+            "unwrap"
+        ),
+        "p18"
+    );
+}
+
+#[test]
+fn probe_in_test_marking() {
+    let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn live() {}\n";
+    let m = MaskedFile::parse(src);
+    assert!(m.in_test[2], "t1");
+    assert!(!m.in_test[4], "t2");
+    // attribute on fn with string containing brace
+    let src2 = "#[test]\nfn t() { g(\"}\"); x.unwrap(); }\nfn live() { y.unwrap(); }\n";
+    let m2 = MaskedFile::parse(src2);
+    assert!(m2.in_test[1], "t3");
+    assert!(
+        !m2.in_test[2],
+        "t4: string brace must not end the test item"
+    );
+}
+
+#[test]
+fn probe_in_macro_marking() {
+    // The whole macro_rules! body is in_macro; following items are not.
+    let src = "macro_rules! m {\n    ($e:expr) => { $e.unwrap() };\n}\nfn live() { x.unwrap(); }\n";
+    let m = MaskedFile::parse(src);
+    assert!(m.in_macro[0], "m1: the macro_rules! line itself");
+    assert!(m.in_macro[1], "m2: the template body");
+    assert!(m.in_macro[2], "m3: the closing brace");
+    assert!(!m.in_macro[3], "m4: code after the macro is live");
+    // A string mentioning macro_rules! must not open a macro region.
+    let m2 = MaskedFile::parse("fn f() { g(\"macro_rules!\"); }\nfn h() { x.unwrap(); }\n");
+    assert!(!m2.in_macro[0], "m5");
+    assert!(!m2.in_macro[1], "m6");
+}

@@ -240,7 +240,7 @@ async fn offer(
             // scheduler's Principle-2 priority also keeps it unstarved.
             let (gate, label) = match kind {
                 StreamKind::Audio | StreamKind::Control => (&mut outputs.net_audio, "net-audio"),
-                _ => (&mut outputs.net_video, "net-video"),
+                StreamKind::Video | StreamKind::Test => (&mut outputs.net_video, "net-video"),
             };
             match gate {
                 Some(g) => {

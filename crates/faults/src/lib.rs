@@ -36,6 +36,9 @@ use pandora_sim::{Cpu, Priority, SimDuration, SimTime, Spawner, TickerHandle};
 /// by task-name prefix).
 ///
 /// [`PauseTasks`]: FaultKind::PauseTasks
+// check:wire-enum(encode): every fault kind must be named in the
+// injection and trace-formatting matches; a catch-all would let a new
+// fault silently no-op in replays.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FaultKind {
     /// Superimposed Bernoulli cell loss on a path's egress.

@@ -24,6 +24,8 @@ pub const CONTROL_MAGIC: [u8; 4] = *b"PSC1";
 pub const CONTROL_BYTES: usize = 29;
 
 /// Why an admission request was refused.
+// check:wire-enum: reason codes cross the wire in Reject; a code
+// without a decode arm would surface as a protocol error at the peer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RejectReason {
     /// The endpoint is at its sink capacity for the stream class
@@ -52,6 +54,8 @@ impl RejectReason {
 }
 
 /// The class of stream a request concerns, with the requested quality.
+// check:wire-enum: class tags ride in every control message; encode and
+// decode must cover each class or admission breaks asymmetrically.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StreamClass {
     /// 2-block µ-law audio (68-byte segments every 4 ms). Audio is never
@@ -109,6 +113,8 @@ impl StreamClass {
 
 /// A control-plane message. `txn` matches replies to requests; `session`
 /// is the controller's conference/stream identifier.
+// check:wire-enum: each kind code (1..=9) must have an encode arm and a
+// literal-pattern decode arm, or a peer's message is silently dropped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SessionMsg {
     /// Request: admit and install a sink for a stream arriving on `vci`
