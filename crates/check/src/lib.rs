@@ -374,6 +374,12 @@ impl Default for Config {
             // "repository" and "metrics" feed deterministic replays too:
             // recorded clips and counter snapshots are compared
             // byte-for-byte across runs.
+            // "shard" is the sharded parallel executor: its whole
+            // contract is that same-seed runs are byte-identical at any
+            // shard count, so determinism violations there break every
+            // cross-executor equivalence test. Its one sanctioned
+            // `thread::spawn` site carries a `check:allow(os-thread)`
+            // waiver (pinned by a fixture test).
             deterministic_crates: v(&[
                 "sim",
                 "buffers",
@@ -387,6 +393,7 @@ impl Default for Config {
                 "recover",
                 "repository",
                 "metrics",
+                "shard",
             ]),
             hot_path_crates: v(&["buffers", "sim", "atm", "slab"]),
             documented_crates: v(&[
@@ -397,6 +404,7 @@ impl Default for Config {
                 "recover",
                 "repository",
                 "metrics",
+                "shard",
             ]),
             // rt.rs is the intentionally-live runtime; bench measures the
             // host; the analyzer itself times its own run for the report.

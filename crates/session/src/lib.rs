@@ -31,6 +31,7 @@ pub mod admission;
 pub mod control;
 pub mod directory;
 pub mod proto;
+pub mod sharded;
 pub mod topology;
 
 pub use admission::{AdmissionController, Decision, MIN_VIDEO_RATE_PERMILLE};
@@ -38,4 +39,8 @@ pub use control::{spawn_agent, Admitted, AgentStats, Controller, ControllerConfi
 pub use directory::{Capabilities, Directory, EndpointId, EndpointRecord};
 pub use pandora_recover::{LeaseConfig, LeaseState};
 pub use proto::{RejectReason, SessionMsg, StreamClass, CONTROL_BYTES, CONTROL_MAGIC};
+pub use sharded::{
+    build_sharded_pair, build_sharded_star, HubSeat, NodeHook, NodeSeat, PairSeat,
+    ShardedPairConfig, ShardedStarConfig,
+};
 pub use topology::{point_to_point, Star, StarConfig, StarNode, CONTROL_VCI_BASE, REPLY_VCI_BASE};

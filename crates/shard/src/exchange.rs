@@ -1,0 +1,42 @@
+//! The cross-thread mailbox between shards.
+
+use std::any::Any;
+use std::sync::Mutex;
+
+/// One timestamped cross-shard item: the merge key `(due, port, seq)`
+/// plus the type-erased payload.
+pub(crate) struct RawEntry {
+    pub due: u64,
+    pub port: u32,
+    pub seq: u64,
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// One shard's inbound mailbox. Senders on other threads push entries
+/// under the mutex; the owning shard drains the whole batch at its next
+/// slice boundary and feeds it to the ingress heap.
+///
+/// Happens-before discipline: a sending shard always pushes here
+/// *before* publishing the horizon that lets the receiver advance far
+/// enough to need the entry. The receiver reads horizons first and
+/// drains second, so every entry with `due <= slice target` is
+/// guaranteed to be in the heap before the slice runs.
+#[derive(Default)]
+pub(crate) struct Exchange {
+    queue: Mutex<Vec<RawEntry>>,
+}
+
+impl Exchange {
+    /// Enqueues one cross-shard entry (called from the sending shard).
+    pub fn push(&self, entry: RawEntry) {
+        self.queue
+            .lock()
+            .expect("exchange mutex poisoned")
+            .push(entry);
+    }
+
+    /// Takes every queued entry (called from the owning shard's loop).
+    pub fn drain(&self) -> Vec<RawEntry> {
+        std::mem::take(&mut *self.queue.lock().expect("exchange mutex poisoned"))
+    }
+}

@@ -1,0 +1,51 @@
+//! # pandora-shard — the sharded parallel simulation driver
+//!
+//! `pandora-sim` is a single-threaded deterministic executor; every soak
+//! it can run is capped by one core. This crate breaks that ceiling
+//! without giving up determinism: a [`Cluster`] partitions a topology
+//! into per-core *shards*, each running its own [`Simulation`] event
+//! loop, synchronized with **conservative lookahead** at the ATM-link
+//! boundaries between them (DESIGN.md §13).
+//!
+//! The contract, in three rules:
+//!
+//! 1. **Links are the only seams.** Boxes and switches never straddle a
+//!    shard; everything that crosses a shard boundary travels through a
+//!    [`Cluster::port`] — a typed, latency-stamped, one-way link. The
+//!    port's latency is the lookahead window: a shard may safely run to
+//!    `min over in-neighbours (their horizon + port latency)`, because
+//!    nothing a neighbour does *now* can affect this shard sooner than
+//!    one latency from now. Zero-latency cross-shard ports are rejected
+//!    at build time — they would collapse the lookahead window to
+//!    nothing.
+//! 2. **Ingress is merged deterministically.** Cross-shard entries are
+//!    stamped `(due time, port id, per-port seq)` at the sender and
+//!    drained from a per-shard heap in exactly that order, on the
+//!    executor's *late* timer lane, so delivery interleaves identically
+//!    with local work no matter when the entries physically crossed the
+//!    thread boundary. Port ids are assigned in creation order, which
+//!    topology builders keep independent of the shard count — so the
+//!    merge keys, and therefore the schedule each box observes, are the
+//!    same whether the cluster runs on one thread or eight.
+//! 3. **One shard is the baseline.** With `Cluster::new(1)` everything
+//!    is a loopback port on the calling thread: no OS threads, one
+//!    `Simulation`, today's executor exactly. The equivalence suite
+//!    (tests/sharded_equivalence.rs) asserts that shard counts
+//!    {1, 2, 4, 8} produce byte-identical traces.
+//!
+//! The OS threads live in [`runtime`] — the one sanctioned exception to
+//! the workspace's no-threads determinism rule, and the only module
+//! with an os-thread waiver in `pandora-check`.
+
+mod cluster;
+mod exchange;
+mod hub;
+mod runtime;
+
+pub mod broadcast;
+
+#[cfg(test)]
+mod tests;
+
+pub use cluster::{Blackboard, Cluster, Egress, Ingress, ShardEnv};
+pub use runtime::RunReport;

@@ -81,15 +81,35 @@ impl Wake for WakeEntry {
     }
 }
 
+/// Which of the two firing lanes a timer occupies at its instant.
+///
+/// All [`Normal`] timers at an instant fire before any [`Late`] timer at
+/// the same instant, regardless of registration order. The late lane
+/// exists for the sharded runtime's ingress dispatchers: a delivery
+/// timer re-registered at host-dependent moments (cross-shard entries
+/// arrive whenever a neighbour thread gets there) must never perturb
+/// the ordering of the ordinary timers the workload itself registered,
+/// or same-seed runs would stop being byte-identical across shard
+/// counts.
+///
+/// [`Normal`]: TimerLane::Normal
+/// [`Late`]: TimerLane::Late
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum TimerLane {
+    Normal,
+    Late,
+}
+
 struct TimerEntry {
     at: u64,
+    lane: TimerLane,
     seq: u64,
     waker: Waker,
 }
 
 impl PartialEq for TimerEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.lane == other.lane && self.seq == other.seq
     }
 }
 impl Eq for TimerEntry {}
@@ -100,7 +120,7 @@ impl PartialOrd for TimerEntry {
 }
 impl Ord for TimerEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        (self.at, self.lane, self.seq).cmp(&(other.at, other.lane, other.seq))
     }
 }
 
@@ -190,10 +210,22 @@ impl Inner {
     }
 
     pub(crate) fn register_timer(&self, at: SimTime, waker: Waker) {
+        self.register_timer_in(at, TimerLane::Normal, waker);
+    }
+
+    pub(crate) fn register_timer_late(&self, at: SimTime, waker: Waker) {
+        self.register_timer_in(at, TimerLane::Late, waker);
+    }
+
+    fn register_timer_in(&self, at: SimTime, lane: TimerLane, waker: Waker) {
+        // One shared seq counter is safe for both lanes: ordering is
+        // (at, lane, seq), so extra late-lane registrations shift normal
+        // timers' seq values without ever reordering them.
         let seq = self.timer_seq.get();
         self.timer_seq.set(seq + 1);
         self.timers.borrow_mut().push(Reverse(TimerEntry {
             at: at.0,
+            lane,
             seq,
             waker,
         }));
@@ -691,6 +723,22 @@ pub fn delay_until(deadline: SimTime) -> Delay {
         deadline,
         rel: None,
         registered: false,
+        late: false,
+    }
+}
+
+/// Future that completes at an absolute virtual time, *after* every
+/// ordinary timer registered for the same instant — even ordinary timers
+/// registered later. The sharded runtime's ingress dispatchers sleep on
+/// this lane so cross-shard deliveries at an instant always interleave
+/// identically with that instant's local work, no matter when the
+/// entries physically crossed the thread boundary.
+pub fn delay_until_late(deadline: SimTime) -> Delay {
+    Delay {
+        deadline,
+        rel: None,
+        registered: false,
+        late: true,
     }
 }
 
@@ -702,14 +750,17 @@ pub fn delay(d: SimDuration) -> Delay {
         deadline: SimTime(u64::MAX),
         rel: Some(d),
         registered: false,
+        late: false,
     }
 }
 
-/// Timer future returned by [`delay`] / [`delay_until`].
+/// Timer future returned by [`delay`] / [`delay_until`] /
+/// [`delay_until_late`].
 pub struct Delay {
     deadline: SimTime,
     rel: Option<SimDuration>,
     registered: bool,
+    late: bool,
 }
 
 impl Delay {
@@ -731,7 +782,13 @@ impl Future for Delay {
             return Poll::Ready(());
         }
         if !this.registered {
-            with_current(|i| i.register_timer(this.deadline, cx.waker().clone()));
+            with_current(|i| {
+                if this.late {
+                    i.register_timer_late(this.deadline, cx.waker().clone())
+                } else {
+                    i.register_timer(this.deadline, cx.waker().clone())
+                }
+            });
             this.registered = true;
         }
         Poll::Pending
@@ -830,6 +887,42 @@ mod tests {
         assert_eq!(hits.get(), 3);
         sim.run_until(SimTime::from_millis(20));
         assert!(hits.get() >= 14, "hits = {}", hits.get());
+    }
+
+    #[test]
+    fn late_lane_fires_after_all_normal_timers_at_the_instant() {
+        let mut sim = Simulation::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        // The late timer is registered FIRST (lowest seq): only the lane
+        // can push it behind the normal timers at the same instant.
+        let o = order.clone();
+        sim.spawn("late", async move {
+            crate::delay_until_late(SimTime::from_millis(5)).await;
+            o.borrow_mut().push("late");
+        });
+        for name in ["n1", "n2"] {
+            let o = order.clone();
+            sim.spawn(name, async move {
+                crate::delay_until(SimTime::from_millis(5)).await;
+                o.borrow_mut().push(name);
+            });
+        }
+        sim.run_until_idle();
+        assert_eq!(*order.borrow(), vec!["n1", "n2", "late"]);
+    }
+
+    #[test]
+    fn late_lane_past_deadline_completes_immediately() {
+        let mut sim = Simulation::new();
+        let at = Rc::new(Cell::new(0u64));
+        let a = at.clone();
+        sim.spawn("z", async move {
+            crate::delay(SimDuration::from_millis(3)).await;
+            crate::delay_until_late(SimTime::from_millis(1)).await;
+            a.set(crate::now().as_millis());
+        });
+        sim.run_until_idle();
+        assert_eq!(at.get(), 3);
     }
 
     #[test]

@@ -62,8 +62,8 @@ pub use channel::{
 };
 pub use cpu::{Claim, ClaimPriority, Cpu, PRIO_COMMAND, PRIO_NORMAL, PRIO_OUTPUT};
 pub use executor::{
-    delay, delay_until, now, pause_matching, resume_matching, spawn, spawn_prio, try_now,
-    yield_now, DeadlockReport, Delay, Priority, Simulation, Spawner, StopReason, TaskId,
+    delay, delay_until, delay_until_late, now, pause_matching, resume_matching, spawn, spawn_prio,
+    try_now, yield_now, DeadlockReport, Delay, Priority, Simulation, Spawner, StopReason, TaskId,
 };
 pub use link::{
     drifted_tick, link, link_controlled, link_here, LinkConfig, LinkControl, LinkSender, WireSize,

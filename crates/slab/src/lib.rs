@@ -2,9 +2,9 @@
 //!
 //! The byte-level half of the §3.4 allocator. Where [`pandora-buffers`]'
 //! `Pool` reference-counts *descriptors* (indices of typed values), this
-//! crate owns the payload *bytes* themselves: a contiguous arena carved
-//! into fixed-capacity slabs at construction, handed out as refcounted
-//! [`SlabRef`] slices. Cloning a `SlabRef` bumps a counter; subslicing is
+//! crate owns the payload *bytes* themselves: an arena of fixed-capacity
+//! slab regions, all allocated once at construction and never resized,
+//! handed out as refcounted [`SlabRef`] slices. Cloning a `SlabRef` bumps a counter; subslicing is
 //! O(1); nothing is memcpy'd until a device boundary is crossed.
 //!
 //! The paper's two-copy invariant — segment data is "copied once on input
@@ -59,10 +59,14 @@ impl std::error::Error for SlabError {}
 struct Slot {
     refs: u32,
     len: usize,
+    /// The region's bytes, allocated once at arena construction. `None`
+    /// only while a [`SlabWriter`] owns the buffer outright — writers
+    /// take it out so the append hot path indexes a plain slice with no
+    /// per-call borrow of shared state.
+    buf: Option<Box<[u8]>>,
 }
 
 struct SlabInner {
-    storage: RefCell<Box<[u8]>>,
     slots: RefCell<Vec<Slot>>,
     free: RefCell<Vec<usize>>,
     slab_bytes: usize,
@@ -77,11 +81,6 @@ struct SlabInner {
 }
 
 impl SlabInner {
-    #[inline]
-    fn base(&self, index: usize) -> usize {
-        index * self.slab_bytes
-    }
-
     #[inline]
     fn incref(&self, index: usize) {
         self.slots.borrow_mut()[index].refs += 1;
@@ -195,11 +194,14 @@ impl ByteSlab {
         assert!(slab_bytes > 0, "slab size must be non-zero");
         let mut slots = Vec::with_capacity(count);
         for _ in 0..count {
-            slots.push(Slot { refs: 0, len: 0 });
+            slots.push(Slot {
+                refs: 0,
+                len: 0,
+                buf: Some(vec![0u8; slab_bytes].into_boxed_slice()),
+            });
         }
         ByteSlab {
             inner: Rc::new(SlabInner {
-                storage: RefCell::new(vec![0u8; count * slab_bytes].into_boxed_slice()),
                 slots: RefCell::new(slots),
                 free: RefCell::new((0..count).rev().collect()),
                 slab_bytes,
@@ -217,7 +219,9 @@ impl ByteSlab {
         match self.inner.free.borrow_mut().pop() {
             Some(index) => {
                 let mut slots = self.inner.slots.borrow_mut();
-                slots[index] = Slot { refs: 1, len: 0 };
+                let slot = &mut slots[index];
+                slot.refs = 1;
+                slot.len = 0;
                 self.inner.allocations.set(self.inner.allocations.get() + 1);
                 Ok(index)
             }
@@ -243,9 +247,14 @@ impl ByteSlab {
             });
         }
         let index = self.grab_slot()?;
-        let base = self.inner.base(index);
-        self.inner.storage.borrow_mut()[base..base + data.len()].copy_from_slice(data);
-        self.inner.slots.borrow_mut()[index].len = data.len();
+        {
+            let mut slots = self.inner.slots.borrow_mut();
+            let slot = &mut slots[index];
+            // check:allow(no-unwrap): free-listed slots always hold their buffer.
+            let buf = slot.buf.as_mut().expect("allocated slab owns its buffer");
+            buf[..data.len()].copy_from_slice(data);
+            slot.len = data.len();
+        }
         self.inner
             .copied_in
             .set(self.inner.copied_in.get() + data.len() as u64);
@@ -258,12 +267,22 @@ impl ByteSlab {
     }
 
     /// Allocates an empty slab for incremental filling (reassembly).
+    ///
+    /// The writer takes the region's buffer *out* of the arena for the
+    /// duration: appends index an owned slice directly, with no shared
+    /// state touched until [`SlabWriter::freeze`] puts it back.
     #[inline]
     pub fn try_writer(&self) -> Result<SlabWriter, SlabError> {
         let index = self.grab_slot()?;
+        let buf = self.inner.slots.borrow_mut()[index]
+            .buf
+            .take()
+            // check:allow(no-unwrap): free-listed slots always hold their buffer.
+            .expect("allocated slab owns its buffer");
         Ok(SlabWriter {
             inner: self.inner.clone(),
             index,
+            buf,
             written: 0,
             frozen: false,
         })
@@ -402,9 +421,16 @@ impl SlabRef {
     /// Reads the bytes without copying (parsing, checksums, size math).
     #[inline]
     pub fn with<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
-        let storage = self.inner.storage.borrow();
-        let base = self.inner.base(self.index) + self.offset;
-        f(&storage[base..base + self.len])
+        let slots = self.inner.slots.borrow();
+        // `SlabRef`s are only minted by `try_alloc_copy` and `freeze`,
+        // both of which leave the buffer in the slot; a writer (the
+        // only taker of a buffer) holds no `SlabRef`.
+        let buf = slots[self.index]
+            .buf
+            .as_ref()
+            // check:allow(no-unwrap): refs exist only for buffered slots.
+            .expect("referenced slab owns its buffer");
+        f(&buf[self.offset..self.offset + self.len])
     }
 
     /// Reads the bytes for a copy *out* of the arena; counts `len` bytes
@@ -429,9 +455,14 @@ impl SlabRef {
 /// appended (each append is a counted input copy) and the region is then
 /// frozen into an immutable [`SlabRef`]. Dropping an unfrozen writer
 /// frees the slab.
+///
+/// The writer owns its region's buffer outright (taken from the arena at
+/// [`ByteSlab::try_writer`], returned at freeze or drop), so the
+/// per-cell reassembly hot path writes into a plain owned slice.
 pub struct SlabWriter {
     inner: Rc<SlabInner>,
     index: usize,
+    buf: Box<[u8]>,
     written: usize,
     frozen: bool,
 }
@@ -454,14 +485,13 @@ impl SlabWriter {
     /// the bytes written so far stay intact.
     #[inline]
     pub fn append(&mut self, data: &[u8]) -> Result<(), SlabError> {
-        if self.written + data.len() > self.inner.slab_bytes {
+        if self.written + data.len() > self.buf.len() {
             return Err(SlabError::TooLarge {
                 needed: self.written + data.len(),
-                slab_bytes: self.inner.slab_bytes,
+                slab_bytes: self.buf.len(),
             });
         }
-        let base = self.inner.base(self.index) + self.written;
-        self.inner.storage.borrow_mut()[base..base + data.len()].copy_from_slice(data);
+        self.buf[self.written..self.written + data.len()].copy_from_slice(data);
         self.written += data.len();
         Ok(())
     }
@@ -486,7 +516,12 @@ impl SlabWriter {
     #[inline]
     pub fn freeze(mut self) -> SlabRef {
         self.frozen = true;
-        self.inner.slots.borrow_mut()[self.index].len = self.written;
+        {
+            let mut slots = self.inner.slots.borrow_mut();
+            let slot = &mut slots[self.index];
+            slot.buf = Some(std::mem::take(&mut self.buf));
+            slot.len = self.written;
+        }
         self.inner
             .copied_in
             .set(self.inner.copied_in.get() + self.written as u64);
@@ -502,6 +537,8 @@ impl SlabWriter {
 impl Drop for SlabWriter {
     fn drop(&mut self) {
         if !self.frozen {
+            // Abandoned region: hand the buffer back before freeing.
+            self.inner.slots.borrow_mut()[self.index].buf = Some(std::mem::take(&mut self.buf));
             self.inner.decref(self.index);
         }
     }
