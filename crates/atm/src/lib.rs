@@ -15,15 +15,20 @@
 //!   "2 ms usually, 20 ms under video load" bursty shape) and Bernoulli
 //!   loss;
 //! * [`Switch`] — a VCI-routed switch whose full output ports drop rather
-//!   than stall other ports (Principle 5 at the fabric level).
+//!   than stall other ports (Principle 5 at the fabric level);
+//! * [`CellBurst`] / [`SwitchCore`] — the batched hot path: a segment's
+//!   cells cross route lookup, fan-out and reassembly with one dispatch
+//!   per burst, byte-identical to the per-cell path.
 
 mod aal;
+mod burst;
 mod cell;
 mod network;
 
 pub use aal::{cells_gather, segment_to_cells, Reassembler, SlabReassembler};
+pub use burst::{burst_gather, segment_to_burst, CellBurst, SwitchCore};
 pub use cell::{Cell, Vci, CELL_BYTES, CELL_PAYLOAD};
 pub use network::{
     build_duplex_path, build_path, build_path_controlled, cell_time, jitter_stage, loss_stage,
-    DuplexPath, HopConfig, JitterModel, PathControl, StageStats, Switch,
+    DuplexPath, FabricCounters, HopConfig, JitterModel, PathControl, StageStats, Switch,
 };

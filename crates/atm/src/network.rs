@@ -15,8 +15,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use pandora_sim::{
-    buffered, channel, link, link_controlled, LinkConfig, LinkControl, LinkSender, Receiver,
-    Sender, SimDuration, Spawner,
+    channel, link, link_controlled, LinkConfig, LinkControl, LinkSender, Receiver, SimDuration,
+    Spawner,
 };
 
 use crate::cell::{Cell, Vci, CELL_BYTES};
@@ -66,14 +66,19 @@ impl JitterModel {
     }
 }
 
-/// Statistics of a network stage.
+/// Unified fabric/stage counters: one shared-handle struct counts items
+/// through loss stages, switches and burst dispatch alike, so the switch
+/// and the per-hop stats no longer carry parallel `forwarded` plumbing.
+/// Cloning shares the underlying counters.
 #[derive(Clone, Default)]
-pub struct StageStats {
+pub struct FabricCounters {
     forwarded: Rc<StdCell<u64>>,
     dropped: Rc<StdCell<u64>>,
+    unroutable: Rc<StdCell<u64>>,
+    overflow: Rc<StdCell<u64>>,
 }
 
-impl StageStats {
+impl FabricCounters {
     /// Items passed through.
     pub fn forwarded(&self) -> u64 {
         self.forwarded.get()
@@ -83,7 +88,37 @@ impl StageStats {
     pub fn dropped(&self) -> u64 {
         self.dropped.get()
     }
+
+    /// Items dropped for lack of a route.
+    pub fn unroutable(&self) -> u64 {
+        self.unroutable.get()
+    }
+
+    /// Items dropped on full output queues.
+    pub fn overflow(&self) -> u64 {
+        self.overflow.get()
+    }
+
+    pub(crate) fn count_forwarded(&self, n: u64) {
+        self.forwarded.set(self.forwarded.get() + n);
+    }
+
+    pub(crate) fn count_dropped(&self, n: u64) {
+        self.dropped.set(self.dropped.get() + n);
+    }
+
+    pub(crate) fn count_unroutable(&self, n: u64) {
+        self.unroutable.set(self.unroutable.get() + n);
+    }
+
+    pub(crate) fn count_overflow(&self, n: u64) {
+        self.overflow.set(self.overflow.get() + n);
+    }
 }
+
+/// Statistics of a network stage (the loss-relevant view of
+/// [`FabricCounters`]).
+pub type StageStats = FabricCounters;
 
 /// Spawns a FIFO-preserving jitter stage: each item is delayed by a fresh
 /// sample, but never reordered (delivery time is clamped to be monotonic,
@@ -141,10 +176,10 @@ pub fn loss_stage<T: 'static>(
         let mut rng = SmallRng::seed_from_u64(seed);
         while let Ok(item) = input.recv().await {
             if rng.gen_bool(p) {
-                s.dropped.set(s.dropped.get() + 1);
+                s.count_dropped(1);
                 continue;
             }
-            s.forwarded.set(s.forwarded.get() + 1);
+            s.count_forwarded(1);
             if tx.send(item).await.is_err() {
                 return;
             }
@@ -506,7 +541,7 @@ fn leak_name(s: String) -> &'static str {
 
 // Each routed VCI carries a list of copy destinations: (output port,
 // rewritten VCI).
-type RouteTable = Rc<RefCell<std::collections::HashMap<Vci, Vec<(usize, Vci)>>>>;
+pub(crate) type RouteTable = Rc<RefCell<std::collections::HashMap<Vci, Vec<(usize, Vci)>>>>;
 
 /// A VCI-routed cell switch (the ATM ring / switch fabric stand-in).
 ///
@@ -518,10 +553,7 @@ type RouteTable = Rc<RefCell<std::collections::HashMap<Vci, Vec<(usize, Vci)>>>>
 /// them) rather than stalling other ports — Principle 5 at the fabric
 /// level, and Principle 5 again between the copies of a multicast VCI.
 pub struct Switch {
-    table: RouteTable,
-    unroutable: Rc<StdCell<u64>>,
-    overflow: Rc<StdCell<u64>>,
-    forwarded: Rc<StdCell<u64>>,
+    core: crate::burst::SwitchCore,
 }
 
 impl Switch {
@@ -536,57 +568,52 @@ impl Switch {
         output_ports: usize,
         port_queue: usize,
     ) -> (Switch, Vec<Receiver<Cell>>) {
-        let table = Rc::new(RefCell::new(std::collections::HashMap::new()));
-        let unroutable = Rc::new(StdCell::new(0u64));
-        let overflow = Rc::new(StdCell::new(0u64));
-        let forwarded = Rc::new(StdCell::new(0u64));
-        let mut port_txs: Vec<Sender<Cell>> = Vec::with_capacity(output_ports);
-        let mut port_rxs = Vec::with_capacity(output_ports);
-        for _ in 0..output_ports {
-            let (tx, rx) = buffered::<Cell>(port_queue.max(1));
-            port_txs.push(tx);
-            port_rxs.push(rx);
-        }
-        let sw = Switch {
-            table: table.clone(),
-            unroutable: unroutable.clone(),
-            overflow: overflow.clone(),
-            forwarded: forwarded.clone(),
-        };
+        let (core, port_rxs) = crate::burst::SwitchCore::new(output_ports, port_queue);
+        let task_core = core.clone();
         spawner.spawn(&format!("switch:{name}"), async move {
             loop {
                 let guards: Vec<&Receiver<Cell>> = inputs.iter().collect();
                 let Some(Ok((_port, cell))) = pandora_sim::alt_many(&guards).await else {
                     return;
                 };
-                let routes = table.borrow().get(&cell.vci).cloned();
-                match routes {
-                    Some(routes) if !routes.is_empty() => {
-                        for &(out, new_vci) in &routes {
-                            if out >= port_txs.len() {
-                                unroutable.set(unroutable.get() + 1);
-                                continue;
-                            }
-                            let mut copy = cell.clone();
-                            copy.vci = new_vci;
-                            match port_txs[out].try_send(copy) {
-                                Ok(()) => forwarded.set(forwarded.get() + 1),
-                                Err(_) => overflow.set(overflow.get() + 1),
-                            }
-                        }
-                    }
-                    _ => unroutable.set(unroutable.get() + 1),
-                }
+                task_core.dispatch_cell(cell);
             }
         });
-        (sw, port_rxs)
+        (Switch { core }, port_rxs)
+    }
+
+    /// Spawns a burst-mode switch: inputs carry whole [`CellBurst`]s and
+    /// each one crosses the fabric with a single dispatch (one route
+    /// lookup, bulk per-port appends, bulk counter updates). Outputs stay
+    /// per-cell so downstream consumers are unchanged; port-by-port the
+    /// cell stream is byte-identical to [`Switch::spawn`] fed the bursts'
+    /// cells in the same arrival order.
+    pub fn spawn_bursts(
+        spawner: &Spawner,
+        name: &str,
+        inputs: Vec<Receiver<crate::burst::CellBurst>>,
+        output_ports: usize,
+        port_queue: usize,
+    ) -> (Switch, Vec<Receiver<Cell>>) {
+        let (core, port_rxs) = crate::burst::SwitchCore::new(output_ports, port_queue);
+        let task_core = core.clone();
+        spawner.spawn(&format!("switch:{name}"), async move {
+            loop {
+                let guards: Vec<&Receiver<crate::burst::CellBurst>> = inputs.iter().collect();
+                let Some(Ok((_port, burst))) = pandora_sim::alt_many(&guards).await else {
+                    return;
+                };
+                task_core.dispatch_burst(&burst);
+            }
+        });
+        (Switch { core }, port_rxs)
     }
 
     /// Installs (or replaces) a unicast route: cells on `vci` go to `port`
     /// with their VCI rewritten to `out_vci`. Any previously installed
     /// copies of the VCI are dropped.
     pub fn route(&self, vci: Vci, port: usize, out_vci: Vci) {
-        self.table.borrow_mut().insert(vci, vec![(port, out_vci)]);
+        self.core.route(vci, port, out_vci);
     }
 
     /// Adds one more copy destination for `vci` (fabric-level splitting:
@@ -594,17 +621,14 @@ impl Switch {
     /// ongoing listeners never glitch — Principle 6). Duplicate copies are
     /// ignored.
     pub fn route_add(&self, vci: Vci, port: usize, out_vci: Vci) {
-        let mut table = self.table.borrow_mut();
-        let routes = table.entry(vci).or_default();
-        if !routes.contains(&(port, out_vci)) {
-            routes.push((port, out_vci));
-        }
+        self.core.route_add(vci, port, out_vci);
     }
 
     /// Removes the copies of `vci` going to `port`; copies toward other
     /// ports keep flowing undisturbed.
     pub fn route_remove(&self, vci: Vci, port: usize) {
-        let mut table = self.table.borrow_mut();
+        let table = self.core.table();
+        let mut table = table.borrow_mut();
         if let Some(routes) = table.get_mut(&vci) {
             routes.retain(|&(p, _)| p != port);
             if routes.is_empty() {
@@ -615,7 +639,7 @@ impl Switch {
 
     /// Removes a VCI's routes entirely.
     pub fn unroute(&self, vci: Vci) {
-        self.table.borrow_mut().remove(&vci);
+        self.core.table().borrow_mut().remove(&vci);
     }
 
     /// Removes every leg toward `port` — the dead-attachment teardown:
@@ -624,7 +648,8 @@ impl Switch {
     /// flowing (Principle 6). Returns the VCIs that lost legs, in
     /// ascending order so callers act on them deterministically.
     pub fn unroute_port(&self, port: usize) -> Vec<Vci> {
-        let mut table = self.table.borrow_mut();
+        let table = self.core.table();
+        let mut table = table.borrow_mut();
         let mut touched: Vec<Vci> = Vec::new();
         for (&vci, routes) in table.iter_mut() {
             let before = routes.len();
@@ -645,26 +670,32 @@ impl Switch {
     /// Number of installed legs toward `port` — the recovery suite's
     /// "no routes left toward the dead box" assertion.
     pub fn port_route_count(&self, port: usize) -> usize {
-        self.table
+        self.core
+            .table()
             .borrow()
             .values()
             .map(|routes| routes.iter().filter(|&&(p, _)| p == port).count())
             .sum()
     }
 
+    /// The switch's unified counters.
+    pub fn counters(&self) -> &FabricCounters {
+        self.core.counters()
+    }
+
     /// Cells forwarded.
     pub fn forwarded(&self) -> u64 {
-        self.forwarded.get()
+        self.core.counters().forwarded()
     }
 
     /// Cells dropped for lack of a route.
     pub fn unroutable(&self) -> u64 {
-        self.unroutable.get()
+        self.core.counters().unroutable()
     }
 
     /// Cells dropped on full output ports.
     pub fn overflow(&self) -> u64 {
-        self.overflow.get()
+        self.core.counters().overflow()
     }
 }
 

@@ -19,6 +19,7 @@
 
 pub mod gen;
 pub mod mulaw;
+pub mod q15;
 pub mod quality;
 pub mod recovery;
 
@@ -27,6 +28,7 @@ mod mixer;
 mod muting;
 
 pub use block::{segment_blocks, Block, SegmentAssembler};
-pub use mixer::{mix_blocks, mix_blocks_scaled, CpuProfile};
+pub use mixer::{mix_blocks, mix_blocks_scalar, mix_blocks_scaled, CpuProfile};
 pub use muting::{MuteStage, Muting, MutingConfig};
+pub use q15::Q15;
 pub use recovery::{Concealer, Concealment};

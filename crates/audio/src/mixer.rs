@@ -8,6 +8,7 @@
 
 use crate::block::Block;
 use crate::mulaw;
+use crate::q15::{round_q15, Q15};
 use pandora_segment::BLOCK_BYTES;
 
 /// Mixes any number of µ-law blocks into one (linear-domain saturating sum).
@@ -15,6 +16,11 @@ use pandora_segment::BLOCK_BYTES;
 /// An empty input yields silence — "if the clawback buffer is empty at
 /// this time, then it is not included in the mixing" (§3.7.2), and when no
 /// stream contributes the codec still needs a block.
+///
+/// The whole 16-sample block is accumulated through the flat decode LUT
+/// and the branch-free encoder, fixed-size loops the autovectorizer can
+/// unroll; [`mix_blocks_scalar`] keeps the original per-sample code as
+/// the conformance oracle and the two are byte-identical on every input.
 pub fn mix_blocks<'a>(blocks: impl IntoIterator<Item = &'a Block>) -> Block {
     let mut acc = [0i32; BLOCK_BYTES];
     for block in blocks {
@@ -29,17 +35,42 @@ pub fn mix_blocks<'a>(blocks: impl IntoIterator<Item = &'a Block>) -> Block {
     Block(out)
 }
 
-/// Per-stream gain applied during mixing (e.g. muting factors).
-pub fn mix_blocks_scaled<'a>(blocks: impl IntoIterator<Item = (&'a Block, f64)>) -> Block {
-    let mut acc = [0f64; BLOCK_BYTES];
-    for (block, gain) in blocks {
+/// The conformance oracle for [`mix_blocks`]: same accumulate/saturate
+/// semantics expressed through the reference (formula/loop) codec.
+pub fn mix_blocks_scalar<'a>(blocks: impl IntoIterator<Item = &'a Block>) -> Block {
+    let mut acc = [0i32; BLOCK_BYTES];
+    for block in blocks {
         for (a, &b) in acc.iter_mut().zip(block.0.iter()) {
-            *a += mulaw::decode(b) as f64 * gain;
+            *a += mulaw::decode_reference(b);
         }
     }
     let mut out = [0u8; BLOCK_BYTES];
     for (o, &a) in out.iter_mut().zip(acc.iter()) {
-        *o = mulaw::encode(a.round().clamp(i16::MIN as f64, i16::MAX as f64) as i16);
+        *o = mulaw::encode_reference(a.clamp(i16::MIN as i32, i16::MAX as i32) as i16);
+    }
+    Block(out)
+}
+
+/// Per-stream gain applied during mixing (e.g. muting factors).
+///
+/// Gains are Q15 fixed point: each sample contributes its exact
+/// `decode(b) * gain.raw()` product to an `i64` accumulator and one
+/// explicit rounding step (half away from zero, like `f64::round`) runs
+/// per output sample — mirroring the single-rounding shape of the old
+/// float path while being bit-identical on every host. With gains
+/// exactly representable in Q15, output matches the old `f64` path.
+pub fn mix_blocks_scaled<'a>(blocks: impl IntoIterator<Item = (&'a Block, Q15)>) -> Block {
+    let mut acc = [0i64; BLOCK_BYTES];
+    for (block, gain) in blocks {
+        let g = gain.raw() as i64;
+        for (a, &b) in acc.iter_mut().zip(block.0.iter()) {
+            *a += mulaw::decode(b) as i64 * g;
+        }
+    }
+    let mut out = [0u8; BLOCK_BYTES];
+    for (o, &a) in out.iter_mut().zip(acc.iter()) {
+        let rounded = round_q15(a);
+        *o = mulaw::encode(rounded.clamp(i16::MIN as i64, i16::MAX as i64) as i16);
     }
     Block(out)
 }
@@ -168,10 +199,81 @@ mod tests {
     #[test]
     fn scaled_mix_applies_gain() {
         let b = block_of(10_000);
-        let out = mix_blocks_scaled([(&b, 0.2)]);
+        let out = mix_blocks_scaled([(&b, Q15::from_f64(0.2))]);
         let got = decode(out.0[0]);
         let want = decode(encode(10_000)) / 5;
         assert!((got - want).abs() <= want / 8 + 16, "got {got} want {want}");
+    }
+
+    #[test]
+    fn mix_blocks_matches_scalar_oracle() {
+        let mut rng = 0x9E37u32;
+        let mut step = move || {
+            rng = rng.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            (rng >> 16) as u8
+        };
+        for _ in 0..50 {
+            let blocks: Vec<Block> = (0..8)
+                .map(|_| Block(std::array::from_fn(|_| step())))
+                .collect();
+            assert_eq!(mix_blocks(blocks.iter()), mix_blocks_scalar(blocks.iter()));
+        }
+    }
+
+    // The old f64 implementation of `mix_blocks_scaled`, kept inline as
+    // the golden reference the Q15 path is pinned against.
+    fn mix_blocks_scaled_f64<'a>(blocks: impl IntoIterator<Item = (&'a Block, f64)>) -> Block {
+        let mut acc = [0f64; BLOCK_BYTES];
+        for (block, gain) in blocks {
+            for (a, &b) in acc.iter_mut().zip(block.0.iter()) {
+                *a += decode(b) as f64 * gain;
+            }
+        }
+        let mut out = [0u8; BLOCK_BYTES];
+        for (o, &a) in out.iter_mut().zip(acc.iter()) {
+            *o = encode(a.round().clamp(i16::MIN as f64, i16::MAX as f64) as i16);
+        }
+        Block(out)
+    }
+
+    #[test]
+    fn scaled_mix_golden_vs_old_float_path() {
+        let mut rng = 0xC0FFEEu32;
+        let mut step = move || {
+            rng = rng.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            (rng >> 16) as u8
+        };
+        for seed in 0..10 {
+            let blocks: Vec<Block> = (0..4)
+                .map(|_| Block(std::array::from_fn(|_| step())))
+                .collect();
+            // Q15-exact gains: byte-identical to the old float path.
+            let exact = [
+                Q15::from_raw(1 << 14),
+                Q15::ONE,
+                Q15::from_raw(3 << 13),
+                Q15::ZERO,
+            ];
+            let q15_mix = mix_blocks_scaled(blocks.iter().zip(exact));
+            let f64_mix =
+                mix_blocks_scaled_f64(blocks.iter().zip(exact).map(|(b, g)| (b, g.to_f64())));
+            assert_eq!(q15_mix, f64_mix, "seed {seed}");
+            // The figure-4.1 factors are not Q15-exact; the decoded outputs
+            // stay within one quantisation step of the old float path.
+            let factors = [0.2f64, 0.5, 1.0, 0.2];
+            let q15_mix = mix_blocks_scaled(
+                blocks
+                    .iter()
+                    .zip(factors)
+                    .map(|(b, f)| (b, Q15::from_f64(f))),
+            );
+            let f64_mix = mix_blocks_scaled_f64(blocks.iter().zip(factors));
+            for (q, f) in q15_mix.0.iter().zip(f64_mix.0.iter()) {
+                let (dq, df) = (decode(*q), decode(*f));
+                let tol = 16 + df.abs() / 12;
+                assert!((dq - df).abs() <= tol, "seed {seed}: {dq} vs {df}");
+            }
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use crate::block::Block;
 use crate::mulaw;
+use crate::q15::Q15;
 use pandora_segment::BLOCK_DURATION_NANOS;
 
 /// Muting parameters (defaults from figure 4.1).
@@ -72,13 +73,17 @@ pub struct Muting {
 
 impl Muting {
     /// Creates the state machine with the given parameters.
+    ///
+    /// The scaling tables are built through Q15 fixed-point gains (the
+    /// nearest Q15 value to each configured factor), so the µ-law-domain
+    /// muting is pure integer arithmetic and bit-identical on every host.
     pub fn new(config: MutingConfig) -> Self {
         Muting {
             config,
             stage: MuteStage::Full,
             hold_remaining_ns: 0,
-            deep_table: mulaw::scaling_table(config.deep_factor),
-            half_table: mulaw::scaling_table(config.half_factor),
+            deep_table: mulaw::scaling_table_q15(Q15::from_f64(config.deep_factor)),
+            half_table: mulaw::scaling_table_q15(Q15::from_f64(config.half_factor)),
         }
     }
 
@@ -96,10 +101,19 @@ impl Muting {
         }
     }
 
+    /// Current gain as the Q15 value actually applied by the tables.
+    pub fn factor_q15(&self) -> Q15 {
+        match self.stage {
+            MuteStage::Full => Q15::ONE,
+            MuteStage::Deep => Q15::from_f64(self.config.deep_factor),
+            MuteStage::Half => Q15::from_f64(self.config.half_factor),
+        }
+    }
+
     /// Replaces the parameters ("dynamically alterable").
     pub fn set_config(&mut self, config: MutingConfig) {
-        self.deep_table = mulaw::scaling_table(config.deep_factor);
-        self.half_table = mulaw::scaling_table(config.half_factor);
+        self.deep_table = mulaw::scaling_table_q15(Q15::from_f64(config.deep_factor));
+        self.half_table = mulaw::scaling_table_q15(Q15::from_f64(config.half_factor));
         self.config = config;
     }
 
@@ -254,6 +268,29 @@ mod tests {
         });
         m.observe_speaker(&block_of(500));
         assert_eq!(m.stage(), MuteStage::Deep);
+    }
+
+    #[test]
+    fn q15_tables_track_old_float_tables_within_one_code() {
+        // The figure-4.1 factors applied through Q15 stay within one
+        // µ-law code of the old float-built tables on every byte.
+        let cfg = MutingConfig::default();
+        for factor in [cfg.deep_factor, cfg.half_factor] {
+            let float_table = mulaw::scaling_table(factor);
+            let q15_table = mulaw::scaling_table_q15(Q15::from_f64(factor));
+            for b in 0u16..=255 {
+                let d = (float_table[b as usize] as i32 - q15_table[b as usize] as i32).abs();
+                assert!(d <= 1, "factor={factor} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn factor_q15_matches_factor() {
+        let mut m = Muting::new(MutingConfig::default());
+        assert_eq!(m.factor_q15(), Q15::ONE);
+        m.observe_speaker(&block_of(20_000));
+        assert_eq!(m.factor_q15(), Q15::from_f64(m.factor()));
     }
 
     #[test]

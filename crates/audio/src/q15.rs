@@ -1,0 +1,112 @@
+//! Q15 fixed-point gains for the mixing/muting hot path.
+//!
+//! The paper's muting factors (figure 4.1) and per-stream mixing gains
+//! were applied through `f64` multiplies. Floating point is slower per
+//! sample than integer arithmetic on the hot path and — worse for a
+//! deterministic system — its rounding is easy to perturb (intermediate
+//! precision, fused multiply-add, reassociation). A Q15 gain is a plain
+//! `i32` with 1.0 ≡ `1 << 15`: products are exact in `i64`, the single
+//! rounding step is spelled out below, and the result is bit-identical
+//! on every host.
+
+/// A gain in Q15 fixed point: 1.0 ≡ `1 << 15`.
+///
+/// The raw value is deliberately not bounded to ±1.0; gains slightly
+/// above unity (e.g. 1.25) work the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Q15(i32);
+
+impl Q15 {
+    /// Unity gain.
+    pub const ONE: Q15 = Q15(1 << 15);
+    /// Zero gain (full mute).
+    pub const ZERO: Q15 = Q15(0);
+
+    /// The nearest Q15 gain to `gain` (ties round away from zero).
+    pub fn from_f64(gain: f64) -> Q15 {
+        Q15((gain * (1i32 << 15) as f64).round() as i32)
+    }
+
+    /// The exact value this gain represents.
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / (1i32 << 15) as f64
+    }
+
+    /// A Q15 gain from its raw fixed-point representation.
+    pub fn from_raw(raw: i32) -> Q15 {
+        Q15(raw)
+    }
+
+    /// The raw fixed-point value (`gain * 32768`).
+    pub fn raw(self) -> i32 {
+        self.0
+    }
+
+    /// Scales a linear sample by this gain, rounding half away from zero
+    /// — the same tie-breaking `f64::round` uses, so a Q15 scale agrees
+    /// with the float path it replaces whenever the gain is exactly
+    /// representable in Q15.
+    pub fn scale(self, sample: i32) -> i32 {
+        round_q15(sample as i64 * self.0 as i64) as i32
+    }
+}
+
+/// Rounds a Q15-scaled product back to integer, half away from zero.
+///
+/// The naive `(p + (1 << 14)) >> 15` is wrong for negative products:
+/// arithmetic shift floors, so e.g. `p = -0x3FFF` would land on -1 where
+/// `round` gives 0. Mirroring the positive case through negation keeps
+/// the two signs symmetric.
+pub(crate) fn round_q15(p: i64) -> i64 {
+    if p >= 0 {
+        (p + (1 << 14)) >> 15
+    } else {
+        -((-p + (1 << 14)) >> 15)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unity_and_zero() {
+        for s in [-32768, -1, 0, 1, 12345, 32767] {
+            assert_eq!(Q15::ONE.scale(s), s);
+            assert_eq!(Q15::ZERO.scale(s), 0);
+        }
+    }
+
+    #[test]
+    fn from_f64_round_trips_exact_gains() {
+        for raw in [-32768, -1, 0, 1, 6554, 16384, 32768, 40960] {
+            let q = Q15::from_raw(raw);
+            assert_eq!(Q15::from_f64(q.to_f64()), q);
+        }
+    }
+
+    #[test]
+    fn scale_matches_f64_round_for_exact_gains() {
+        // Gains exactly representable in Q15 must agree with the float
+        // path on every 16-bit sample — including the negative ties the
+        // naive shift-rounding gets wrong.
+        for raw in [1, 3, 6554, 16384, 16385, 32767] {
+            let q = Q15::from_raw(raw);
+            let g = q.to_f64();
+            for s in (-32768i32..=32767).step_by(7) {
+                let want = (s as f64 * g).round() as i32;
+                assert_eq!(q.scale(s), want, "raw={raw} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn rounding_is_half_away_from_zero() {
+        // 0.5 in Q15 applied to odd samples: exact halves.
+        let half = Q15::from_raw(1 << 14);
+        assert_eq!(half.scale(1), 1);
+        assert_eq!(half.scale(-1), -1);
+        assert_eq!(half.scale(3), 2);
+        assert_eq!(half.scale(-3), -2);
+    }
+}

@@ -28,8 +28,12 @@ use std::process::ExitCode;
 use std::rc::Rc;
 use std::time::Instant;
 
-use pandora_atm::{cells_gather, segment_to_cells, Reassembler, SlabReassembler, Vci};
+use pandora_atm::{
+    cells_gather, segment_to_burst, segment_to_cells, Cell, CellBurst, Reassembler,
+    SlabReassembler, SwitchCore, Vci,
+};
 use pandora_audio::gen::Speech;
+use pandora_audio::{mix_blocks, mix_blocks_scalar, Block};
 use pandora_buffers::{ByteSlab, Pool};
 use pandora_faults::{install, FaultPlan, FaultTargets};
 use pandora_recover::{AdaptMachine, HealthConfig, Lease, LeaseConfig, MediaClass, WindowSample};
@@ -41,7 +45,11 @@ use pandora_session::{
     AdmissionController, Capabilities, ControllerConfig, Directory, EndpointRecord, SessionMsg,
     Star, StarConfig, StreamClass,
 };
-use pandora_sim::{SimDuration, SimTime, Simulation};
+use pandora_sim::{Receiver, SimDuration, SimTime, Simulation};
+use pandora_video::dpcm::{
+    compress_line, compress_slice, decompress_line, decompress_slice, LineMode,
+};
+use pandora_video::{capture_rect, CaptureConfig, FrameStore, RateFraction, Rect, TestPattern};
 
 /// Per-sample budget and sample count for one measurement pass.
 #[derive(Clone, Copy)]
@@ -276,6 +284,234 @@ fn run_cases(budget: Budget) -> Vec<Case> {
         }));
     }
     cases
+}
+
+/// A scalar-vs-batched hot-path pair measured drift-free in one window,
+/// with a committed speedup floor: the batched path must beat its scalar
+/// oracle by at least `floor`x or the whole suite fails, with the same
+/// teeth as the `aal_comparison` guard. `units_per_op` converts one
+/// closure call into the tracked unit (cells, ticks, slices, segments).
+struct Throughput {
+    name: &'static str,
+    scalar: Case,
+    batched: Case,
+    units_per_op: f64,
+    unit: &'static str,
+    floor: f64,
+}
+
+impl Throughput {
+    fn speedup(&self) -> f64 {
+        self.scalar.median_ns / self.batched.median_ns
+    }
+
+    fn units_per_sec(&self) -> f64 {
+        self.units_per_op * 1e9 / self.batched.median_ns
+    }
+}
+
+/// The batched hot paths introduced by the burst/vectorization rework,
+/// each paired against the scalar path it replaces (the scalar paths stay
+/// in-tree as conformance oracles — see `tests/batched_equivalence.rs`).
+fn throughput_suites(budget: Budget) -> Vec<Throughput> {
+    let mut suites = Vec::new();
+
+    // Switch fabric: one op pushes 4 frames (24 cells each) across 4
+    // routed VCIs through a 4-port core and drains the port queues.
+    {
+        let payload = vec![0x5Au8; 48 * 24];
+        let build = || {
+            let (core, rxs) = SwitchCore::new(4, 128);
+            for v in 0..4u32 {
+                core.route(Vci(100 + v), v as usize, Vci(200 + v));
+            }
+            (core, rxs)
+        };
+        let cells: Vec<Cell> = (0..4u32)
+            .flat_map(|v| segment_to_cells(Vci(100 + v), &payload, 0))
+            .collect();
+        let bursts: Vec<CellBurst> = (0..4u32)
+            .map(|v| segment_to_burst(Vci(100 + v), &payload, 0))
+            .collect();
+        let cells_per_op = cells.len() as f64;
+        let (s_core, s_rx) = build();
+        let (b_core, b_rx) = build();
+        let drain = |rxs: &[Receiver<Cell>]| {
+            for rx in rxs {
+                while let Some(cell) = rx.try_recv() {
+                    std::hint::black_box(cell);
+                }
+            }
+        };
+        let (scalar, batched) = measure_paired(
+            ("switch_dispatch_per_cell", "switch_dispatch_burst"),
+            budget,
+            || {
+                for c in &cells {
+                    s_core.dispatch_cell(c.clone());
+                }
+                drain(&s_rx);
+            },
+            || {
+                for b in &bursts {
+                    b_core.dispatch_burst(b);
+                }
+                drain(&b_rx);
+            },
+        );
+        suites.push(Throughput {
+            name: "switch_burst_cells_per_sec",
+            scalar,
+            batched,
+            units_per_op: cells_per_op,
+            unit: "cells",
+            floor: 1.2,
+        });
+    }
+
+    // Mixer: one op is one 2 ms mix tick across 64 active streams —
+    // flat-LUT decode + branch-free encode vs the reference codec.
+    {
+        let blocks: Vec<Block> = (0..64u64)
+            .map(|s| {
+                let mut rng = s.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+                let mut block = Block::SILENCE;
+                for b in block.0.iter_mut() {
+                    rng = rng.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                    *b = (rng >> 32) as u8;
+                }
+                block
+            })
+            .collect();
+        let (scalar, batched) = measure_paired(
+            ("mix_64_reference", "mix_64_lut"),
+            budget,
+            || {
+                std::hint::black_box(mix_blocks_scalar(blocks.iter()));
+            },
+            || {
+                std::hint::black_box(mix_blocks(blocks.iter()));
+            },
+        );
+        suites.push(Throughput {
+            name: "mix_ticks_64_streams",
+            scalar,
+            batched,
+            units_per_op: 1.0,
+            unit: "ticks",
+            floor: 1.3,
+        });
+    }
+
+    // DPCM: one op compresses and decodes a 32-line x 384-pixel slice,
+    // row-chunked vs one line (and one Vec) at a time. The LUT codec work
+    // dominates at this width and is shared by both paths, so the slice
+    // win (allocation elimination) is small; the floor is a no-regression
+    // guard with the same 5% tolerance as the slab-video gate.
+    {
+        let width = 384usize;
+        let lines = 32usize;
+        let pixels = TestPattern::new(width as u32, lines as u32).frame(5);
+        let (scalar, batched) = measure_paired(
+            ("dpcm_per_line", "dpcm_slice"),
+            budget,
+            || {
+                for row in 0..lines {
+                    let line =
+                        compress_line(&pixels[row * width..(row + 1) * width], LineMode::Dpcm);
+                    std::hint::black_box(decompress_line(&line, width).expect("decodes"));
+                }
+            },
+            || {
+                let data = compress_slice(&pixels, width, LineMode::Dpcm);
+                std::hint::black_box(decompress_slice(&data, width, lines).expect("decodes"));
+            },
+        );
+        suites.push(Throughput {
+            name: "dpcm_slices_per_sec",
+            scalar,
+            batched,
+            units_per_op: 1.0,
+            unit: "slices",
+            floor: 0.95,
+        });
+    }
+
+    // Full box: one op carries a captured video segment from wire encode
+    // through the switch fabric and reassembly to decoded pixels. The
+    // floor is a no-regression guard (the codec and fabric wins are
+    // tracked by the dedicated pairs above; this row tracks that they
+    // compose end to end).
+    {
+        let mut fs = FrameStore::new(384, 32);
+        fs.write_frame(&TestPattern::new(384, 32).frame(3));
+        let cfg = CaptureConfig {
+            rect: Rect::new(0, 0, 384, 32),
+            rate: RateFraction::FULL,
+            lines_per_segment: 32,
+            mode: LineMode::Dpcm,
+        };
+        let mut segs = capture_rect(&fs, &cfg, 0, SequenceNumber(0), Timestamp(0));
+        let seg = Segment::Video(segs.remove(0));
+        let bytes = wire::encode(&seg);
+        let decode_frame = |frame: &[u8]| {
+            let seg = wire::decode(frame).expect("decodes");
+            let Segment::Video(v) = seg else {
+                unreachable!("video segment round-trips as video")
+            };
+            std::hint::black_box(
+                decompress_slice(&v.data, v.video.width as usize, v.video.lines as usize)
+                    .expect("decodes"),
+            );
+        };
+        let build = || {
+            let (core, rxs) = SwitchCore::new(1, 512);
+            core.route(Vci(5), 0, Vci(6));
+            (core, rxs)
+        };
+        let (s_core, s_rx) = build();
+        let (b_core, b_rx) = build();
+        let mut s_reasm = Reassembler::new();
+        let mut b_reasm = Reassembler::new();
+        let mut s_seq = 0u32;
+        let mut b_seq = 0u32;
+        let (scalar, batched) = measure_paired(
+            ("segment_box_per_cell", "segment_box_burst"),
+            budget,
+            || {
+                let cells = segment_to_cells(Vci(5), &bytes, s_seq);
+                s_seq = s_seq.wrapping_add(cells.len() as u32);
+                for cell in cells {
+                    s_core.dispatch_cell(cell);
+                }
+                let mut out = None;
+                while let Some(cell) = s_rx[0].try_recv() {
+                    out = s_reasm.push(cell).or(out);
+                }
+                let (_, frame) = out.expect("frame completes");
+                decode_frame(&frame);
+            },
+            || {
+                let burst = segment_to_burst(Vci(5), &bytes, b_seq);
+                b_seq = b_seq.wrapping_add(burst.len() as u32);
+                b_core.dispatch_burst(&burst);
+                let cells: Vec<Cell> = std::iter::from_fn(|| b_rx[0].try_recv()).collect();
+                let burst = CellBurst::from_cells(cells).expect("contiguous run");
+                let (_, frame) = b_reasm.push_burst(burst).expect("frame completes");
+                decode_frame(&frame);
+            },
+        );
+        suites.push(Throughput {
+            name: "segments_per_sec",
+            scalar,
+            batched,
+            units_per_op: 1.0,
+            unit: "segments",
+            floor: 0.95,
+        });
+    }
+
+    suites
 }
 
 /// The session control plane's hot paths, measured without a simulator:
@@ -529,14 +765,20 @@ fn render_sim_json(points: &[SimScalingPoint], mode: &str) -> Option<String> {
         "  \"note\": \"1,000-box broadcast soak; traces byte-identical at every shard \
          count. speedup_vs_1 is wall-clock and only meaningful when host_cores >= shards \
          — on fewer cores the worker threads time-slice one CPU and the honest figure \
-         is ~1x minus coordination overhead.\",\n",
+         is ~1x minus coordination overhead. Rows with advisory=true ran with more \
+         shards than host cores; guards and comparisons must skip them.\",\n",
     );
     out.push_str("  \"scaling\": [\n");
     for (i, p) in points.iter().enumerate() {
         let sep = if i + 1 == points.len() { "" } else { "," };
         out.push_str(&format!(
-            "    {{\"shards\": {}, \"events\": {}, \"wall_ms\": {:.1}, \"events_per_sec\": {:.0}, \"speedup_vs_1\": {:.2}}}{sep}\n",
-            p.shards, p.events, p.wall_ms, p.events_per_sec, base_wall / p.wall_ms
+            "    {{\"shards\": {}, \"events\": {}, \"wall_ms\": {:.1}, \"events_per_sec\": {:.0}, \"speedup_vs_1\": {:.2}, \"advisory\": {}}}{sep}\n",
+            p.shards,
+            p.events,
+            p.wall_ms,
+            p.events_per_sec,
+            base_wall / p.wall_ms,
+            host_cores < p.shards
         ));
     }
     out.push_str("  ]\n}\n");
@@ -614,10 +856,35 @@ fn median_of(cases: &[Case], name: &str) -> Option<f64> {
     cases.iter().find(|c| c.name == name).map(|c| c.median_ns)
 }
 
-fn render_json(cases: &[Case], mode: &str) -> Option<String> {
+fn render_json(cases: &[Case], throughput: &[Throughput], mode: &str) -> Option<String> {
     if cases.len() < 4 {
         eprintln!("bench-json: only {} cases, need at least 4", cases.len());
         return None;
+    }
+    if throughput.len() < 4 {
+        eprintln!(
+            "bench-json: only {} throughput pairs, need at least 4",
+            throughput.len()
+        );
+        return None;
+    }
+    // Regression guards: each batched hot path carries a committed floor
+    // against its scalar oracle. The pairs are drift-free (alternating
+    // samples in one window), so dropping below the floor means the
+    // batched path genuinely lost its edge, not that the host was busy.
+    for t in throughput {
+        if t.speedup() < t.floor {
+            eprintln!(
+                "bench-json: {} below its committed floor: {:.2}x < {:.2}x \
+                 (scalar {:.1} ns vs batched {:.1} ns)",
+                t.name,
+                t.speedup(),
+                t.floor,
+                t.scalar.median_ns,
+                t.batched.median_ns
+            );
+            return None;
+        }
     }
     let legacy = median_of(cases, "aal_round_trip_legacy")?;
     let slab = median_of(cases, "aal_round_trip_slab")?;
@@ -648,7 +915,7 @@ fn render_json(cases: &[Case], mode: &str) -> Option<String> {
     }
     out.push_str("  ],\n");
     out.push_str(&format!(
-        "  \"aal_comparison\": {{\"legacy_ns\": {:.1}, \"slab_ns\": {:.1}, \"speedup\": {:.2}, \"improved\": {}, \"video_legacy_ns\": {:.1}, \"video_slab_ns\": {:.1}, \"video_speedup\": {:.2}, \"video_improved\": {}}}\n",
+        "  \"aal_comparison\": {{\"legacy_ns\": {:.1}, \"slab_ns\": {:.1}, \"speedup\": {:.2}, \"improved\": {}, \"video_legacy_ns\": {:.1}, \"video_slab_ns\": {:.1}, \"video_speedup\": {:.2}, \"video_improved\": {}}},\n",
         legacy,
         slab,
         legacy / slab,
@@ -658,6 +925,22 @@ fn render_json(cases: &[Case], mode: &str) -> Option<String> {
         legacy_video / slab_video,
         slab_video < legacy_video
     ));
+    out.push_str("  \"throughput\": [\n");
+    for (i, t) in throughput.iter().enumerate() {
+        let sep = if i + 1 == throughput.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"scalar_ns\": {:.1}, \"batched_ns\": {:.1}, \"speedup\": {:.2}, \"floor\": {:.2}, \"unit\": \"{}\", \"units_per_sec\": {:.0}, \"improved\": {}}}{sep}\n",
+            t.name,
+            t.scalar.median_ns,
+            t.batched.median_ns,
+            t.speedup(),
+            t.floor,
+            t.unit,
+            t.units_per_sec(),
+            t.batched.median_ns < t.scalar.median_ns
+        ));
+    }
+    out.push_str("  ]\n");
     out.push_str("}\n");
     Some(out)
 }
@@ -676,7 +959,20 @@ fn main() -> ExitCode {
             c.name, c.median_ns, c.ops_per_sec
         );
     }
-    let Some(json) = render_json(&cases, mode) else {
+    let throughput = throughput_suites(budget);
+    for t in &throughput {
+        println!(
+            "{:<28} scalar {:>9.1} ns -> batched {:>9.1} ns ({:.2}x, floor {:.2}x, {:.0} {}/s)",
+            t.name,
+            t.scalar.median_ns,
+            t.batched.median_ns,
+            t.speedup(),
+            t.floor,
+            t.units_per_sec(),
+            t.unit
+        );
+    }
+    let Some(json) = render_json(&cases, &throughput, mode) else {
         eprintln!("bench-json: suite malformed, not writing BENCH_transport.json");
         return ExitCode::FAILURE;
     };

@@ -33,6 +33,8 @@ fn fixtures_report_exactly_the_seeded_violations() {
         })
         .collect();
     let expected: Vec<(String, usize, &str)> = [
+        ("crates/atm/src/burst_hot.rs", 8, "PC006"),
+        ("crates/atm/src/burst_hot.rs", 13, "PC006"),
         ("crates/atm/src/cell.rs", 4, "PC003"),
         ("crates/atm/src/cell.rs", 8, "PC002"),
         ("crates/atm/src/hot.rs", 3, "PC006"),
@@ -98,6 +100,8 @@ fn binary_exits_nonzero_on_fixtures() {
         "crates/video/src/raw.rs:4: safety-comment [PC001]:",
         "crates/segment/src/wire.rs:3: missing-docs [PC005]:",
         "crates/atm/src/hot.rs:3: hot-path-alloc [PC006]:",
+        "crates/atm/src/burst_hot.rs:8: hot-path-alloc [PC006]:",
+        "crates/atm/src/burst_hot.rs:13: hot-path-alloc [PC006]:",
         "crates/session/src/proto.rs:10: wire-exhaustive [PC101]:",
         "crates/sim/src/pipeline.rs:7: channel-cycle [PC102]:",
         "crates/video/src/control_leak.rs:5: command-path [PC103]:",
@@ -113,6 +117,10 @@ fn binary_exits_nonzero_on_fixtures() {
         !stdout.contains("masked_ok.rs"),
         "mask regression fixture must stay silent:\n{stdout}"
     );
+    assert!(
+        !stdout.contains("burst_hot.rs:22"),
+        "waived burst fan-out copy must not be reported:\n{stdout}"
+    );
 }
 
 /// `--format json` emits the machine-readable artifact with counts.
@@ -125,8 +133,8 @@ fn binary_emits_json() {
         .unwrap();
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("\"total\": 26"), "{stdout}");
-    assert!(stdout.contains("\"deny\": 24"), "{stdout}");
+    assert!(stdout.contains("\"total\": 28"), "{stdout}");
+    assert!(stdout.contains("\"deny\": 26"), "{stdout}");
     assert!(stdout.contains("\"warn\": 2"), "{stdout}");
     assert!(stdout.contains("\"code\":\"PC102\""), "{stdout}");
     assert!(stdout.contains("\"severity\":\"warn\""), "{stdout}");

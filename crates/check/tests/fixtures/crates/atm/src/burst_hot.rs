@@ -1,0 +1,23 @@
+// check:hot-path: burst fixture - every cell copy crosses the fabric here.
+pub struct Burst {
+    cells: Vec<u8>,
+}
+
+// Seeded violation: the fan-out copy materialised with `to_vec`.
+pub fn fan_out(b: &Burst) -> Vec<u8> {
+    b.cells.to_vec()
+}
+
+// Seeded violation: growing from empty on the dispatch path.
+pub fn gather(runs: &[&[u8]]) -> Vec<u8> {
+    let mut out: Vec<u8> = Vec::new();
+    for r in runs {
+        out.extend_from_slice(r);
+    }
+    out
+}
+
+pub fn rewrite(b: &Burst) -> Vec<u8> {
+    // check:allow(hot-path-alloc): the rewritten copy is the operation itself.
+    b.cells.to_vec()
+}

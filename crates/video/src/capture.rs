@@ -12,7 +12,7 @@ use pandora_segment::{
     PixelFormat, SequenceNumber, Timestamp, VideoCompression, VideoHeader, VideoSegment,
 };
 
-use crate::dpcm::{compress_line, LineMode};
+use crate::dpcm::{compress_slice, LineMode};
 use crate::framestore::{FrameStore, Rect};
 
 /// A frame rate expressed as a fraction of the full 25 Hz rate.
@@ -87,14 +87,11 @@ pub fn capture_rect(
     for s in 0..segment_count {
         let start_line = s * lines_per_segment;
         let lines = lines_per_segment.min(rect.height - start_line);
-        let mut data = Vec::new();
-        for l in start_line..start_line + lines {
-            let off = l as usize * rect.width as usize;
-            data.extend(compress_line(
-                &pixels[off..off + rect.width as usize],
-                config.mode,
-            ));
-        }
+        // The segment's rows are contiguous in the captured rectangle, so
+        // the whole slice compresses in one row-chunked pass.
+        let off = start_line as usize * rect.width as usize;
+        let len = lines as usize * rect.width as usize;
+        let data = compress_slice(&pixels[off..off + len], rect.width as usize, config.mode);
         let header = VideoHeader {
             frame_number,
             segments_in_frame: segment_count,

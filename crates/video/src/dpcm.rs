@@ -46,13 +46,18 @@ impl LineMode {
 /// companding shape.
 const STEPS: [i16; 8] = [0, 2, 5, 9, 16, 28, 48, 80];
 
-fn quantise(err: i32) -> u8 {
+// The reference quantiser: linear scan of the step table. Kept as the
+// oracle the flat LUT below is pinned against, and const so the LUT can
+// be built at compile time.
+const fn quantise_reference(err: i32) -> u8 {
     let mag = err.unsigned_abs() as i16;
     let mut idx = 0u8;
-    for (i, &s) in STEPS.iter().enumerate() {
-        if mag >= s {
+    let mut i = 0;
+    while i < STEPS.len() {
+        if mag >= STEPS[i] {
             idx = i as u8;
         }
+        i += 1;
     }
     if err < 0 {
         idx | 0x08
@@ -61,13 +66,45 @@ fn quantise(err: i32) -> u8 {
     }
 }
 
-fn dequantise(code: u8) -> i32 {
+const fn dequantise_reference(code: u8) -> i32 {
     let mag = STEPS[(code & 0x07) as usize] as i32;
     if code & 0x08 != 0 {
         -mag
     } else {
         mag
     }
+}
+
+// Prediction errors are bounded: predictor and pixel both live in
+// 0..=255, so err is in -255..=255 and the whole quantiser flattens to
+// one 511-entry compile-time LUT indexed by err + 255.
+const QLUT: [u8; 511] = {
+    let mut t = [0u8; 511];
+    let mut i = 0;
+    while i < 511 {
+        t[i] = quantise_reference(i as i32 - 255);
+        i += 1;
+    }
+    t
+};
+
+// All 16 signed step values, so dequantisation is one indexed load.
+const DEQ: [i32; 16] = {
+    let mut t = [0i32; 16];
+    let mut c = 0;
+    while c < 16 {
+        t[c] = dequantise_reference(c as u8);
+        c += 1;
+    }
+    t
+};
+
+fn quantise(err: i32) -> u8 {
+    QLUT[(err + 255) as usize]
+}
+
+fn dequantise(code: u8) -> i32 {
+    DEQ[(code & 0x0F) as usize]
 }
 
 /// Compresses one line: returns the 1-byte header followed by the payload.
@@ -77,16 +114,8 @@ pub fn compress_line(pixels: &[u8], mode: LineMode) -> Vec<u8> {
         LineMode::Raw => out.extend_from_slice(pixels),
         LineMode::Dpcm => out.extend_from_slice(&dpcm_encode(pixels)),
         LineMode::DpcmSub2 => {
-            let sub: Vec<u8> = pixels
-                .chunks(2)
-                .map(|c| {
-                    if c.len() == 2 {
-                        ((c[0] as u16 + c[1] as u16) / 2) as u8
-                    } else {
-                        c[0]
-                    }
-                })
-                .collect();
+            let mut sub = Vec::with_capacity(pixels.len().div_ceil(2));
+            subsample2_into(pixels, &mut sub);
             out.extend_from_slice(&dpcm_encode(&sub));
         }
     }
@@ -130,36 +159,137 @@ pub fn decompress_line(data: &[u8], width: usize) -> Option<Vec<u8>> {
 }
 
 fn dpcm_encode(pixels: &[u8]) -> Vec<u8> {
-    // Two 4-bit codes per byte; predictor follows the *decoder's*
-    // reconstruction so errors do not accumulate.
-    let mut codes = Vec::with_capacity(pixels.len());
+    let mut out = Vec::with_capacity(pixels.len().div_ceil(2));
+    dpcm_encode_into(pixels, &mut out);
+    out
+}
+
+// The chunked encode pass: two pixels per iteration, each pair packed
+// and pushed straight into `out` with no intermediate code buffer. The
+// predictor follows the *decoder's* reconstruction so errors do not
+// accumulate.
+fn dpcm_encode_into(pixels: &[u8], out: &mut Vec<u8>) {
+    out.reserve(pixels.len().div_ceil(2));
     let mut pred = 128i32;
-    for &p in pixels {
-        let err = p as i32 - pred;
-        let code = quantise(err);
-        pred = (pred + dequantise(code)).clamp(0, 255);
-        codes.push(code);
+    let mut pairs = pixels.chunks_exact(2);
+    for pair in pairs.by_ref() {
+        let hi = quantise(pair[0] as i32 - pred);
+        pred = (pred + dequantise(hi)).clamp(0, 255);
+        let lo = quantise(pair[1] as i32 - pred);
+        pred = (pred + dequantise(lo)).clamp(0, 255);
+        out.push((hi << 4) | lo);
     }
-    let mut out = Vec::with_capacity(codes.len().div_ceil(2));
-    for pair in codes.chunks(2) {
-        let hi = pair[0] << 4;
-        let lo = if pair.len() == 2 { pair[1] } else { 0 };
-        out.push(hi | lo);
+    if let [p] = pairs.remainder() {
+        out.push(quantise(*p as i32 - pred) << 4);
+    }
+}
+
+fn dpcm_decode(data: &[u8], width: usize) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(width);
+    dpcm_decode_into(data, width, &mut out)?;
+    Some(out)
+}
+
+// The chunked decode pass: one payload byte per iteration (two pixels),
+// appending reconstructions straight onto `out`.
+fn dpcm_decode_into(data: &[u8], width: usize, out: &mut Vec<u8>) -> Option<()> {
+    if data.len() < width.div_ceil(2) {
+        return None;
+    }
+    out.reserve(width);
+    let mut pred = 128i32;
+    for &byte in &data[..width / 2] {
+        pred = (pred + dequantise(byte >> 4)).clamp(0, 255);
+        out.push(pred as u8);
+        pred = (pred + dequantise(byte & 0x0F)).clamp(0, 255);
+        out.push(pred as u8);
+    }
+    if width % 2 == 1 {
+        pred = (pred + dequantise(data[width / 2] >> 4)).clamp(0, 255);
+        out.push(pred as u8);
+    }
+    Some(())
+}
+
+// 2:1 horizontal sub-sampling (pair averaging, odd tail kept) into a
+// reusable scratch buffer.
+fn subsample2_into(pixels: &[u8], out: &mut Vec<u8>) {
+    out.reserve(pixels.len().div_ceil(2));
+    let mut pairs = pixels.chunks_exact(2);
+    for c in pairs.by_ref() {
+        out.push(((c[0] as u16 + c[1] as u16) / 2) as u8);
+    }
+    if let [p] = pairs.remainder() {
+        out.push(*p);
+    }
+}
+
+/// Compresses a whole slice (`pixels.len() / width` lines of `width`
+/// pixels) in one row-chunked pass: one output buffer sized up front,
+/// the sub-sampling scratch reused across rows, and the predict/encode
+/// loop running back to back over the rows instead of through one
+/// `compress_line` call (and its fresh allocations) per line. The output
+/// is byte-identical to concatenating [`compress_line`] over the rows.
+///
+/// # Panics
+///
+/// Panics if `width` is zero or does not divide `pixels.len()`.
+pub fn compress_slice(pixels: &[u8], width: usize, mode: LineMode) -> Vec<u8> {
+    assert!(
+        width > 0 && pixels.len().is_multiple_of(width),
+        "slice is not whole lines"
+    );
+    let lines = pixels.len() / width;
+    let mut out = Vec::with_capacity(lines * compressed_line_bytes(width, mode));
+    let mut sub = Vec::with_capacity(width.div_ceil(2));
+    for row in pixels.chunks_exact(width) {
+        out.push(mode.header());
+        match mode {
+            LineMode::Raw => out.extend_from_slice(row),
+            LineMode::Dpcm => dpcm_encode_into(row, &mut out),
+            LineMode::DpcmSub2 => {
+                sub.clear();
+                subsample2_into(row, &mut sub);
+                dpcm_encode_into(&sub, &mut out);
+            }
+        }
     }
     out
 }
 
-fn dpcm_decode(data: &[u8], width: usize) -> Option<Vec<u8>> {
-    if data.len() < width.div_ceil(2) {
-        return None;
-    }
-    let mut out = Vec::with_capacity(width);
-    let mut pred = 128i32;
-    for i in 0..width {
-        let byte = data[i / 2];
-        let code = if i % 2 == 0 { byte >> 4 } else { byte & 0x0F };
-        pred = (pred + dequantise(code)).clamp(0, 255);
-        out.push(pred as u8);
+/// Decompresses `lines` consecutive line records into one `lines × width`
+/// pixel buffer, the row-chunked counterpart of calling
+/// [`decompress_line`] per record. Per-line modes may vary (each record
+/// carries its own header). Returns `None` on an unknown header or a
+/// truncated record, like the per-line decoder.
+pub fn decompress_slice(data: &[u8], width: usize, lines: usize) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(lines * width);
+    let mut sub = Vec::with_capacity(width.div_ceil(2));
+    let mut off = 0;
+    for _ in 0..lines {
+        let mode = LineMode::from_header(*data.get(off)?)?;
+        let record = compressed_line_bytes(width, mode);
+        let payload = data.get(off + 1..off + record)?;
+        match mode {
+            LineMode::Raw => out.extend_from_slice(payload),
+            LineMode::Dpcm => dpcm_decode_into(payload, width, &mut out)?,
+            LineMode::DpcmSub2 => {
+                let half = width.div_ceil(2);
+                sub.clear();
+                dpcm_decode_into(payload, half, &mut sub)?;
+                // Horizontal interpolation back to full width.
+                for i in 0..width {
+                    if i % 2 == 0 {
+                        out.push(sub[i / 2]);
+                    } else {
+                        let a = sub[i / 2] as u16;
+                        let b = *sub.get(i / 2 + 1).unwrap_or(&sub[i / 2]) as u16;
+                        out.push(((a + b) / 2) as u8);
+                    }
+                }
+            }
+        }
+        off += record;
     }
     Some(out)
 }
@@ -272,6 +402,65 @@ mod tests {
             assert_eq!(LineMode::from_header(m.header()), Some(m));
         }
         assert_eq!(LineMode::from_header(0x55), None);
+    }
+
+    #[test]
+    fn quantise_lut_matches_reference_exhaustively() {
+        for err in -255i32..=255 {
+            assert_eq!(quantise(err), quantise_reference(err), "err={err}");
+        }
+        for code in 0u8..16 {
+            assert_eq!(dequantise(code), dequantise_reference(code));
+        }
+    }
+
+    #[test]
+    fn compress_slice_matches_per_line_concat() {
+        for (width, lines) in [(64usize, 8usize), (63, 5), (1, 3)] {
+            let pixels: Vec<u8> = (0..width * lines)
+                .map(|i| (128.0 + 90.0 * ((i as f64) * 0.13).sin()) as u8)
+                .collect();
+            for mode in [LineMode::Raw, LineMode::Dpcm, LineMode::DpcmSub2] {
+                let batched = compress_slice(&pixels, width, mode);
+                let per_line: Vec<u8> = pixels
+                    .chunks_exact(width)
+                    .flat_map(|row| compress_line(row, mode))
+                    .collect();
+                assert_eq!(batched, per_line, "{width}x{lines} {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn decompress_slice_matches_per_line_decode() {
+        let width = 63;
+        let lines = 6;
+        let pixels: Vec<u8> = (0..width * lines).map(|i| (i * 7 % 256) as u8).collect();
+        // Mixed per-line modes in one slice.
+        let modes = [
+            LineMode::Raw,
+            LineMode::Dpcm,
+            LineMode::DpcmSub2,
+            LineMode::Dpcm,
+            LineMode::Raw,
+            LineMode::DpcmSub2,
+        ];
+        let mut wire = Vec::new();
+        let mut want = Vec::new();
+        for (row, &mode) in pixels.chunks_exact(width).zip(&modes) {
+            let rec = compress_line(row, mode);
+            want.extend(decompress_line(&rec, width).expect("per-line decode"));
+            wire.extend(rec);
+        }
+        assert_eq!(decompress_slice(&wire, width, lines), Some(want));
+        // Truncation and bad headers still fail like the per-line path.
+        assert_eq!(
+            decompress_slice(&wire[..wire.len() - 1], width, lines),
+            None
+        );
+        let mut bad = wire.clone();
+        bad[0] = 0x7F;
+        assert_eq!(decompress_slice(&bad, width, lines), None);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::collections::HashMap;
 
 use pandora_segment::{StreamId, VideoSegment};
 
-use crate::dpcm::decompress_line;
+use crate::dpcm::decompress_slice;
 
 /// Vertical filter weight: each output line is
 /// `(prev_line + 3 * line) / 4`, the smoothing the interpolation hardware
@@ -78,19 +78,21 @@ pub fn decode_segment(
     cache: &mut LineCache,
 ) -> Option<Vec<Vec<u8>>> {
     let width = segment.video.width as usize;
-    let mut out = Vec::with_capacity(segment.video.lines as usize);
+    let lines = segment.video.lines as usize;
+    // One row-chunked pass decodes every line of the segment; the
+    // vertical filter then runs over the decoded rows.
+    let raw_all = decompress_slice(&segment.data, width, lines)?;
+    let mut out = Vec::with_capacity(lines);
     let mut prev: Option<Vec<u8>> = cache.get(stream).map(|l| l.to_vec());
-    let mut off = 0usize;
-    for _ in 0..segment.video.lines {
-        let raw = decompress_line(&segment.data[off..], width)?;
-        off += compressed_len(&segment.data[off..], width)?;
+    for i in 0..lines {
+        let raw = &raw_all[i * width..(i + 1) * width];
         let filtered = match &prev {
-            Some(p) if p.len() == raw.len() => vertical_filter(p, &raw),
+            Some(p) if p.len() == raw.len() => vertical_filter(p, raw),
             // First line of a brand-new stream: seed with itself (the
             // hardware would be loaded with the line directly).
-            _ => raw.clone(),
+            _ => raw.to_vec(),
         };
-        prev = Some(raw);
+        prev = Some(raw.to_vec());
         out.push(filtered);
     }
     if let Some(last) = prev {
@@ -108,25 +110,20 @@ pub fn decode_segment_stale(
     stale_prev: Option<&[u8]>,
 ) -> Option<Vec<Vec<u8>>> {
     let width = segment.video.width as usize;
-    let mut out = Vec::with_capacity(segment.video.lines as usize);
+    let lines = segment.video.lines as usize;
+    let raw_all = decompress_slice(&segment.data, width, lines)?;
+    let mut out = Vec::with_capacity(lines);
     let mut prev: Option<Vec<u8>> = stale_prev.map(|l| l.to_vec());
-    let mut off = 0usize;
-    for _ in 0..segment.video.lines {
-        let raw = decompress_line(&segment.data[off..], width)?;
-        off += compressed_len(&segment.data[off..], width)?;
+    for i in 0..lines {
+        let raw = &raw_all[i * width..(i + 1) * width];
         let filtered = match &prev {
-            Some(p) if p.len() == raw.len() => vertical_filter(p, &raw),
-            _ => raw.clone(),
+            Some(p) if p.len() == raw.len() => vertical_filter(p, raw),
+            _ => raw.to_vec(),
         };
-        prev = Some(raw);
+        prev = Some(raw.to_vec());
         out.push(filtered);
     }
     Some(out)
-}
-
-fn compressed_len(data: &[u8], width: usize) -> Option<usize> {
-    let mode = crate::dpcm::LineMode::from_header(*data.first()?)?;
-    Some(crate::dpcm::compressed_line_bytes(width, mode))
 }
 
 #[cfg(test)]
