@@ -280,6 +280,15 @@ pub struct PathControl {
 }
 
 impl PathControl {
+    /// Wraps already-built hop links in a control handle, for topologies
+    /// that assemble their own links (the overlay's relay uplinks) but
+    /// still want to register with `pandora-faults` as a named path. The
+    /// egress disturbance knobs start at zero, exactly as
+    /// [`build_path_controlled`] leaves them.
+    pub fn from_links(links: Vec<LinkControl>) -> Self {
+        PathControl::new(links)
+    }
+
     fn new(links: Vec<LinkControl>) -> Self {
         PathControl {
             state: Rc::new(PathCtlState {

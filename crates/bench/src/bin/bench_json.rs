@@ -752,6 +752,216 @@ fn sim_scaling_points() -> Option<Vec<SimScalingPoint>> {
     Some(points)
 }
 
+/// The overlay broadcast soak's measurements: virtual-time acceptance
+/// floors (tree depth, zero loss on survivors, repair gap within the
+/// playout budget) plus the host-dependent wall-clock build+run rate,
+/// replayed across shard counts with byte-identical traces.
+struct OverlaySoak {
+    members: usize,
+    trees: usize,
+    degree: usize,
+    depth: u32,
+    depth_bound: u32,
+    relay_tx_cps: u64,
+    survivors: u64,
+    crashed: u64,
+    delivered: u64,
+    lost_alive: u64,
+    late_alive: u64,
+    p3_drops: u64,
+    p8_skips: u64,
+    hub_deaths: u64,
+    hub_grafts: u64,
+    unrepairable: u64,
+    stripe_gap_max_us: u64,
+    gap_max_us: u64,
+    playout_us: u64,
+    hops: u64,
+    hop_p50_us: u64,
+    hop_p95_us: u64,
+    hop_p99_us: u64,
+    hop_max_us: u64,
+    /// (shards, wall_ms) per run; traces were byte-identical across all.
+    scaling: Vec<(usize, f64)>,
+}
+
+/// Runs the striped-tree overlay broadcast soak — 1,024 members in full
+/// mode, 256 in quick — with a mid-broadcast crash of the busiest
+/// interior relay, at several shard counts. Returns `None` (a bench
+/// failure) when any acceptance floor is missed or traces diverge.
+fn overlay_soak(quick: bool) -> Option<OverlaySoak> {
+    use pandora_overlay::{
+        build_overlay_broadcast, plan_for, CrashPlan, OverlayConfig, OverlaySummary,
+    };
+    let mut cfg = OverlayConfig {
+        viewers: if quick { 255 } else { 1_023 },
+        trees: 4,
+        degree: 8,
+        seed: 42,
+        segments: 100,
+        segment_interval: SimDuration::from_millis(4),
+        payload_bytes: 1_408,
+        // 2 x degree stripe copies of uplink headroom, so a backup that
+        // adopts a dead relay's children still serializes in time.
+        uplink_cps: 60_000,
+        source_uplink_cps: 120_000,
+        ..OverlayConfig::default()
+    };
+    let plan = match plan_for(&cfg) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("bench-json: overlay plan failed: {e}");
+            return None;
+        }
+    };
+    let victim = (1..plan.members()).max_by_key(|&v| plan.fanout(v))?;
+    if plan.fanout(victim) == 0 {
+        eprintln!("bench-json: overlay plan has no interior relays");
+        return None;
+    }
+    cfg.crash = Some(CrashPlan {
+        member: victim,
+        at: SimDuration::from_millis(150),
+    });
+    let deadline = SimTime::from_nanos(
+        cfg.segment_interval.as_nanos() * u64::from(cfg.segments)
+            + SimDuration::from_millis(200).as_nanos(),
+    );
+    let shard_counts: &[usize] = if quick { &[1, 2] } else { &[1, 4, 8] };
+    let mut baseline: Option<Vec<String>> = None;
+    let mut relay_tx_cps = 0;
+    let mut scaling = Vec::new();
+    for &shards in shard_counts {
+        let t0 = Instant::now();
+        let built = match build_overlay_broadcast(&cfg, shards) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bench-json: overlay build failed at {shards} shards: {e}");
+                return None;
+            }
+        };
+        relay_tx_cps = built.relay_tx_cps;
+        let lines = built.cluster.run(deadline).merged_lines();
+        scaling.push((shards, t0.elapsed().as_secs_f64() * 1e3));
+        match &baseline {
+            None => baseline = Some(lines),
+            Some(b) if lines != *b => {
+                eprintln!("bench-json: overlay soak diverged at {shards} shards");
+                return None;
+            }
+            Some(_) => {}
+        }
+    }
+    let s = OverlaySummary::parse(baseline.as_deref()?);
+    let playout_us = cfg.playout.as_nanos() / 1_000;
+    let floors = [
+        (
+            plan.max_depth_overall() <= plan.depth_bound(),
+            "depth exceeds ceil(log_d n)",
+        ),
+        (s.crashed == 1 && s.hub_deaths == 1, "crash went undetected"),
+        (
+            s.hub_grafts >= 1 && s.hub_unrepairable == 0,
+            "repair incomplete",
+        ),
+        (s.lost_alive == 0, "survivors lost slices"),
+        (s.late_alive == 0, "survivors saw late slices"),
+        (
+            s.stripe_gap_max_us_alive <= playout_us,
+            "repair gap exceeds playout",
+        ),
+    ];
+    for (ok, what) in floors {
+        if !ok {
+            eprintln!("bench-json: overlay soak floor missed: {what}");
+            return None;
+        }
+    }
+    Some(OverlaySoak {
+        members: plan.members(),
+        trees: cfg.trees,
+        degree: cfg.degree,
+        depth: plan.max_depth_overall(),
+        depth_bound: plan.depth_bound(),
+        relay_tx_cps,
+        survivors: s.viewers - s.crashed,
+        crashed: s.crashed,
+        delivered: s.delivered,
+        lost_alive: s.lost_alive,
+        late_alive: s.late_alive,
+        p3_drops: s.p3_drops,
+        p8_skips: s.p8_skips,
+        hub_deaths: s.hub_deaths,
+        hub_grafts: s.hub_grafts,
+        unrepairable: s.hub_unrepairable,
+        stripe_gap_max_us: s.stripe_gap_max_us_alive,
+        gap_max_us: s.gap_max_us_alive,
+        playout_us,
+        hops: s.hop_count(),
+        hop_p50_us: s.hop_percentile_us(500),
+        hop_p95_us: s.hop_percentile_us(950),
+        hop_p99_us: s.hop_percentile_us(990),
+        hop_max_us: s.hop_max_us,
+        scaling,
+    })
+}
+
+fn render_overlay_json(soak: &OverlaySoak, mode: &str) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"suite\": \"overlay\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(
+        "  \"note\": \"striped multi-tree broadcast soak with a mid-run interior-relay \
+         crash. All soak fields are virtual-time and byte-stable across hosts and shard \
+         counts; only scaling.wall_ms is host-dependent. The floors block records the \
+         acceptance gates the binary enforces — a missed floor fails the whole run.\",\n",
+    );
+    out.push_str(&format!(
+        "  \"soak\": {{\"members\": {}, \"trees\": {}, \"degree\": {}, \"depth\": {}, \
+         \"depth_bound\": {}, \"relay_tx_cps\": {}, \"survivors\": {}, \"crashed\": {}, \
+         \"delivered\": {}, \"lost_alive\": {}, \"late_alive\": {}, \"p3_drops\": {}, \
+         \"p8_skips\": {}, \"hub_deaths\": {}, \"hub_grafts\": {}, \"unrepairable\": {}, \
+         \"stripe_gap_max_us\": {}, \"gap_max_us\": {}, \"playout_us\": {}}},\n",
+        soak.members,
+        soak.trees,
+        soak.degree,
+        soak.depth,
+        soak.depth_bound,
+        soak.relay_tx_cps,
+        soak.survivors,
+        soak.crashed,
+        soak.delivered,
+        soak.lost_alive,
+        soak.late_alive,
+        soak.p3_drops,
+        soak.p8_skips,
+        soak.hub_deaths,
+        soak.hub_grafts,
+        soak.unrepairable,
+        soak.stripe_gap_max_us,
+        soak.gap_max_us,
+        soak.playout_us,
+    ));
+    out.push_str(&format!(
+        "  \"hop_latency_us\": {{\"hops\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}},\n",
+        soak.hops, soak.hop_p50_us, soak.hop_p95_us, soak.hop_p99_us, soak.hop_max_us,
+    ));
+    out.push_str(
+        "  \"floors\": {\"depth_within_bound\": true, \"zero_lost_alive\": true, \
+         \"zero_late_alive\": true, \"repair_gap_within_playout\": true, \
+         \"traces_identical_across_shards\": true},\n",
+    );
+    out.push_str("  \"scaling\": [\n");
+    for (i, (shards, wall_ms)) in soak.scaling.iter().enumerate() {
+        let sep = if i + 1 == soak.scaling.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"shards\": {shards}, \"wall_ms\": {wall_ms:.1}}}{sep}\n"
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn render_sim_json(points: &[SimScalingPoint], mode: &str) -> Option<String> {
     let base_wall = points.first().filter(|p| p.shards == 1)?.wall_ms;
     let host_cores = std::thread::available_parallelism()
@@ -1041,6 +1251,34 @@ fn main() -> ExitCode {
         eprintln!("bench-json: cannot write BENCH_sim.json: {e}");
         return ExitCode::FAILURE;
     }
+    // The overlay broadcast soak: virtual-time acceptance floors plus
+    // the wall-clock build+run rate per shard count.
+    let Some(soak) = overlay_soak(quick) else {
+        eprintln!("bench-json: overlay soak failed, not writing BENCH_overlay.json");
+        return ExitCode::FAILURE;
+    };
+    println!(
+        "overlay soak: {} members, depth {}/{}, {} survivors at 0 lost / 0 late, \
+         repair gap {} us (playout {} us), hop p50<={} p95<={} p99<={} max={} us",
+        soak.members,
+        soak.depth,
+        soak.depth_bound,
+        soak.survivors,
+        soak.stripe_gap_max_us,
+        soak.playout_us,
+        soak.hop_p50_us,
+        soak.hop_p95_us,
+        soak.hop_p99_us,
+        soak.hop_max_us,
+    );
+    for (shards, wall_ms) in &soak.scaling {
+        println!("overlay soak @ {shards} shard(s): {wall_ms:.1} ms wall");
+    }
+    let json = render_overlay_json(&soak, mode);
+    if let Err(e) = std::fs::write("BENCH_overlay.json", &json) {
+        eprintln!("bench-json: cannot write BENCH_overlay.json: {e}");
+        return ExitCode::FAILURE;
+    }
     let legacy = median_of(&cases, "aal_round_trip_legacy").unwrap_or(0.0);
     let slab = median_of(&cases, "aal_round_trip_slab").unwrap_or(0.0);
     println!(
@@ -1048,7 +1286,8 @@ fn main() -> ExitCode {
         legacy / slab
     );
     println!(
-        "wrote BENCH_transport.json, BENCH_session.json, BENCH_recovery.json and BENCH_sim.json ({mode} mode)"
+        "wrote BENCH_transport.json, BENCH_session.json, BENCH_recovery.json, BENCH_sim.json \
+         and BENCH_overlay.json ({mode} mode)"
     );
     ExitCode::SUCCESS
 }

@@ -380,6 +380,10 @@ impl Default for Config {
             // cross-executor equivalence test. Its one sanctioned
             // `thread::spawn` site carries a `check:allow(os-thread)`
             // waiver (pinned by a fixture test).
+            // "overlay" plans broadcast trees from a seed and replays
+            // repair byte-identically across shard counts; a wall-clock
+            // read or unseeded RNG there breaks both the plan digest
+            // and the soak's trace-equality acceptance gate.
             deterministic_crates: v(&[
                 "sim",
                 "buffers",
@@ -394,6 +398,7 @@ impl Default for Config {
                 "repository",
                 "metrics",
                 "shard",
+                "overlay",
             ]),
             hot_path_crates: v(&["buffers", "sim", "atm", "slab"]),
             documented_crates: v(&[
@@ -405,6 +410,7 @@ impl Default for Config {
                 "repository",
                 "metrics",
                 "shard",
+                "overlay",
             ]),
             // rt.rs is the intentionally-live runtime; bench measures the
             // host; the analyzer itself times its own run for the report.

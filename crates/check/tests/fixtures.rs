@@ -41,6 +41,9 @@ fn fixtures_report_exactly_the_seeded_violations() {
         ("crates/atm/src/hot.rs", 14, "PC006"),
         ("crates/buffers/src/lib.rs", 3, "PC005"),
         ("crates/buffers/src/lib.rs", 7, "PC004"),
+        ("crates/overlay/src/plan.rs", 3, "PC005"),
+        ("crates/overlay/src/plan.rs", 10, "PC002"),
+        ("crates/overlay/src/plan.rs", 17, "PC003"),
         ("crates/recover/src/lease.rs", 3, "PC005"),
         ("crates/recover/src/lease.rs", 10, "PC002"),
         ("crates/segment/src/wire.rs", 3, "PC005"),
@@ -102,6 +105,8 @@ fn binary_exits_nonzero_on_fixtures() {
         "crates/atm/src/hot.rs:3: hot-path-alloc [PC006]:",
         "crates/atm/src/burst_hot.rs:8: hot-path-alloc [PC006]:",
         "crates/atm/src/burst_hot.rs:13: hot-path-alloc [PC006]:",
+        "crates/overlay/src/plan.rs:10: wall-clock [PC002]:",
+        "crates/overlay/src/plan.rs:17: os-thread [PC003]:",
         "crates/session/src/proto.rs:10: wire-exhaustive [PC101]:",
         "crates/sim/src/pipeline.rs:7: channel-cycle [PC102]:",
         "crates/video/src/control_leak.rs:5: command-path [PC103]:",
@@ -133,8 +138,8 @@ fn binary_emits_json() {
         .unwrap();
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("\"total\": 28"), "{stdout}");
-    assert!(stdout.contains("\"deny\": 26"), "{stdout}");
+    assert!(stdout.contains("\"total\": 31"), "{stdout}");
+    assert!(stdout.contains("\"deny\": 29"), "{stdout}");
     assert!(stdout.contains("\"warn\": 2"), "{stdout}");
     assert!(stdout.contains("\"code\":\"PC102\""), "{stdout}");
     assert!(stdout.contains("\"severity\":\"warn\""), "{stdout}");

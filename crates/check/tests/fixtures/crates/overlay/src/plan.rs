@@ -1,0 +1,18 @@
+//! Seeded violations: missing-docs, wall-clock and os-thread in `overlay`.
+
+pub fn undocumented_stripe_of(seq: u64, trees: u64) -> u64 {
+    seq % trees
+}
+
+/// Documented, but seeds the tree shuffle from the host clock — the
+/// plan digest and the soak's replay equality both diverge.
+pub fn naughty_plan_seed() -> u64 {
+    let _t = std::time::Instant::now();
+    0
+}
+
+/// Documented, but grafts orphans from an OS thread — repair ordering
+/// must come from the virtual-time executor or shard counts disagree.
+pub fn naughty_graft_thread() {
+    std::thread::spawn(|| {});
+}

@@ -432,6 +432,24 @@ impl FaultPlan {
     /// so the downtime is owned entirely by the paired
     /// [`FaultKind::BoxRestart`]; both land in the [`FaultTrace`] as
     /// ordinary apply lines, replayable byte-identically.
+    /// Appends an uplink capacity cap: the first hop of path `name`
+    /// (an overlay relay's uplink registers itself as a one-hop path)
+    /// drops to `permille`/1000 of nominal bandwidth at `at` and reverts
+    /// automatically `for_` later. The squeeze-and-release shape that
+    /// drives the P3 (drop-oldest under backlog) and P8 (locally degrade,
+    /// then recover) machinery on the capped member.
+    pub fn uplink_cap(self, name: &str, at: SimDuration, for_: SimDuration, permille: u64) -> Self {
+        self.event(
+            at,
+            Some(for_),
+            FaultKind::BandwidthCollapse {
+                path: name.to_string(),
+                hop: 0,
+                permille,
+            },
+        )
+    }
+
     pub fn crash_restart(self, name: &str, crash_at: SimDuration, down_for: SimDuration) -> Self {
         self.event(
             crash_at,
@@ -832,6 +850,38 @@ mod tests {
             let end = ev.at.as_nanos() + ev.duration.map_or(0, |d| d.as_nanos());
             assert!(end <= h * 9 / 10, "event overruns horizon: {}", ev.kind);
         }
+    }
+
+    #[test]
+    fn uplink_cap_applies_and_auto_reverts() {
+        fn run() -> String {
+            let mut sim = Simulation::new();
+            let (_tx, _rx, lc) = pandora_sim::link_controlled::<Cell>(
+                &sim.spawner(),
+                pandora_sim::LinkConfig::new("up", 1_000_000),
+            );
+            let mut targets = FaultTargets::new();
+            targets.register_path("node7.up", PathControl::from_links(vec![lc]));
+            let plan = FaultPlan::scripted(Vec::new()).uplink_cap(
+                "node7.up",
+                SimDuration::from_millis(5),
+                SimDuration::from_millis(10),
+                250,
+            );
+            let trace = install(&sim.spawner(), &plan, &targets);
+            sim.run_until(SimTime::from_millis(30));
+            trace.to_text()
+        }
+        let text = run();
+        assert!(
+            text.contains("apply bandwidth-collapse path=node7.up hop=0 permille=250"),
+            "{text}"
+        );
+        assert!(
+            text.contains("revert bandwidth-collapse path=node7.up"),
+            "{text}"
+        );
+        assert_eq!(text, run(), "cap schedule must replay byte-identically");
     }
 
     fn loss_burst_run(seed: u64) -> (String, u64) {

@@ -94,6 +94,22 @@ impl Fabric {
         self.switch.route_remove(vci, port);
     }
 
+    /// Installs one leg per `port` for `vci` in a single pass — the
+    /// overlay head-end shape: a broadcast source's `k` stripe feeds fan
+    /// out of the building through the fabric before the peer-to-peer
+    /// trees take over, so the whole first-hop fan-out is one routing
+    /// call. The first port replaces any existing route; the rest are
+    /// added as tannoy copies.
+    pub fn route_fanout(&self, vci: Vci, ports: &[usize]) {
+        let mut ports = ports.iter();
+        if let Some(&first) = ports.next() {
+            self.route(vci, first);
+        }
+        for &port in ports {
+            self.route_add(vci, port);
+        }
+    }
+
     /// Removes a route.
     pub fn unroute(&self, vci: Vci) {
         self.switch.unroute(vci);
@@ -345,6 +361,20 @@ mod tests {
         );
         assert_eq!(sink.segments_lost(), 0);
         assert_eq!(sink.late_ticks(), 0);
+    }
+
+    #[test]
+    fn route_fanout_installs_every_leg_in_one_call() {
+        let mut sim = Simulation::new();
+        let spawner = sim.spawner();
+        let fabric = Fabric::new(&spawner, 4, 100_000_000);
+        // A stale route toward port 3 must be replaced, not added to.
+        fabric.route(Vci(20), 3);
+        fabric.route_fanout(Vci(20), &[1, 2]);
+        assert_eq!(fabric.port_route_count(1), 1);
+        assert_eq!(fabric.port_route_count(2), 1);
+        assert_eq!(fabric.port_route_count(3), 0, "first leg replaces");
+        sim.run_until(SimTime::from_millis(1));
     }
 
     #[test]

@@ -1,0 +1,1311 @@
+//! The overlay broadcast topology: one source, thousands of viewers,
+//! every viewer a potential relay.
+//!
+//! [`build_overlay_broadcast`] turns an [`OverlayConfig`] into a
+//! sharded cluster wired per a [`TreePlan`]: `k` striped trees whose
+//! edges are latency-stamped ports, one bandwidth-limited uplink per
+//! member (every copy a relay forwards is serialized through it), a
+//! heartbeat/graft control plane rooted at the source's hub, and the
+//! session admission charge for every relay's fan-out taken before a
+//! single port is created — the P1 stance: capacity is budgeted at
+//! admission, not discovered by congestion.
+//!
+//! Degradation when an uplink is squeezed follows the paper's P3/P8
+//! split:
+//!
+//! * **P3 (drop the oldest)** — the uplink queue is bounded; when the
+//!   link can't drain it, the oldest queued copy is dropped first, so
+//!   fresh slices keep their timeliness at the cost of old ones.
+//! * **P8 (degrade locally)** — each relay runs an
+//!   [`AdaptMachine`] over its own uplink windows (enqueues, drops,
+//!   overdue queue waits). Sustained trouble steps a rate divisor up,
+//!   and the relay forwards only every divisor-th stripe segment until
+//!   the trouble clears — decided at the box that sees the backlog,
+//!   with no controller round-trip.
+//!
+//! Repair is the hub's job: member heartbeats feed the
+//! [`RepairEngine`]'s leases, a dead interior relay's orphans are
+//! grafted onto their precomputed backup parents, and each backup
+//! replays its clawback ring so the orphan's stripe refills inside the
+//! playout budget. Everything is driven by virtual time and
+//! deterministic channel selection, so a run's merged report is
+//! byte-identical across replays and shard counts.
+
+use std::cell::{Cell as StdCell, RefCell};
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use pandora_atm::{burst_gather, PathControl, Vci};
+use pandora_faults::{install, FaultPlan, FaultTargets, FaultTrace};
+use pandora_recover::{
+    AdaptAction, AdaptMachine, HealthConfig, LeaseConfig, MediaClass, WindowSample,
+};
+use pandora_session::{AdmissionController, Capabilities, Decision, StreamClass};
+use pandora_shard::broadcast::shard_of;
+use pandora_shard::{Cluster, Egress, Ingress, ShardEnv};
+use pandora_sim::{
+    alt_many, delay, link_controlled, now, unbounded, LinkConfig, Receiver, Sender, SimDuration,
+    WireSize,
+};
+use pandora_slab::ByteSlab;
+
+use crate::plan::{Member, PlanConfig, PlanError, TreePlan};
+use crate::repair::RepairEngine;
+use crate::stripe::{Accept, RepairRing, Slice, StripeReceiver, HOP_BUCKETS};
+
+/// Bytes one ATM cell occupies on the wire; a member's uplink budget in
+/// cells/second converts to link bits/second through this.
+const CELL_WIRE_BITS: u64 = 53 * 8;
+
+/// Segment header bytes carried ahead of the payload in each burst
+/// (the big-endian sequence number).
+const SEG_HEADER_BYTES: usize = 4;
+
+/// VCI base for the striped trees: stripe `t` rides `OVERLAY_VCI_BASE + t`.
+pub const OVERLAY_VCI_BASE: u32 = 0x40;
+
+/// A scripted mid-broadcast crash of one member.
+#[derive(Debug, Clone, Copy)]
+pub struct CrashPlan {
+    /// The member that dies (must not be 0 — the source hosts the hub).
+    pub member: usize,
+    /// Virtual time of the crash, from run start.
+    pub at: SimDuration,
+}
+
+/// A scripted squeeze of one member's uplink, driven through
+/// `pandora-faults` ([`FaultPlan::uplink_cap`]).
+#[derive(Debug, Clone, Copy)]
+pub struct UplinkCapPlan {
+    /// The member whose uplink is capped.
+    pub member: usize,
+    /// When the cap lands.
+    pub at: SimDuration,
+    /// How long it holds before auto-reverting.
+    pub hold: SimDuration,
+    /// Remaining bandwidth in permille of nominal.
+    pub permille: u64,
+}
+
+/// Shape and tunables of an overlay broadcast run.
+#[derive(Debug, Clone, Copy)]
+pub struct OverlayConfig {
+    /// Viewers (members beyond the source).
+    pub viewers: usize,
+    /// Striped trees `k`.
+    pub trees: usize,
+    /// Maximum children per node `d`.
+    pub degree: usize,
+    /// Planner tie-break seed.
+    pub seed: u64,
+    /// Segments the source emits.
+    pub segments: u32,
+    /// Source emission cadence (one segment, striped round-robin).
+    pub segment_interval: SimDuration,
+    /// Payload bytes per segment (gathered once into cells at the
+    /// source).
+    pub payload_bytes: usize,
+    /// Propagation latency of every tree edge — also the cross-shard
+    /// lookahead window, so it must be positive.
+    pub hop_latency: SimDuration,
+    /// Per-relay processing cost before forwarding a slice.
+    pub relay_cost: SimDuration,
+    /// Propagation latency of the control plane (heartbeats and
+    /// grafts).
+    pub ctl_latency: SimDuration,
+    /// Member heartbeat cadence; also the hub sweep cadence and the P8
+    /// observation window.
+    pub heartbeat: SimDuration,
+    /// Lease walk for crash detection at the hub.
+    pub lease: LeaseConfig,
+    /// Clawback ring capacity per relay (slices of its interior
+    /// stripe).
+    pub ring: usize,
+    /// Playout delay: slices older than this on arrival count late.
+    pub playout: SimDuration,
+    /// Per-viewer uplink budget in cells/second (drives both the
+    /// planner's fan-out caps and the serializing link rate). For
+    /// glitch-free repair this should afford `2 × degree` stripe
+    /// copies per stripe interval: a backup parent that adopts its
+    /// grandchildren can see its fan-out double, and without that
+    /// headroom the graft replay backlogs its uplink until P8 sheds
+    /// segments for its whole subtree.
+    pub uplink_cps: u64,
+    /// The source's uplink budget in cells/second.
+    pub source_uplink_cps: u64,
+    /// Uplink queue depth before P3 drop-oldest engages.
+    pub uplink_queue: usize,
+    /// Optional scripted crash.
+    pub crash: Option<CrashPlan>,
+    /// Optional scripted uplink squeeze.
+    pub uplink_cap: Option<UplinkCapPlan>,
+}
+
+impl Default for OverlayConfig {
+    fn default() -> OverlayConfig {
+        OverlayConfig {
+            viewers: 63,
+            trees: 4,
+            degree: 4,
+            seed: 42,
+            segments: 120,
+            segment_interval: SimDuration::from_millis(4),
+            payload_bytes: 1_408,
+            hop_latency: SimDuration::from_micros(500),
+            relay_cost: SimDuration::from_micros(50),
+            ctl_latency: SimDuration::from_micros(200),
+            heartbeat: SimDuration::from_millis(10),
+            lease: LeaseConfig {
+                interval: SimDuration::from_millis(10),
+                suspect_after: 2,
+                dead_after: 3,
+                backoff_cap: SimDuration::from_millis(80),
+            },
+            ring: 32,
+            playout: SimDuration::from_millis(80),
+            uplink_cps: 30_000,
+            source_uplink_cps: 60_000,
+            uplink_queue: 64,
+            crash: None,
+            uplink_cap: None,
+        }
+    }
+}
+
+/// Why a topology could not be built.
+#[derive(Debug)]
+pub enum BuildError {
+    /// The planner refused (capacity, degenerate shape).
+    Plan(PlanError),
+    /// The admission controller refused a relay's fan-out charge — the
+    /// plan promised copies the member's uplink budget cannot carry.
+    Admission {
+        /// The refused member.
+        member: usize,
+        /// The admission decision that refused it.
+        decision: Decision,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Plan(e) => write!(f, "plan: {e}"),
+            BuildError::Admission { member, decision } => {
+                write!(
+                    f,
+                    "relay admission refused for member {member}: {decision:?}"
+                )
+            }
+        }
+    }
+}
+
+/// A built overlay, ready to run.
+pub struct OverlayBuild {
+    /// The sharded cluster; run it to a deadline and parse the merged
+    /// report with [`OverlaySummary::parse`].
+    pub cluster: Cluster,
+    /// The tree plan the topology was wired from.
+    pub plan: TreePlan,
+    /// Total transmit cells/second the relay admission charge took
+    /// across all members.
+    pub relay_tx_cps: u64,
+}
+
+/// Messages on the overlay's data and control ports.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// A striped segment travelling down its tree.
+    Slice(Slice),
+    /// Hub order to a backup parent: adopt `orphan` on `tree` and
+    /// replay the clawback ring from `resume_from`.
+    Graft {
+        /// Stripe tree being repaired.
+        tree: usize,
+        /// The member to adopt.
+        orphan: usize,
+        /// Global sequence replay resumes from.
+        resume_from: u32,
+    },
+}
+
+/// A member's heartbeat to the hub: liveness plus the per-tree resume
+/// points a graft would need.
+#[derive(Debug, Clone)]
+pub struct Hello {
+    /// Reporting member.
+    pub node: usize,
+    /// Next expected global sequence per tree.
+    pub next: Vec<u32>,
+}
+
+/// One copy queued on a member's uplink, addressed to a child.
+#[derive(Debug, Clone)]
+struct UpItem {
+    tree: usize,
+    dest: usize,
+    queued_at: u64,
+    slice: Slice,
+}
+
+impl WireSize for UpItem {
+    fn wire_bytes(&self) -> usize {
+        self.slice.wire_bytes()
+    }
+}
+
+/// Cells one segment gathers into (header plus payload, 48-byte AAL
+/// payload per cell).
+pub fn cells_per_segment(payload_bytes: usize) -> u64 {
+    ((SEG_HEADER_BYTES + payload_bytes) as u64).div_ceil(48)
+}
+
+/// Cell rate one stripe copy costs a forwarding uplink: each tree
+/// carries every k-th segment.
+pub fn stripe_cps(cfg: &OverlayConfig) -> u64 {
+    let tree_interval_ns = cfg.segment_interval.as_nanos().max(1) * cfg.trees.max(1) as u64;
+    (cells_per_segment(cfg.payload_bytes) * 1_000_000_000).div_ceil(tree_interval_ns)
+}
+
+/// The stream class a stripe copy is admitted as. The rate rounds
+/// *down* so admission's demand never exceeds the planner's budget
+/// arithmetic — the plan and the charge agree by construction.
+pub fn stripe_class(cfg: &OverlayConfig) -> StreamClass {
+    let rate = (stripe_cps(cfg) * 1_000 / 2_600).max(1);
+    StreamClass::Video {
+        rate_permille: rate.min(u64::from(u32::MAX)) as u32,
+    }
+}
+
+/// The membership the planner sees: member 0 is the source.
+pub fn members_for(cfg: &OverlayConfig) -> Vec<Member> {
+    let mut members = Vec::with_capacity(cfg.viewers + 1);
+    members.push(Member {
+        name: "src".to_string(),
+        uplink_cps: cfg.source_uplink_cps,
+    });
+    for v in 1..=cfg.viewers {
+        members.push(Member {
+            name: format!("v{v}"),
+            uplink_cps: cfg.uplink_cps,
+        });
+    }
+    members
+}
+
+/// The deterministic tree plan for `cfg`.
+///
+/// # Errors
+///
+/// Propagates the planner's [`PlanError`].
+pub fn plan_for(cfg: &OverlayConfig) -> Result<TreePlan, PlanError> {
+    TreePlan::compute(
+        &members_for(cfg),
+        &PlanConfig {
+            trees: cfg.trees,
+            degree: cfg.degree,
+            seed: cfg.seed,
+            stripe_cps: stripe_cps(cfg),
+        },
+    )
+}
+
+/// Charges every forwarding member's fan-out against a fresh admission
+/// controller over its uplink capabilities. Returns the total transmit
+/// cells/second charged.
+fn charge_relay_admission(plan: &TreePlan, cfg: &OverlayConfig) -> Result<u64, BuildError> {
+    let class = stripe_class(cfg);
+    let mut total = 0u64;
+    for member in 0..plan.members() {
+        let copies = plan.fanout(member);
+        if copies == 0 {
+            continue;
+        }
+        let link_cps = if member == 0 {
+            cfg.source_uplink_cps
+        } else {
+            cfg.uplink_cps
+        };
+        let mut adm = AdmissionController::new(Capabilities {
+            audio_sinks_max: 0,
+            video_sinks_max: cfg.trees as u32,
+            link_cps,
+        });
+        let copies = copies.min(u32::MAX as usize) as u32;
+        match adm.admit_relay(class, copies) {
+            Decision::Admit => total += adm.tx_cps(),
+            decision => return Err(BuildError::Admission { member, decision }),
+        }
+    }
+    Ok(total)
+}
+
+/// The P3 uplink: a bounded queue draining into a serializing link.
+/// Overflow drops the *oldest* copy; the windows feed the P8 machine.
+struct Uplink {
+    q: RefCell<VecDeque<UpItem>>,
+    cap: usize,
+    late_bound_nanos: u64,
+    kick: Sender<()>,
+    enqueued: StdCell<u64>,
+    drops: StdCell<u64>,
+    window_enq: StdCell<u64>,
+    window_drops: StdCell<u64>,
+    window_late: StdCell<u64>,
+}
+
+impl Uplink {
+    fn new(cap: usize, late_bound_nanos: u64, kick: Sender<()>) -> Rc<Uplink> {
+        Rc::new(Uplink {
+            q: RefCell::new(VecDeque::with_capacity(cap)),
+            cap: cap.max(1),
+            late_bound_nanos,
+            kick,
+            enqueued: StdCell::new(0),
+            drops: StdCell::new(0),
+            window_enq: StdCell::new(0),
+            window_drops: StdCell::new(0),
+            window_late: StdCell::new(0),
+        })
+    }
+
+    fn push(&self, tree: usize, dest: usize, slice: Slice) {
+        let mut q = self.q.borrow_mut();
+        if q.len() >= self.cap {
+            q.pop_front();
+            self.drops.set(self.drops.get() + 1);
+            self.window_drops.set(self.window_drops.get() + 1);
+        }
+        q.push_back(UpItem {
+            tree,
+            dest,
+            queued_at: now().as_nanos(),
+            slice,
+        });
+        drop(q);
+        self.enqueued.set(self.enqueued.get() + 1);
+        self.window_enq.set(self.window_enq.get() + 1);
+        let _ = self.kick.try_send(());
+    }
+
+    fn pop(&self) -> Option<UpItem> {
+        let item = self.q.borrow_mut().pop_front();
+        if let Some(it) = &item {
+            if now().as_nanos().saturating_sub(it.queued_at) > self.late_bound_nanos {
+                self.window_late.set(self.window_late.get() + 1);
+            }
+        }
+        item
+    }
+
+    /// Closes one P8 observation window: enqueues as received, P3 drops
+    /// as gaps, overdue queue waits as late.
+    fn take_window(&self) -> WindowSample {
+        let sample = WindowSample {
+            received: self.window_enq.get(),
+            gaps: self.window_drops.get(),
+            late: self.window_late.get(),
+        };
+        self.window_enq.set(0);
+        self.window_drops.set(0);
+        self.window_late.set(0);
+        sample
+    }
+}
+
+/// Spawns the uplink machinery shared by relays and the source: the
+/// bounded queue, the pump that serializes copies through a
+/// bandwidth-limited link, and the router that hands each arriving copy
+/// to the egress of its (tree, child) edge. Returns the queue handle
+/// and the link control (for fault registration).
+fn spawn_uplink(
+    env: &ShardEnv,
+    member: usize,
+    uplink_cps: u64,
+    cfg: &OverlayConfig,
+    child_txs: BTreeMap<(usize, usize), Sender<Msg>>,
+    dead: Rc<StdCell<bool>>,
+) -> (Rc<Uplink>, pandora_sim::LinkControl) {
+    let (kick_tx, kick_rx) = unbounded::<()>();
+    // A copy that waits longer than one stripe interval (its own
+    // forwarding cadence) marks the uplink persistently backlogged;
+    // shorter waits — a graft replay burst, say — are transient.
+    let late_bound = cfg.segment_interval.as_nanos() * cfg.trees.max(1) as u64;
+    let uplink = Uplink::new(cfg.uplink_queue, late_bound, kick_tx);
+    let (link_tx, link_rx, link_ctl) = link_controlled::<UpItem>(
+        env.spawner(),
+        LinkConfig::new("ovl-up", uplink_cps.max(1) * CELL_WIRE_BITS),
+    );
+    let pump_up = uplink.clone();
+    let pump_dead = dead.clone();
+    env.spawner().spawn(&format!("ovl:up{member}"), async move {
+        while kick_rx.recv().await.is_ok() {
+            while let Some(item) = pump_up.pop() {
+                if pump_dead.get() {
+                    continue;
+                }
+                if link_tx.send(item).await.is_err() {
+                    return;
+                }
+            }
+        }
+    });
+    let out_dead = dead;
+    env.spawner()
+        .spawn(&format!("ovl:out{member}"), async move {
+            while let Ok(item) = link_rx.recv().await {
+                if out_dead.get() {
+                    continue;
+                }
+                if let Some(tx) = child_txs.get(&(item.tree, item.dest)) {
+                    let _ = tx.try_send(Msg::Slice(item.slice));
+                }
+            }
+        });
+    (uplink, link_ctl)
+}
+
+/// Installs the scripted uplink cap against this member's link, if the
+/// config aims one here. Returns the trace for the finish report.
+fn install_uplink_cap(
+    env: &ShardEnv,
+    member: usize,
+    cfg: &OverlayConfig,
+    link_ctl: &pandora_sim::LinkControl,
+) -> Option<FaultTrace> {
+    let cap = cfg.uplink_cap?;
+    if cap.member != member {
+        return None;
+    }
+    let mut targets = FaultTargets::new();
+    targets.register_path("relay.up", PathControl::from_links(vec![link_ctl.clone()]));
+    let plan =
+        FaultPlan::scripted(Vec::new()).uplink_cap("relay.up", cap.at, cap.hold, cap.permille);
+    Some(install(env.spawner(), &plan, &targets))
+}
+
+/// Everything one viewer's setup closure needs, shipped to its shard.
+struct NodeSeat {
+    member: usize,
+    interior: Option<usize>,
+    children: Vec<Vec<usize>>,
+    ins: Vec<Ingress<Msg>>,
+    outs: Vec<(usize, usize, Egress<Msg>)>,
+    report: Egress<Hello>,
+    cfg: OverlayConfig,
+}
+
+fn node_setup(env: &mut ShardEnv, seat: NodeSeat) {
+    let NodeSeat {
+        member,
+        interior,
+        children,
+        ins,
+        outs,
+        report,
+        cfg,
+    } = seat;
+    let k = cfg.trees;
+
+    let mut child_txs: BTreeMap<(usize, usize), Sender<Msg>> = BTreeMap::new();
+    for (tree, dest, egress) in outs {
+        let (tx, rx) = unbounded::<Msg>();
+        env.bind_egress(egress, rx);
+        child_txs.insert((tree, dest), tx);
+    }
+    let rxs: Vec<Receiver<Msg>> = ins.into_iter().map(|i| env.bind_ingress(i)).collect();
+    let (rpt_tx, rpt_rx) = unbounded::<Hello>();
+    env.bind_egress(report, rpt_rx);
+
+    let dead = Rc::new(StdCell::new(false));
+    let receiver = Rc::new(RefCell::new(StripeReceiver::new(k, cfg.playout.as_nanos())));
+    let ring = Rc::new(RefCell::new(RepairRing::new(cfg.ring)));
+    let active = Rc::new(RefCell::new(children));
+    let divisor = Rc::new(StdCell::new(1u32));
+    let max_divisor = Rc::new(StdCell::new(1u32));
+    let p8_skips = Rc::new(StdCell::new(0u64));
+    let grafts_in = Rc::new(StdCell::new(0u64));
+
+    let (uplink, link_ctl) =
+        spawn_uplink(env, member, cfg.uplink_cps, &cfg, child_txs, dead.clone());
+    let fault_trace = install_uplink_cap(env, member, &cfg, &link_ctl);
+
+    if let Some(crash) = cfg.crash {
+        if crash.member == member {
+            let crash_dead = dead.clone();
+            env.spawner()
+                .spawn(&format!("ovl:crash{member}"), async move {
+                    delay(crash.at).await;
+                    crash_dead.set(true);
+                });
+        }
+    }
+
+    // The relay proper: deliver, dedupe, and forward its interior
+    // stripe (clawback ring, P8 divisor, P3 uplink queue).
+    let main_dead = dead.clone();
+    let main_rx = receiver.clone();
+    let main_ring = ring.clone();
+    let main_active = active.clone();
+    let main_div = divisor.clone();
+    let main_p8 = p8_skips.clone();
+    let main_grafts = grafts_in.clone();
+    let main_up = uplink.clone();
+    env.spawner()
+        .spawn(&format!("ovl:node{member}"), async move {
+            let refs: Vec<&Receiver<Msg>> = rxs.iter().collect();
+            while let Some(Ok((_, msg))) = alt_many(&refs).await {
+                if main_dead.get() {
+                    continue;
+                }
+                match msg {
+                    Msg::Slice(slice) => {
+                        let arrived = now().as_nanos();
+                        if let Accept::Duplicate = main_rx.borrow_mut().accept(&slice, arrived) {
+                            continue;
+                        }
+                        let tree = slice.tree as usize;
+                        if interior != Some(tree) {
+                            continue;
+                        }
+                        let div = main_div.get();
+                        if div > 1 && !(slice.seq / k.max(1) as u32).is_multiple_of(div) {
+                            main_p8.set(main_p8.get() + 1);
+                            continue;
+                        }
+                        main_ring.borrow_mut().push(slice.clone());
+                        let kids: Vec<usize> = main_active.borrow()[tree].clone();
+                        if kids.is_empty() {
+                            continue;
+                        }
+                        delay(cfg.relay_cost).await;
+                        let sent = now().as_nanos();
+                        for dest in kids {
+                            main_up.push(tree, dest, slice.retimed(sent));
+                        }
+                    }
+                    Msg::Graft {
+                        tree,
+                        orphan,
+                        resume_from,
+                    } => {
+                        main_grafts.set(main_grafts.get() + 1);
+                        {
+                            let mut a = main_active.borrow_mut();
+                            if !a[tree].contains(&orphan) {
+                                a[tree].push(orphan);
+                            }
+                        }
+                        let replay = main_ring.borrow().replay_from(resume_from);
+                        let sent = now().as_nanos();
+                        for s in replay {
+                            main_up.push(tree, orphan, s.retimed(sent));
+                        }
+                    }
+                }
+            }
+        });
+
+    // Heartbeat: liveness + resume points to the hub, and the local P8
+    // window observation.
+    let hb_dead = dead.clone();
+    let hb_rx = receiver.clone();
+    let hb_up = uplink.clone();
+    let hb_div = divisor.clone();
+    let hb_max = max_divisor.clone();
+    env.spawner().spawn(&format!("ovl:hb{member}"), async move {
+        let mut adapt = AdaptMachine::new(
+            MediaClass::Video,
+            HealthConfig {
+                window: cfg.heartbeat,
+                ..HealthConfig::default()
+            },
+        );
+        loop {
+            delay(cfg.heartbeat).await;
+            if hb_dead.get() {
+                break;
+            }
+            let _ = rpt_tx.try_send(Hello {
+                node: member,
+                next: hb_rx.borrow().next_expected().to_vec(),
+            });
+            let sample = hb_up.take_window();
+            if let Some(AdaptAction::SetDivisor(d)) = adapt.observe(&sample) {
+                hb_div.set(d);
+                hb_max.set(hb_max.get().max(d));
+            }
+        }
+    });
+
+    env.on_finish(move || {
+        let r = receiver.borrow();
+        let buckets = r
+            .hop_buckets()
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut lines = vec![format!(
+            "node{member:04} recv={} dup={} gap={} lost={} late={} fwd={} p3={} p8={} \
+             graftin={} deg={} gapmax_us={} sgapmax_us={} hopmax_us={} crashed={} hopbkt={}",
+            r.delivered(),
+            r.dupes(),
+            r.gap_skips(),
+            r.lost(cfg.segments),
+            r.late(),
+            uplink.enqueued.get(),
+            uplink.drops.get(),
+            p8_skips.get(),
+            grafts_in.get(),
+            max_divisor.get(),
+            r.gap_max_nanos() / 1_000,
+            r.stripe_gap_max_nanos() / 1_000,
+            r.hop_max_nanos() / 1_000,
+            u64::from(dead.get()),
+            buckets,
+        )];
+        if let Some(trace) = &fault_trace {
+            for line in trace.to_text().lines() {
+                lines.push(format!("node{member:04} fault {line}"));
+            }
+        }
+        lines
+    });
+}
+
+/// Member 0's setup: the broadcast source and the repair hub.
+struct HubSeat {
+    src_children: Vec<Vec<usize>>,
+    outs: Vec<(usize, usize, Egress<Msg>)>,
+    ctls: Vec<(usize, Egress<Msg>)>,
+    reports: Vec<Ingress<Hello>>,
+    plan: TreePlan,
+    cfg: OverlayConfig,
+}
+
+fn hub_setup(env: &mut ShardEnv, seat: HubSeat) {
+    let HubSeat {
+        src_children,
+        outs,
+        ctls,
+        reports,
+        plan,
+        cfg,
+    } = seat;
+    let k = cfg.trees;
+
+    let mut child_txs: BTreeMap<(usize, usize), Sender<Msg>> = BTreeMap::new();
+    for (tree, dest, egress) in outs {
+        let (tx, rx) = unbounded::<Msg>();
+        env.bind_egress(egress, rx);
+        child_txs.insert((tree, dest), tx);
+    }
+    let mut ctl_txs: BTreeMap<usize, Sender<Msg>> = BTreeMap::new();
+    for (v, egress) in ctls {
+        let (tx, rx) = unbounded::<Msg>();
+        env.bind_egress(egress, rx);
+        ctl_txs.insert(v, tx);
+    }
+    let hello_rxs: Vec<Receiver<Hello>> =
+        reports.into_iter().map(|i| env.bind_ingress(i)).collect();
+
+    let dead = Rc::new(StdCell::new(false)); // the source never dies
+    let (uplink, _link_ctl) =
+        spawn_uplink(env, 0, cfg.source_uplink_cps, &cfg, child_txs, dead.clone());
+
+    let rings = Rc::new(RefCell::new(
+        (0..k)
+            .map(|_| RepairRing::new(cfg.ring))
+            .collect::<Vec<_>>(),
+    ));
+    let active = Rc::new(RefCell::new(src_children));
+    let engine = Rc::new(RefCell::new(RepairEngine::new(plan, cfg.lease)));
+    let src_grafts = Rc::new(StdCell::new(0u64));
+    let slab_bytes = cfg.payload_bytes.max(64);
+    let slab = ByteSlab::new(4, slab_bytes);
+
+    // The source: one slab write and one gather per segment, then Arc
+    // clones all the way down the trees.
+    let src_up = uplink.clone();
+    let src_rings = rings.clone();
+    let src_active = active.clone();
+    let src_slab = slab.clone();
+    env.spawner().spawn("ovl:src", async move {
+        let cells_per = cells_per_segment(cfg.payload_bytes) as u32;
+        for seq in 0..cfg.segments {
+            let tree = seq as usize % k.max(1);
+            let Ok(mut writer) = src_slab.try_writer() else {
+                delay(cfg.segment_interval).await;
+                continue;
+            };
+            let fill = [(seq % 251) as u8; 64];
+            let mut left = cfg.payload_bytes;
+            while left > 0 {
+                let take = left.min(fill.len());
+                if writer.append(&fill[..take]).is_err() {
+                    break;
+                }
+                left -= take;
+            }
+            let seg = writer.freeze();
+            let burst = seg.copy_out_with(|payload| {
+                burst_gather(
+                    Vci(OVERLAY_VCI_BASE + tree as u32),
+                    &seq.to_be_bytes(),
+                    payload,
+                    seq.wrapping_mul(cells_per),
+                )
+            });
+            let stamp = now().as_nanos();
+            let slice = Slice {
+                tree: tree as u8,
+                seq,
+                stamp,
+                sent: stamp,
+                burst: Arc::new(burst),
+            };
+            src_rings.borrow_mut()[tree].push(slice.clone());
+            let kids: Vec<usize> = src_active.borrow()[tree].clone();
+            for dest in kids {
+                src_up.push(tree, dest, slice.retimed(stamp));
+            }
+            delay(cfg.segment_interval).await;
+        }
+    });
+
+    // The hub's ears: every heartbeat renews a lease and refreshes the
+    // member's graft resume points.
+    let ear_engine = engine.clone();
+    env.spawner().spawn("ovl:hub:hello", async move {
+        let refs: Vec<&Receiver<Hello>> = hello_rxs.iter().collect();
+        while let Some(Ok((_, hello))) = alt_many(&refs).await {
+            ear_engine.borrow_mut().hello(hello.node, &hello.next);
+        }
+    });
+
+    // The hub's sweep: silent members walk their leases toward Dead;
+    // each death's orphans are grafted — remotely via the control plane,
+    // or locally when the source itself is the backup.
+    let sweep_engine = engine.clone();
+    let sweep_rings = rings.clone();
+    let sweep_active = active.clone();
+    let sweep_up = uplink.clone();
+    let sweep_grafts = src_grafts.clone();
+    env.spawner().spawn("ovl:hub:sweep", async move {
+        // First sweep half a beat after the first hellos are due, so a
+        // healthy member is never missed on startup jitter.
+        delay(SimDuration::from_nanos(cfg.heartbeat.as_nanos() * 3 / 2)).await;
+        loop {
+            let grafts = sweep_engine.borrow_mut().sweep(now().as_nanos());
+            for g in grafts {
+                if g.backup == 0 {
+                    sweep_grafts.set(sweep_grafts.get() + 1);
+                    {
+                        let mut a = sweep_active.borrow_mut();
+                        if !a[g.tree].contains(&g.orphan) {
+                            a[g.tree].push(g.orphan);
+                        }
+                    }
+                    let replay = sweep_rings.borrow()[g.tree].replay_from(g.resume_from);
+                    let sent = now().as_nanos();
+                    for s in replay {
+                        sweep_up.push(g.tree, g.orphan, s.retimed(sent));
+                    }
+                } else if let Some(tx) = ctl_txs.get(&g.backup) {
+                    let _ = tx.try_send(Msg::Graft {
+                        tree: g.tree,
+                        orphan: g.orphan,
+                        resume_from: g.resume_from,
+                    });
+                }
+            }
+            delay(cfg.heartbeat).await;
+        }
+    });
+
+    env.on_finish(move || {
+        let mut lines = vec![format!(
+            "node0000 src fwd={} p3={} slabin={} slabout={} srcgraft={}",
+            uplink.enqueued.get(),
+            uplink.drops.get(),
+            slab.copied_in_bytes(),
+            slab.copied_out_bytes(),
+            src_grafts.get(),
+        )];
+        let e = engine.borrow();
+        lines.push(format!(
+            "hub deaths={} grafts={} unrepairable={}",
+            e.deaths(),
+            e.grafts(),
+            e.unrepairable(),
+        ));
+        for line in e.log() {
+            lines.push(format!("hub {line}"));
+        }
+        lines
+    });
+}
+
+/// Builds the overlay broadcast over `shards` shards.
+///
+/// Ports are created in one canonical order (primary edges, backup
+/// edges, control, reports — each in member-then-tree order) and setups
+/// are registered in member order, so the merged report is
+/// byte-identical at every shard count.
+///
+/// # Errors
+///
+/// [`BuildError::Plan`] when the planner refuses the shape,
+/// [`BuildError::Admission`] when a member's relay charge does not fit
+/// its uplink budget.
+///
+/// # Panics
+///
+/// Panics if `hop_latency` or `ctl_latency` is zero with more than one
+/// shard (port latency is the cross-shard lookahead window).
+pub fn build_overlay_broadcast(
+    cfg: &OverlayConfig,
+    shards: usize,
+) -> Result<OverlayBuild, BuildError> {
+    let plan = plan_for(cfg).map_err(BuildError::Plan)?;
+    let relay_tx_cps = charge_relay_admission(&plan, cfg)?;
+    let n = plan.members();
+    let k = plan.trees();
+    let mut cluster = Cluster::new(shards);
+    let place = |member: usize| shard_of(member, n, shards);
+
+    let mut ins: Vec<Vec<Ingress<Msg>>> = (0..n).map(|_| Vec::new()).collect();
+    let mut outs: Vec<Vec<(usize, usize, Egress<Msg>)>> = (0..n).map(|_| Vec::new()).collect();
+    // Primary tree edges.
+    for (v, ins_v) in ins.iter_mut().enumerate().skip(1) {
+        for t in 0..k {
+            let Some(p) = plan.parent(t, v) else { continue };
+            let (eg, ing) =
+                cluster.port::<Msg>(place(p), place(v), cfg.hop_latency, &format!("e{t}.{v}"));
+            outs[p].push((t, v, eg));
+            ins_v.push(ing);
+        }
+    }
+    // Backup (graft) edges: grandparent → grandchild, pre-wired so a
+    // repair needs no new ports mid-run.
+    for (v, ins_v) in ins.iter_mut().enumerate().skip(1) {
+        for t in 0..k {
+            let Some(g) = plan.backup(t, v) else { continue };
+            let (eg, ing) =
+                cluster.port::<Msg>(place(g), place(v), cfg.hop_latency, &format!("b{t}.{v}"));
+            outs[g].push((t, v, eg));
+            ins_v.push(ing);
+        }
+    }
+    // Control plane: hub → member grafts, member → hub heartbeats.
+    let mut ctls: Vec<(usize, Egress<Msg>)> = Vec::with_capacity(n.saturating_sub(1));
+    for (v, ins_v) in ins.iter_mut().enumerate().skip(1) {
+        let (eg, ing) = cluster.port::<Msg>(place(0), place(v), cfg.ctl_latency, &format!("c{v}"));
+        ctls.push((v, eg));
+        ins_v.push(ing);
+    }
+    let mut reports: Vec<Ingress<Hello>> = Vec::with_capacity(n.saturating_sub(1));
+    let mut report_eg: Vec<Egress<Hello>> = Vec::with_capacity(n.saturating_sub(1));
+    for v in 1..n {
+        let (eg, ing) =
+            cluster.port::<Hello>(place(v), place(0), cfg.ctl_latency, &format!("r{v}"));
+        report_eg.push(eg);
+        reports.push(ing);
+    }
+
+    // Setups in member order: the merge key order of the finish report.
+    let mut outs_iter = outs.into_iter();
+    let mut ins_iter = ins.into_iter();
+    let hub = HubSeat {
+        src_children: (0..k).map(|t| plan.children(t, 0).to_vec()).collect(),
+        outs: outs_iter.next().unwrap_or_default(),
+        ctls,
+        reports,
+        plan: plan.clone(),
+        cfg: *cfg,
+    };
+    let _ = ins_iter.next();
+    cluster.setup(0, move |env| hub_setup(env, hub));
+    let mut report_iter = report_eg.into_iter();
+    for v in 1..n {
+        let (Some(v_ins), Some(v_outs), Some(report)) =
+            (ins_iter.next(), outs_iter.next(), report_iter.next())
+        else {
+            break;
+        };
+        let seat = NodeSeat {
+            member: v,
+            interior: plan.interior_tree(v),
+            children: (0..k).map(|t| plan.children(t, v).to_vec()).collect(),
+            ins: v_ins,
+            outs: v_outs,
+            report,
+            cfg: *cfg,
+        };
+        cluster.setup(place(v), move |env| node_setup(env, seat));
+    }
+
+    Ok(OverlayBuild {
+        cluster,
+        plan,
+        relay_tx_cps,
+    })
+}
+
+/// Aggregate statistics parsed back out of a run's merged report lines.
+///
+/// `*_alive` fields aggregate only members that did not crash — the
+/// "surviving viewers" the acceptance criteria speak about. Hop
+/// histogram buckets are merged across alive members.
+#[derive(Debug, Clone, Default)]
+pub struct OverlaySummary {
+    /// Viewer report lines seen.
+    pub viewers: u64,
+    /// Members flagged crashed.
+    pub crashed: u64,
+    /// Slices delivered in order across all viewers.
+    pub delivered: u64,
+    /// Replay overlaps deduplicated.
+    pub dupes: u64,
+    /// Sequences skipped for good (sum).
+    pub gap_skips: u64,
+    /// Lost slices across all viewers (crashed included).
+    pub lost_total: u64,
+    /// Late deliveries across all viewers (crashed included).
+    pub late_total: u64,
+    /// Lost slices summed over surviving viewers only.
+    pub lost_alive: u64,
+    /// Late deliveries summed over surviving viewers only.
+    pub late_alive: u64,
+    /// Copies relays put on their uplinks.
+    pub forwarded: u64,
+    /// P3 drop-oldest discards.
+    pub p3_drops: u64,
+    /// P8 divisor skips.
+    pub p8_skips: u64,
+    /// Grafts applied (backup side), source-local grafts included.
+    pub grafts_in: u64,
+    /// Highest P8 divisor any relay reached.
+    pub max_divisor: u64,
+    /// Worst any-stripe delivery silence on a surviving viewer, µs.
+    pub gap_max_us_alive: u64,
+    /// Worst single-stripe silence on a surviving viewer, µs — the
+    /// repair gap.
+    pub stripe_gap_max_us_alive: u64,
+    /// Worst single-hop latency on a surviving viewer, µs.
+    pub hop_max_us: u64,
+    /// Merged per-hop latency histogram of surviving viewers (bucket
+    /// `i` counts hops in `[2^i, 2^(i+1))` µs).
+    pub hop_buckets: [u64; HOP_BUCKETS],
+    /// Copies the source put on its uplink.
+    pub src_forwarded: u64,
+    /// Bytes the source gathered out of the slab (the one copy).
+    pub slab_copied_out: u64,
+    /// Deaths the hub observed.
+    pub hub_deaths: u64,
+    /// Grafts the hub issued.
+    pub hub_grafts: u64,
+    /// Orphans with no backup parent.
+    pub hub_unrepairable: u64,
+}
+
+fn field(token: &str, key: &str) -> Option<u64> {
+    let rest = token.strip_prefix(key)?;
+    rest.parse().ok()
+}
+
+impl OverlaySummary {
+    /// Parses the merged finish-report lines of one run.
+    pub fn parse(lines: &[String]) -> OverlaySummary {
+        let mut s = OverlaySummary::default();
+        for line in lines {
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            match tokens.as_slice() {
+                [node, "src", rest @ ..] if node.starts_with("node") => {
+                    for t in rest {
+                        if let Some(v) = field(t, "fwd=") {
+                            s.src_forwarded = v;
+                        } else if let Some(v) = field(t, "slabout=") {
+                            s.slab_copied_out = v;
+                        } else if let Some(v) = field(t, "srcgraft=") {
+                            s.grafts_in += v;
+                        }
+                    }
+                }
+                ["hub", rest @ ..] => {
+                    for t in rest {
+                        if let Some(v) = field(t, "deaths=") {
+                            s.hub_deaths = v;
+                        } else if let Some(v) = field(t, "grafts=") {
+                            s.hub_grafts = v;
+                        } else if let Some(v) = field(t, "unrepairable=") {
+                            s.hub_unrepairable = v;
+                        }
+                    }
+                }
+                [node, rest @ ..] if node.starts_with("node") && rest.first() != Some(&"fault") => {
+                    s.viewers += 1;
+                    let crashed = rest.iter().any(|t| field(t, "crashed=") == Some(1));
+                    if crashed {
+                        s.crashed += 1;
+                    }
+                    for t in rest {
+                        if let Some(v) = field(t, "recv=") {
+                            s.delivered += v;
+                        } else if let Some(v) = field(t, "dup=") {
+                            s.dupes += v;
+                        } else if let Some(v) = field(t, "gap=") {
+                            s.gap_skips += v;
+                        } else if let Some(v) = field(t, "lost=") {
+                            s.lost_total += v;
+                            if !crashed {
+                                s.lost_alive += v;
+                            }
+                        } else if let Some(v) = field(t, "late=") {
+                            s.late_total += v;
+                            if !crashed {
+                                s.late_alive += v;
+                            }
+                        } else if let Some(v) = field(t, "fwd=") {
+                            s.forwarded += v;
+                        } else if let Some(v) = field(t, "p3=") {
+                            s.p3_drops += v;
+                        } else if let Some(v) = field(t, "p8=") {
+                            s.p8_skips += v;
+                        } else if let Some(v) = field(t, "graftin=") {
+                            s.grafts_in += v;
+                        } else if let Some(v) = field(t, "deg=") {
+                            s.max_divisor = s.max_divisor.max(v);
+                        } else if !crashed {
+                            if let Some(v) = field(t, "gapmax_us=") {
+                                s.gap_max_us_alive = s.gap_max_us_alive.max(v);
+                            } else if let Some(v) = field(t, "sgapmax_us=") {
+                                s.stripe_gap_max_us_alive = s.stripe_gap_max_us_alive.max(v);
+                            } else if let Some(v) = field(t, "hopmax_us=") {
+                                s.hop_max_us = s.hop_max_us.max(v);
+                            } else if let Some(list) = t.strip_prefix("hopbkt=") {
+                                for (i, part) in list.split(',').take(HOP_BUCKETS).enumerate() {
+                                    s.hop_buckets[i] += part.parse::<u64>().unwrap_or(0);
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        s
+    }
+
+    /// Total hops in the merged histogram.
+    pub fn hop_count(&self) -> u64 {
+        self.hop_buckets.iter().sum()
+    }
+
+    /// Upper bucket edge (µs) below which `permille`/1000 of all
+    /// measured hops fall. Zero when no hops were measured.
+    pub fn hop_percentile_us(&self, permille: u64) -> u64 {
+        let total = self.hop_count();
+        if total == 0 {
+            return 0;
+        }
+        let target = (total * permille).div_ceil(1_000);
+        let mut seen = 0u64;
+        for (i, count) in self.hop_buckets.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << HOP_BUCKETS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pandora_sim::SimTime;
+
+    fn small_cfg() -> OverlayConfig {
+        OverlayConfig {
+            viewers: 40,
+            trees: 3,
+            degree: 3,
+            seed: 11,
+            segments: 40,
+            payload_bytes: 320,
+            uplink_cps: 12_000,
+            source_uplink_cps: 40_000,
+            relay_cost: SimDuration::from_micros(20),
+            ..OverlayConfig::default()
+        }
+    }
+
+    fn run(cfg: &OverlayConfig, shards: usize) -> (Vec<String>, TreePlan) {
+        let built = match build_overlay_broadcast(cfg, shards) {
+            Ok(b) => b,
+            Err(e) => panic!("build failed: {e}"),
+        };
+        let deadline = SimTime::from_nanos(
+            cfg.segment_interval.as_nanos() * u64::from(cfg.segments)
+                + SimDuration::from_millis(140).as_nanos(),
+        );
+        let report = built.cluster.run(deadline);
+        (report.merged_lines(), built.plan)
+    }
+
+    #[test]
+    fn clean_run_delivers_everything_on_time() {
+        let cfg = small_cfg();
+        let (lines, plan) = run(&cfg, 1);
+        let s = OverlaySummary::parse(&lines);
+        assert_eq!(s.viewers, 40);
+        assert_eq!(s.delivered, 40 * 40, "{lines:?}");
+        assert_eq!(s.lost_total, 0);
+        assert_eq!(s.late_total, 0);
+        assert_eq!(s.dupes, 0);
+        assert_eq!(s.p3_drops, 0);
+        assert_eq!(s.hub_deaths, 0);
+        assert!(plan.max_depth_overall() <= plan.depth_bound());
+        // One slab gather per segment — relays added no payload copies.
+        assert_eq!(
+            s.slab_copied_out,
+            u64::from(cfg.segments) * cfg.payload_bytes as u64
+        );
+        assert!(s.hop_count() > 0);
+    }
+
+    #[test]
+    fn replay_is_byte_identical() {
+        let cfg = small_cfg();
+        let (a, _) = run(&cfg, 1);
+        let (b, _) = run(&cfg, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn interior_crash_is_repaired_for_all_survivors() {
+        let mut cfg = small_cfg();
+        let plan = match plan_for(&cfg) {
+            Ok(p) => p,
+            Err(e) => panic!("plan: {e}"),
+        };
+        let victim = (1..plan.members())
+            .find(|&v| {
+                plan.interior_tree(v)
+                    .is_some_and(|t| !plan.children(t, v).is_empty())
+            })
+            .expect("no interior relay with children");
+        cfg.crash = Some(CrashPlan {
+            member: victim,
+            at: SimDuration::from_millis(60),
+        });
+        let (lines, _) = run(&cfg, 1);
+        let s = OverlaySummary::parse(&lines);
+        assert_eq!(s.crashed, 1, "{lines:?}");
+        assert_eq!(s.hub_deaths, 1);
+        assert!(s.hub_grafts >= 1, "no grafts issued: {lines:?}");
+        assert_eq!(s.lost_alive, 0, "survivors lost slices: {lines:?}");
+        assert_eq!(s.late_alive, 0, "survivors saw late slices: {lines:?}");
+        // The repair gap stayed within the playout budget.
+        assert!(
+            s.stripe_gap_max_us_alive <= cfg.playout.as_nanos() / 1_000,
+            "repair gap {}us exceeds playout",
+            s.stripe_gap_max_us_alive
+        );
+    }
+
+    #[test]
+    fn uplink_cap_drives_p3_and_p8_then_recovers() {
+        let mut cfg = small_cfg();
+        cfg.uplink_queue = 8;
+        let plan = match plan_for(&cfg) {
+            Ok(p) => p,
+            Err(e) => panic!("plan: {e}"),
+        };
+        let victim = (1..plan.members())
+            .find(|&v| {
+                plan.interior_tree(v)
+                    .is_some_and(|t| plan.children(t, v).len() >= 2)
+            })
+            .expect("no busy relay");
+        cfg.uplink_cap = Some(UplinkCapPlan {
+            member: victim,
+            at: SimDuration::from_millis(30),
+            hold: SimDuration::from_millis(80),
+            permille: 40,
+        });
+        let (lines, _) = run(&cfg, 1);
+        let s = OverlaySummary::parse(&lines);
+        assert!(
+            s.p3_drops > 0 || s.p8_skips > 0,
+            "cap produced no local degradation: {lines:?}"
+        );
+        assert!(s.max_divisor >= 2, "P8 never stepped: {lines:?}");
+        let text = lines.join("\n");
+        assert!(
+            text.contains("apply bandwidth-collapse path=relay.up"),
+            "{text}"
+        );
+        assert!(
+            text.contains("revert bandwidth-collapse path=relay.up"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn admission_charge_covers_every_planned_copy() {
+        let cfg = small_cfg();
+        let built = match build_overlay_broadcast(&cfg, 1) {
+            Ok(b) => b,
+            Err(e) => panic!("build failed: {e}"),
+        };
+        let copies: usize = (0..built.plan.members())
+            .map(|m| built.plan.fanout(m))
+            .sum();
+        assert!(copies > 0);
+        let per_copy = match stripe_class(&cfg) {
+            StreamClass::Video { rate_permille } => {
+                StreamClass::Video { rate_permille }.demand_cps()
+            }
+            StreamClass::Audio => unreachable!("stripes are video class"),
+        };
+        assert_eq!(built.relay_tx_cps, per_copy * copies as u64);
+    }
+
+    #[test]
+    fn summary_parses_node_hub_and_src_lines() {
+        let lines = vec![
+            "node0000 src fwd=120 p3=0 slabin=12800 slabout=12800 srcgraft=1".to_string(),
+            "node0001 recv=40 dup=2 gap=0 lost=0 late=0 fwd=120 p3=1 p8=2 graftin=1 deg=2 \
+             gapmax_us=5000 sgapmax_us=12000 hopmax_us=900 crashed=0 hopbkt=0,1,2,0,0,0,0,0,0,0,0,0,0,0,0,0"
+                .to_string(),
+            "node0002 recv=10 dup=0 gap=3 lost=30 late=1 fwd=0 p3=0 p8=0 graftin=0 deg=1 \
+             gapmax_us=900000 sgapmax_us=900000 hopmax_us=20000 crashed=1 hopbkt=0,0,0,0,9,0,0,0,0,0,0,0,0,0,0,0"
+                .to_string(),
+            "hub deaths=1 grafts=2 unrepairable=0".to_string(),
+            "hub t=000000000001 death relay=2 tree=0".to_string(),
+        ];
+        let s = OverlaySummary::parse(&lines);
+        assert_eq!(s.viewers, 2);
+        assert_eq!(s.crashed, 1);
+        assert_eq!(s.delivered, 50);
+        assert_eq!(s.lost_total, 30);
+        assert_eq!(s.lost_alive, 0);
+        assert_eq!(s.late_alive, 0);
+        assert_eq!(s.grafts_in, 2, "node graftin + srcgraft");
+        assert_eq!(s.max_divisor, 2);
+        assert_eq!(s.hub_deaths, 1);
+        assert_eq!(s.src_forwarded, 120);
+        assert_eq!(s.gap_max_us_alive, 5_000);
+        assert_eq!(s.stripe_gap_max_us_alive, 12_000);
+        assert_eq!(s.hop_max_us, 900, "crashed node's hops excluded");
+        assert_eq!(s.hop_buckets[1], 1);
+        assert_eq!(s.hop_buckets[4], 0, "crashed node's buckets excluded");
+        assert_eq!(s.hop_count(), 3);
+        assert_eq!(s.hop_percentile_us(1_000), 1 << 3);
+    }
+}

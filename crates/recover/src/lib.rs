@@ -12,6 +12,10 @@
 //!   `Live → Suspect → Dead` after a configurable number of misses, with
 //!   exponential backoff on the probe side; a successful renewal of a
 //!   dead lease is a *revival*, the signal to re-admit a restarted box.
+//! * [`PassiveBeat`] — the same lease machine fed passively: peers
+//!   volunteer hellos on their own cadence and one sweep per interval
+//!   renews or misses every lease at once. The overlay broadcast hub
+//!   watches a thousand relays this way without per-peer probe tasks.
 //! * [`StreamHealth`] / [`AdaptMachine`] — a sliding-window monitor of
 //!   sequence-gap and late-segment rates per stream, driving the P8
 //!   local-adaptation policy: sustained video loss steps the rate
@@ -27,9 +31,11 @@
 //! exercised by `pandora-faults` crash/pause/flap plans in the
 //! conformance suite.
 
+pub mod beat;
 pub mod health;
 pub mod lease;
 
+pub use beat::PassiveBeat;
 pub use health::{
     AdaptAction, AdaptMachine, AdaptState, HealthConfig, MediaClass, StreamHealth, WindowSample,
 };

@@ -142,6 +142,70 @@ impl AdmissionController {
         self.tx_cps = self.tx_cps.saturating_sub(class.demand_cps());
     }
 
+    /// Requests transmit bandwidth for `copies` simultaneous copies of
+    /// one stream — the overlay relay charge: a member that is interior
+    /// in a broadcast tree forwards every slice of its stripe to each
+    /// child, so its uplink owes `copies x demand`, not one.
+    ///
+    /// Degrade follows the sink rules: audio copies are admitted whole
+    /// or refused; video halves its rate (shared by every copy — the
+    /// stripe is one stream) down to the
+    /// [`MIN_VIDEO_RATE_PERMILLE`] floor before rejecting.
+    pub fn admit_relay(&mut self, class: StreamClass, copies: u32) -> Decision {
+        if copies == 0 {
+            self.admitted += 1;
+            return Decision::Admit;
+        }
+        let spare = self.caps.link_cps.saturating_sub(self.tx_cps);
+        match class {
+            StreamClass::Audio => {
+                let demand = class.demand_cps() * u64::from(copies);
+                if demand > spare {
+                    self.rejected += 1;
+                    return Decision::Reject(RejectReason::LinkBudget);
+                }
+                self.tx_cps += demand;
+                self.admitted += 1;
+                Decision::Admit
+            }
+            StreamClass::Video { rate_permille } => {
+                // Integer division is conservative: the lost remainder
+                // (< copies cells/sec) stays unspent, never oversold.
+                let per_copy = spare / u64::from(copies);
+                match degrade_to_fit(rate_permille, per_copy) {
+                    Some(granted) => {
+                        self.tx_cps += StreamClass::Video {
+                            rate_permille: granted,
+                        }
+                        .demand_cps()
+                            * u64::from(copies);
+                        if granted == rate_permille {
+                            self.admitted += 1;
+                            Decision::Admit
+                        } else {
+                            self.degraded += 1;
+                            Decision::Degrade {
+                                rate_permille: granted,
+                            }
+                        }
+                    }
+                    None => {
+                        self.rejected += 1;
+                        Decision::Reject(RejectReason::LinkBudget)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Releases transmit bandwidth charged by
+    /// [`AdmissionController::admit_relay`] (pass the *granted* class).
+    pub fn release_relay(&mut self, class: StreamClass, copies: u32) {
+        self.tx_cps = self
+            .tx_cps
+            .saturating_sub(class.demand_cps() * u64::from(copies));
+    }
+
     /// Requests admitted (including degraded) so far.
     pub fn admitted(&self) -> u64 {
         self.admitted + self.degraded
@@ -267,6 +331,68 @@ mod tests {
         a.release_sink(StreamClass::Video { rate_permille });
         assert_eq!(a.rx_cps(), 0);
         assert_eq!(a.video_sinks(), 0);
+    }
+
+    #[test]
+    fn relay_charge_is_copies_times_demand() {
+        // 8 video copies at 722‰ (a 1875 cps overlay stripe) against a
+        // 100k cps uplink: fits whole.
+        let mut a = AdmissionController::new(caps(0, 4, 100_000));
+        let stripe = StreamClass::Video { rate_permille: 722 };
+        assert_eq!(a.admit_relay(stripe, 8), Decision::Admit);
+        assert_eq!(a.tx_cps(), stripe.demand_cps() * 8);
+        a.release_relay(stripe, 8);
+        assert_eq!(a.tx_cps(), 0);
+    }
+
+    #[test]
+    fn relay_video_degrades_shared_rate_before_rejecting() {
+        // 4 copies of full-rate video need 10400 cps; only 5300 spare,
+        // so the stripe halves once to 500‰ (1300 cps per copy).
+        let mut a = AdmissionController::new(caps(0, 4, 5_300));
+        let d = a.admit_relay(
+            StreamClass::Video {
+                rate_permille: 1_000,
+            },
+            4,
+        );
+        assert_eq!(d, Decision::Degrade { rate_permille: 500 });
+        assert_eq!(a.tx_cps(), 4 * 1_300);
+        // Nothing meaningful left: even the 125‰ floor times 4 copies
+        // overflows the 100 cps remainder.
+        let d2 = a.admit_relay(
+            StreamClass::Video {
+                rate_permille: 1_000,
+            },
+            4,
+        );
+        assert_eq!(d2, Decision::Reject(RejectReason::LinkBudget));
+    }
+
+    #[test]
+    fn relay_audio_admitted_whole_or_refused() {
+        let mut a = AdmissionController::new(caps(0, 0, 1_200));
+        assert_eq!(a.admit_relay(StreamClass::Audio, 2), Decision::Admit);
+        assert_eq!(
+            a.admit_relay(StreamClass::Audio, 1),
+            Decision::Reject(RejectReason::LinkBudget)
+        );
+        assert_eq!(a.degraded(), 0);
+    }
+
+    #[test]
+    fn relay_with_zero_copies_charges_nothing() {
+        let mut a = AdmissionController::new(caps(0, 0, 10));
+        assert_eq!(
+            a.admit_relay(
+                StreamClass::Video {
+                    rate_permille: 1_000
+                },
+                0
+            ),
+            Decision::Admit
+        );
+        assert_eq!(a.tx_cps(), 0);
     }
 
     #[test]

@@ -435,3 +435,64 @@ fn thousand_box_soak_is_identical_across_shard_counts() {
         assert_eq!(got, baseline, "{shards} shards diverged");
     }
 }
+
+// ---------------------------------------------------------------------
+// ISSUE 9: the striped multi-tree overlay broadcast — with a
+// mid-broadcast interior-relay crash and repair — replays
+// byte-identically at shard counts {1, 4, 8}.
+// ---------------------------------------------------------------------
+
+#[test]
+fn overlay_broadcast_with_crash_is_identical_across_shard_counts() {
+    use pandora_overlay::{
+        build_overlay_broadcast, plan_for, CrashPlan, OverlayConfig, OverlaySummary,
+    };
+
+    let mut cfg = OverlayConfig {
+        viewers: 63,
+        trees: 4,
+        degree: 4,
+        seed: 9,
+        segments: 50,
+        payload_bytes: 640,
+        ..OverlayConfig::default()
+    };
+    // Crash the first interior relay that actually parents someone, so
+    // the repair path (death, graft, clawback replay) is exercised.
+    let plan = plan_for(&cfg).expect("plan");
+    let victim = (1..plan.members())
+        .find(|&v| {
+            plan.interior_tree(v)
+                .is_some_and(|t| !plan.children(t, v).is_empty())
+        })
+        .expect("an interior relay with children");
+    cfg.crash = Some(CrashPlan {
+        member: victim,
+        at: SimDuration::from_millis(70),
+    });
+
+    let deadline = SimTime::from_millis(340);
+    let run = |shards: usize| {
+        let built = build_overlay_broadcast(&cfg, shards).expect("build");
+        built.cluster.run(deadline).merged_lines()
+    };
+
+    let baseline = run(1);
+    let s = OverlaySummary::parse(&baseline);
+    assert_eq!(s.viewers, 63);
+    assert_eq!(s.crashed, 1);
+    assert_eq!(s.hub_deaths, 1, "the crash went undetected");
+    assert!(s.hub_grafts >= 1, "no grafts were issued");
+    assert!(s.grafts_in >= 1, "no backup applied a graft");
+    assert_eq!(s.lost_alive, 0, "survivors lost slices");
+    assert_eq!(s.late_alive, 0, "survivors saw late slices");
+    assert!(
+        plan.max_depth_overall() <= plan.depth_bound(),
+        "depth {} exceeds ceil(log_d n) = {}",
+        plan.max_depth_overall(),
+        plan.depth_bound()
+    );
+    for shards in [4usize, 8] {
+        assert_eq!(run(shards), baseline, "{shards} shards diverged");
+    }
+}
